@@ -1,0 +1,338 @@
+//! Guard VPs — cooperative path obfuscation (Section 5.1.2).
+//!
+//! At the end of each minute, a vehicle picks ⌈α·m⌉ of its m neighbors and
+//! fabricates one guard VP per pick: a plausible trajectory from that
+//! neighbor's *initial* location `L_x1` to the vehicle's own final
+//! position, obtained from a driving-route service (here: [`vm_geo::Router`]
+//! standing in for the Google Directions API). Guard VDs are variably
+//! spaced along the route; hash fields are random (there is no video);
+//! guard and actual VPs insert each other's VDs into their Bloom filters so
+//! guards join the viewmap like any real neighbor. From the server's view
+//! they are indistinguishable from actual VPs — which is exactly what makes
+//! the tracker's per-minute linking ambiguous.
+
+use crate::types::{GeoPos, VpId, SECONDS_PER_VP};
+use crate::vd::ViewDigest;
+use crate::vp::{FinalizedMinute, ViewProfile, VpKind};
+use rand::Rng;
+use vm_crypto::Digest16;
+use vm_geo::{Point, Router};
+
+/// Guard-VP creation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardConfig {
+    /// Fraction α of neighbors to cover with guard VPs (paper: α = 0.1).
+    pub alpha: f64,
+    /// Per-second spacing jitter: each second's travel distance is the
+    /// mean spacing scaled by `1 ± jitter` ("variably spaced within the
+    /// predefined margin").
+    pub spacing_jitter: f64,
+    /// Mean video bitrate used for plausible file-size fields, bytes/s
+    /// (50 MB per minute, Section 6.1).
+    pub bytes_per_second: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            alpha: 0.1,
+            spacing_jitter: 0.35,
+            bytes_per_second: 50 * 1024 * 1024 / 60,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Number of guard VPs for `m` neighbors: ⌈α·m⌉ (0 for no neighbors).
+    pub fn guards_for(&self, m: usize) -> usize {
+        if m == 0 {
+            0
+        } else {
+            (self.alpha * m as f64).ceil() as usize
+        }
+    }
+}
+
+/// A source of driving routes between two points — the shape of the
+/// Google Directions API the paper calls out ([12]).
+pub trait Directions {
+    /// A polyline from `from` to `to`, or `None` if unroutable.
+    fn driving_route(&self, from: GeoPos, to: GeoPos) -> Option<Vec<Point>>;
+}
+
+impl Directions for Router<'_> {
+    fn driving_route(&self, from: GeoPos, to: GeoPos) -> Option<Vec<Point>> {
+        self.route_points(&from.into(), &to.into()).map(|r| r.points)
+    }
+}
+
+/// Fallback provider: straight-line routes (used in unit tests and when no
+/// road network is loaded).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StraightLine;
+
+impl Directions for StraightLine {
+    fn driving_route(&self, from: GeoPos, to: GeoPos) -> Option<Vec<Point>> {
+        Some(vec![from.into(), to.into()])
+    }
+}
+
+/// Create guard VPs for a finalized minute and cross-link them with the
+/// actual VP's Bloom filter. Returns the guard profiles (which the vehicle
+/// uploads and then deletes, Section 5.1.2).
+pub fn create_guards<R: Rng + ?Sized, D: Directions>(
+    rng: &mut R,
+    minute: &mut FinalizedMinute,
+    directions: &D,
+    cfg: &GuardConfig,
+) -> Vec<ViewProfile> {
+    let m = minute.neighbors.len();
+    let want = cfg.guards_for(m);
+    if want == 0 {
+        return Vec::new();
+    }
+    // Randomly pick ⌈α·m⌉ distinct neighbors.
+    let mut idx: Vec<usize> = (0..m).collect();
+    for i in 0..want.min(m) {
+        let j = rng.gen_range(i..m);
+        idx.swap(i, j);
+    }
+    let own_end = minute
+        .profile
+        .vds
+        .last()
+        .expect("finalized VP has VDs")
+        .loc;
+    let start_time = minute
+        .profile
+        .vds
+        .first()
+        .expect("finalized VP has VDs")
+        .time
+        .saturating_sub(1);
+
+    let mut guards = Vec::with_capacity(want);
+    for &ni in idx.iter().take(want.min(m)) {
+        let neighbor_start = minute.neighbors[ni].initial_loc();
+        let Some(polyline) = directions.driving_route(neighbor_start, own_end) else {
+            continue;
+        };
+        let guard = fabricate_guard(rng, &polyline, neighbor_start, start_time, cfg);
+        // Mutual neighborship: guard VDs into the actual VP's filter, the
+        // actual VP's first/last VDs into the guard's filter.
+        let mut guard = guard;
+        let own_first = minute.profile.vds.first().expect("vds");
+        let own_last = minute.profile.vds.last().expect("vds");
+        guard.bloom.insert(&own_first.bloom_key());
+        guard.bloom.insert(&own_last.bloom_key());
+        let gfirst = guard.vds.first().expect("guard vds").bloom_key();
+        let glast = guard.vds.last().expect("guard vds").bloom_key();
+        minute.profile.bloom.insert(&gfirst);
+        minute.profile.bloom.insert(&glast);
+        guards.push(guard);
+    }
+    guards
+}
+
+/// Build one guard VP along a polyline.
+fn fabricate_guard<R: Rng + ?Sized>(
+    rng: &mut R,
+    polyline: &[Point],
+    initial_loc: GeoPos,
+    start_time: u64,
+    cfg: &GuardConfig,
+) -> ViewProfile {
+    let total_len: f64 = polyline.windows(2).map(|w| w[0].distance(&w[1])).sum();
+    let n = SECONDS_PER_VP as usize;
+    // Variably spaced arc-length samples that end exactly at the route end.
+    let mut steps: Vec<f64> = (0..n)
+        .map(|_| 1.0 + rng.gen_range(-cfg.spacing_jitter..=cfg.spacing_jitter))
+        .collect();
+    let sum: f64 = steps.iter().sum();
+    for s in &mut steps {
+        *s *= total_len / sum;
+    }
+    let mut vp_id_bytes = [0u8; 16];
+    rng.fill(&mut vp_id_bytes);
+    let vp_id = VpId(Digest16(vp_id_bytes));
+
+    let mut vds = Vec::with_capacity(n);
+    let mut arc = 0.0;
+    let mut file_size = 0u64;
+    for (i, step) in steps.iter().enumerate() {
+        arc += step;
+        let loc: GeoPos = position_on_polyline(polyline, arc).into();
+        file_size += (cfg.bytes_per_second as f64 * rng.gen_range(0.9..1.1)) as u64;
+        let mut hash_bytes = [0u8; 16];
+        rng.fill(&mut hash_bytes);
+        vds.push(ViewDigest {
+            seq: (i + 1) as u16,
+            flags: 0,
+            time: start_time + i as u64 + 1,
+            loc,
+            file_size,
+            initial_loc,
+            vp_id,
+            hash: Digest16(hash_bytes),
+        });
+    }
+    ViewProfile {
+        vds,
+        bloom: crate::bloom::BloomFilter::default(),
+        kind: VpKind::Guard,
+    }
+}
+
+fn position_on_polyline(polyline: &[Point], arc: f64) -> Point {
+    if polyline.len() == 1 {
+        return polyline[0];
+    }
+    let mut remaining = arc.max(0.0);
+    for w in polyline.windows(2) {
+        let len = w[0].distance(&w[1]);
+        if remaining <= len {
+            let t = if len > 0.0 { remaining / len } else { 0.0 };
+            return w[0].lerp(&w[1], t);
+        }
+        remaining -= len;
+    }
+    *polyline.last().expect("non-empty polyline")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::exchange_minute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn minute_with_neighbor(seed: u64) -> FinalizedMinute {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (fa, _) = exchange_minute(
+            &mut rng,
+            0,
+            |s| GeoPos::new(100.0 + s as f64 * 12.0, 0.0),
+            |s| GeoPos::new(s as f64 * 12.0, 60.0),
+        );
+        fa
+    }
+
+    #[test]
+    fn guard_count_follows_ceil_alpha_m() {
+        let cfg = GuardConfig::default();
+        assert_eq!(cfg.guards_for(0), 0);
+        assert_eq!(cfg.guards_for(1), 1);
+        assert_eq!(cfg.guards_for(10), 1);
+        assert_eq!(cfg.guards_for(11), 2);
+        assert_eq!(cfg.guards_for(100), 10);
+        let half = GuardConfig {
+            alpha: 0.5,
+            ..GuardConfig::default()
+        };
+        assert_eq!(half.guards_for(10), 5);
+    }
+
+    #[test]
+    fn guard_trajectory_spans_neighbor_start_to_own_end() {
+        let mut fin = minute_with_neighbor(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let neighbor_start = fin.neighbors[0].initial_loc();
+        let own_end = fin.profile.vds.last().unwrap().loc;
+        let guards = create_guards(&mut rng, &mut fin, &StraightLine, &GuardConfig::default());
+        assert_eq!(guards.len(), 1);
+        let g = &guards[0];
+        assert_eq!(g.kind, VpKind::Guard);
+        assert_eq!(g.vds.len(), 60);
+        // Starts near the neighbor's initial location...
+        assert!(g.vds[0].loc.distance(&neighbor_start) < 60.0);
+        // ...and ends exactly at the creator's final position.
+        assert!(g.vds[59].loc.distance(&own_end) < 1.0);
+        // Initial-loc field carries L_x1 like a real VD stream would.
+        assert_eq!(g.vds[0].initial_loc, neighbor_start);
+    }
+
+    #[test]
+    fn guard_and_actual_are_mutually_linked() {
+        let mut fin = minute_with_neighbor(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let guards = create_guards(&mut rng, &mut fin, &StraightLine, &GuardConfig::default());
+        let actual = fin.profile.clone().into_stored();
+        let guard = guards[0].clone().into_stored();
+        assert!(actual.mutually_linked(&guard));
+    }
+
+    #[test]
+    fn guard_wire_shape_indistinguishable_from_actual() {
+        let mut fin = minute_with_neighbor(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let guards = create_guards(&mut rng, &mut fin, &StraightLine, &GuardConfig::default());
+        let g = &guards[0];
+        let a = &fin.profile;
+        // Same VD count, same wire size, same seq/time progression, same
+        // flags, plausible monotone file sizes.
+        assert_eq!(g.vds.len(), a.vds.len());
+        assert_eq!(g.wire_bytes(), a.wire_bytes());
+        for (i, (gv, av)) in g.vds.iter().zip(&a.vds).enumerate() {
+            assert_eq!(gv.seq, av.seq, "seq at {i}");
+            assert_eq!(gv.time, av.time, "time at {i}");
+            assert_eq!(gv.flags, av.flags);
+            assert_eq!(gv.encode().len(), 72);
+        }
+        for w in g.vds.windows(2) {
+            assert!(w[1].file_size > w[0].file_size, "file size must grow");
+        }
+        // Total fabricated size is plausible for a 1-min recording.
+        let total = g.vds.last().unwrap().file_size;
+        assert!((40 * 1024 * 1024..60 * 1024 * 1024).contains(&total));
+    }
+
+    #[test]
+    fn guard_spacing_is_variable_not_uniform() {
+        let mut fin = minute_with_neighbor(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let guards = create_guards(&mut rng, &mut fin, &StraightLine, &GuardConfig::default());
+        let g = &guards[0];
+        let spacings: Vec<f64> = g
+            .vds
+            .windows(2)
+            .map(|w| w[0].loc.distance(&w[1].loc))
+            .collect();
+        let mean = spacings.iter().sum::<f64>() / spacings.len() as f64;
+        let spread = spacings
+            .iter()
+            .map(|s| (s - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            spread > mean * 0.05,
+            "spacing should vary (max dev {spread:.3} vs mean {mean:.3})"
+        );
+    }
+
+    #[test]
+    fn no_neighbors_no_guards() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut fa, _) = exchange_minute(
+            &mut rng,
+            0,
+            |s| GeoPos::new(s as f64, 0.0),
+            |s| GeoPos::new(s as f64, 1000.0), // out of range: no neighbors
+        );
+        let guards = create_guards(&mut rng, &mut fa, &StraightLine, &GuardConfig::default());
+        assert!(guards.is_empty());
+    }
+
+    #[test]
+    fn guard_ids_are_fresh_random() {
+        let mut fin = minute_with_neighbor(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = GuardConfig {
+            alpha: 1.0,
+            ..GuardConfig::default()
+        };
+        let guards = create_guards(&mut rng, &mut fin, &StraightLine, &cfg);
+        for g in &guards {
+            assert_ne!(g.id(), fin.profile.id());
+            assert_ne!(g.id(), fin.neighbors[0].vp_id);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! ViewMap — the core protocol from *"ViewMap: Sharing Private In-Vehicle
+//! Dashcam Videos"* (NSDI '17), implemented in full.
+//!
+//! ViewMap lets authorities collect dashcam video evidence around an
+//! incident while (a) keeping uploaders anonymous, (b) rejecting
+//! location/time-cheating fakes automatically, and (c) paying untraceable
+//! rewards. The moving parts, and where they live here:
+//!
+//! | Paper concept | Module |
+//! |---|---|
+//! | View digests (per-second cascaded fingerprints, Fig. 4) | [`vd`] |
+//! | View profiles (1-min summaries + neighbor Bloom filter) | [`vp`] |
+//! | Neighbor VD acceptance rules | [`neighbor`] |
+//! | Guard VPs / path obfuscation (§5.1.2) | [`guard`] |
+//! | Anonymous upload (Tor substitute) | [`upload`] |
+//! | Server: VP database, boards, ledger (§4) | [`server`] |
+//! | Viewmap construction (§5.2.1) | [`viewmap`] |
+//! | TrustRank verification (§5.2.2, Alg. 1) | [`trustrank`] |
+//! | Video solicitation & hash validation (§5.2.3) | [`solicit`] |
+//! | Untraceable rewarding (§5.3, App. A) | [`reward`] |
+//! | Tracking adversary (§6.2.2) | [`tracker`] |
+//! | Fake-VP attack toolkit & synthetic viewmaps (§6.3) | [`attack`] |
+//! | Closed-form analyses (α rule, Bloom false linkage, overhead) | [`analysis`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use viewmap_core::vd::VdChain;
+//! use viewmap_core::types::GeoPos;
+//!
+//! // A dashcam records a 1-min video; every second it extends the
+//! // cascaded digest chain with the newly recorded chunk and broadcasts
+//! // the resulting view digest over DSRC.
+//! let secret = [7u8; 8];
+//! let mut chain = VdChain::new(secret, 0, GeoPos::new(10.0, 20.0));
+//! for sec in 0..60 {
+//!     let chunk = vec![0u8; 1024]; // video bytes for this second
+//!     let vd = chain.extend(&chunk, GeoPos::new(10.0 + sec as f64, 20.0));
+//!     assert_eq!(vd.encode().len(), 72); // the paper's 72-byte VD message
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attack;
+pub mod bloom;
+pub mod guard;
+pub mod neighbor;
+pub mod reward;
+pub mod server;
+pub mod solicit;
+pub mod tracker;
+pub mod trustrank;
+pub mod types;
+pub mod upload;
+pub mod vd;
+pub mod viewmap;
+pub mod vp;
+
+pub use bloom::BloomFilter;
+pub use types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
+pub use vd::{VdChain, ViewDigest};
+pub use viewmap::{Viewmap, ViewmapConfig};
+pub use vp::{StoredVp, ViewProfile, VpBuilder, VpKind};

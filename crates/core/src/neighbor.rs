@@ -1,0 +1,241 @@
+//! Vehicle-side acceptance of neighbor view digests (Section 5.1.1).
+//!
+//! On receiving a broadcast VD, a vehicle validates that its claimed time
+//! falls within the current 1-second interval and its claimed location is
+//! within DSRC radio range, then keeps *at most two* VDs per neighbor — the
+//! first and the last received with the same `R` value (their spacing also
+//! encodes the contact interval). A cap on tracked neighbors defends
+//! against Bloom-poisoning floods (footnote 10).
+
+use crate::types::{GeoPos, VpId, DSRC_RADIUS_M, MAX_NEIGHBORS};
+use crate::vd::ViewDigest;
+use std::collections::HashMap;
+
+/// Why a received VD was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Claimed time is outside the current 1-second interval.
+    StaleTime,
+    /// Claimed location is beyond DSRC radio range of the receiver.
+    TooFar,
+    /// The neighbor cap is reached and this `R` is not yet tracked.
+    TableFull,
+}
+
+/// Outcome of offering a VD to the table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accept {
+    /// First VD from this neighbor.
+    NewNeighbor,
+    /// Updated the "last" VD of a known neighbor.
+    Updated,
+    /// Rejected.
+    Rejected(RejectReason),
+}
+
+/// The first/last VDs retained for one neighbor.
+#[derive(Clone, Debug)]
+pub struct NeighborRecord {
+    /// Neighbor's VP identifier.
+    pub vp_id: VpId,
+    /// First VD received from this neighbor this minute.
+    pub first: ViewDigest,
+    /// Last VD received (equals `first` if only one was received).
+    pub last: ViewDigest,
+}
+
+impl NeighborRecord {
+    /// Contact interval in seconds implied by the retained VDs.
+    pub fn contact_seconds(&self) -> u64 {
+        self.last.time.saturating_sub(self.first.time)
+    }
+
+    /// The neighbor's initial location `L_x1` (used for guard VPs).
+    pub fn initial_loc(&self) -> GeoPos {
+        self.first.initial_loc
+    }
+}
+
+/// Per-minute neighbor VD table.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborTable {
+    records: HashMap<VpId, NeighborRecord>,
+    order: Vec<VpId>,
+}
+
+impl NeighborTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a received VD with the receiver's current clock and position.
+    pub fn observe(&mut self, vd: ViewDigest, now: u64, my_loc: GeoPos) -> Accept {
+        // T_xj within the current 1-sec interval.
+        if vd.time > now + 1 || now.saturating_sub(vd.time) > 1 {
+            return Accept::Rejected(RejectReason::StaleTime);
+        }
+        // L_xj inside a radius of DSRC radios.
+        if vd.loc.distance(&my_loc) > DSRC_RADIUS_M {
+            return Accept::Rejected(RejectReason::TooFar);
+        }
+        if let Some(rec) = self.records.get_mut(&vd.vp_id) {
+            rec.last = vd;
+            return Accept::Updated;
+        }
+        if self.records.len() >= MAX_NEIGHBORS {
+            return Accept::Rejected(RejectReason::TableFull);
+        }
+        self.order.push(vd.vp_id);
+        self.records.insert(
+            vd.vp_id,
+            NeighborRecord {
+                vp_id: vd.vp_id,
+                first: vd,
+                last: vd,
+            },
+        );
+        Accept::NewNeighbor
+    }
+
+    /// Number of distinct neighbors tracked.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff no neighbors were observed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Neighbors in first-seen order.
+    pub fn records(&self) -> impl Iterator<Item = &NeighborRecord> {
+        self.order.iter().filter_map(|id| self.records.get(id))
+    }
+
+    /// Drain the table for the next minute.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vd::VdChain;
+
+    fn vd_from(secret: u8, time_offset: u64, loc: GeoPos) -> ViewDigest {
+        let mut chain = VdChain::new([secret; 8], 0, loc);
+        let mut vd = chain.extend(b"chunk", loc);
+        vd.time = time_offset;
+        vd
+    }
+
+    #[test]
+    fn accepts_fresh_in_range_vd() {
+        let mut t = NeighborTable::new();
+        let vd = vd_from(1, 100, GeoPos::new(50.0, 0.0));
+        assert_eq!(t.observe(vd, 100, GeoPos::new(0.0, 0.0)), Accept::NewNeighbor);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rejects_stale_time() {
+        let mut t = NeighborTable::new();
+        let vd = vd_from(1, 90, GeoPos::new(0.0, 0.0));
+        assert_eq!(
+            t.observe(vd, 100, GeoPos::new(0.0, 0.0)),
+            Accept::Rejected(RejectReason::StaleTime)
+        );
+        // Future-dated VDs are rejected too.
+        let vd2 = vd_from(2, 105, GeoPos::new(0.0, 0.0));
+        assert_eq!(
+            t.observe(vd2, 100, GeoPos::new(0.0, 0.0)),
+            Accept::Rejected(RejectReason::StaleTime)
+        );
+    }
+
+    #[test]
+    fn rejects_location_beyond_dsrc_range() {
+        let mut t = NeighborTable::new();
+        let vd = vd_from(1, 100, GeoPos::new(401.0, 0.0));
+        assert_eq!(
+            t.observe(vd, 100, GeoPos::new(0.0, 0.0)),
+            Accept::Rejected(RejectReason::TooFar)
+        );
+    }
+
+    #[test]
+    fn keeps_first_and_last_per_neighbor() {
+        let mut t = NeighborTable::new();
+        let here = GeoPos::new(0.0, 0.0);
+        let mut chain = VdChain::new([3u8; 8], 99, GeoPos::new(10.0, 0.0));
+        let first = chain.extend(b"a", GeoPos::new(10.0, 0.0));
+        let mid = chain.extend(b"b", GeoPos::new(20.0, 0.0));
+        let last = chain.extend(b"c", GeoPos::new(30.0, 0.0));
+        assert_eq!(t.observe(first, first.time, here), Accept::NewNeighbor);
+        assert_eq!(t.observe(mid, mid.time, here), Accept::Updated);
+        assert_eq!(t.observe(last, last.time, here), Accept::Updated);
+        let rec = t.records().next().expect("one neighbor");
+        assert_eq!(rec.first, first);
+        assert_eq!(rec.last, last);
+        assert_eq!(rec.contact_seconds(), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn caps_neighbor_count() {
+        let mut t = NeighborTable::new();
+        let here = GeoPos::new(0.0, 0.0);
+        for i in 0..MAX_NEIGHBORS + 10 {
+            let vd = vd_from((i % 251) as u8 ^ (i / 251) as u8, 100, GeoPos::new(1.0, i as f64 % 300.0));
+            // Use distinct secrets: combine index into the chain secret.
+            let mut secret = [0u8; 8];
+            secret[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            let mut chain = VdChain::new(secret, 0, vd.loc);
+            let mut vd = chain.extend(b"x", vd.loc);
+            vd.time = 100;
+            let r = t.observe(vd, 100, here);
+            if i < MAX_NEIGHBORS {
+                assert_eq!(r, Accept::NewNeighbor, "i={i}");
+            } else {
+                assert_eq!(r, Accept::Rejected(RejectReason::TableFull), "i={i}");
+            }
+        }
+        assert_eq!(t.len(), MAX_NEIGHBORS);
+    }
+
+    #[test]
+    fn known_neighbor_still_updates_when_full() {
+        let mut t = NeighborTable::new();
+        let here = GeoPos::new(0.0, 0.0);
+        let mut keep_chain = VdChain::new([7u8; 8], 0, GeoPos::new(5.0, 5.0));
+        let first = {
+            let mut vd = keep_chain.extend(b"a", GeoPos::new(5.0, 5.0));
+            vd.time = 100;
+            vd
+        };
+        t.observe(first, 100, here);
+        for i in 0..MAX_NEIGHBORS {
+            let mut secret = [1u8; 8];
+            secret[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            let mut chain = VdChain::new(secret, 0, GeoPos::new(2.0, 2.0));
+            let mut vd = chain.extend(b"x", GeoPos::new(2.0, 2.0));
+            vd.time = 100;
+            t.observe(vd, 100, here);
+        }
+        let mut vd = keep_chain.extend(b"b", GeoPos::new(6.0, 5.0));
+        vd.time = 101;
+        assert_eq!(t.observe(vd, 101, here), Accept::Updated);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = NeighborTable::new();
+        let vd = vd_from(1, 100, GeoPos::new(0.0, 0.0));
+        t.observe(vd, 100, GeoPos::new(0.0, 0.0));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

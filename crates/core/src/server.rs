@@ -1,0 +1,355 @@
+//! The ViewMap service (Section 4): VP database, viewmap construction,
+//! solicitation board, reward board, and the double-spending ledger.
+//!
+//! The server never learns who uploaded a VP (see [`crate::upload`]); it
+//! operates purely on anonymized VPs, requests videos by VP identifier,
+//! validates uploads against the stored cascaded hashes, and pays with
+//! blind-signature cash it cannot trace.
+
+use crate::reward::Cash;
+use crate::solicit::{validate_upload, UploadError, VideoUpload};
+use crate::types::{MinuteId, VpId, MAX_NEIGHBORS};
+use crate::upload::AnonymousSubmission;
+use crate::viewmap::{Site, Viewmap, ViewmapConfig};
+use crate::vp::StoredVp;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use vm_crypto::{BlindedMessage, RsaKeyPair, RsaPublicKey, Signature};
+
+/// Why a VP submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A VP with this identifier already exists.
+    Duplicate,
+    /// The VP does not carry exactly 60 VDs.
+    MalformedVds,
+    /// The Bloom filter is implausibly saturated (poisoning defense).
+    SuspiciousBloom,
+}
+
+/// Why a reward request was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewardError {
+    /// The VP id is not on the reward board.
+    NotOnBoard,
+    /// The presented secret does not hash to the VP id.
+    BadOwnershipProof,
+}
+
+/// Why redeeming cash failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedeemError {
+    /// The signature does not verify under the system key.
+    BadSignature,
+    /// The cash message was already spent.
+    DoubleSpend,
+}
+
+/// The ViewMap public-service system.
+pub struct ViewMapServer {
+    db: RwLock<HashMap<MinuteId, Vec<StoredVp>>>,
+    known_ids: RwLock<HashSet<VpId>>,
+    solicited: RwLock<HashSet<VpId>>,
+    /// VP id → award amount in cash units, set after human review.
+    reward_board: RwLock<HashMap<VpId, usize>>,
+    ledger: RwLock<HashSet<[u8; 32]>>,
+    key: RsaKeyPair,
+    cfg: ViewmapConfig,
+}
+
+impl ViewMapServer {
+    /// Stand up a server with a fresh signing key of `key_bits`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, key_bits: usize, cfg: ViewmapConfig) -> Self {
+        ViewMapServer {
+            db: RwLock::new(HashMap::new()),
+            known_ids: RwLock::new(HashSet::new()),
+            solicited: RwLock::new(HashSet::new()),
+            reward_board: RwLock::new(HashMap::new()),
+            ledger: RwLock::new(HashSet::new()),
+            key: RsaKeyPair::generate(rng, key_bits),
+            cfg,
+        }
+    }
+
+    /// The system's public key (printed on the cash, so to speak).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Accept one anonymized VP submission into the database.
+    pub fn submit(&self, sub: AnonymousSubmission) -> Result<(), SubmitError> {
+        self.store(sub.vp)
+    }
+
+    /// Accept a trusted VP through the authority channel.
+    pub fn submit_trusted(&self, mut vp: StoredVp) -> Result<(), SubmitError> {
+        vp.trusted = true;
+        self.store(vp)
+    }
+
+    fn store(&self, vp: StoredVp) -> Result<(), SubmitError> {
+        if vp.vds.len() != crate::types::SECONDS_PER_VP as usize {
+            return Err(SubmitError::MalformedVds);
+        }
+        if vp.bloom.is_suspicious(MAX_NEIGHBORS) {
+            return Err(SubmitError::SuspiciousBloom);
+        }
+        let mut ids = self.known_ids.write();
+        if !ids.insert(vp.id) {
+            return Err(SubmitError::Duplicate);
+        }
+        self.db.write().entry(vp.minute()).or_default().push(vp);
+        Ok(())
+    }
+
+    /// Number of VPs stored for a minute.
+    pub fn vp_count(&self, minute: MinuteId) -> usize {
+        self.db.read().get(&minute).map_or(0, |v| v.len())
+    }
+
+    /// Total VPs stored.
+    pub fn total_vps(&self) -> usize {
+        self.db.read().values().map(|v| v.len()).sum()
+    }
+
+    /// Build the viewmap for a minute around an incident site.
+    pub fn build_viewmap(&self, minute: MinuteId, site: Site) -> Viewmap {
+        let db = self.db.read();
+        let empty = Vec::new();
+        let candidates = db.get(&minute).unwrap_or(&empty);
+        Viewmap::build(candidates, site, minute, &self.cfg)
+    }
+
+    /// Full investigation pipeline for one minute: build the viewmap, run
+    /// Algorithm 1, and post the verified VP ids on the solicitation
+    /// board. Returns the posted ids.
+    pub fn investigate(&self, minute: MinuteId, site: Site) -> Vec<VpId> {
+        let vm = self.build_viewmap(minute, site);
+        let (_, ids) = vm.verify(&site, &self.cfg);
+        let mut board = self.solicited.write();
+        for id in &ids {
+            board.insert(*id);
+        }
+        ids
+    }
+
+    /// The current solicitation board ("request for video" postings).
+    pub fn solicitation_board(&self) -> Vec<VpId> {
+        let mut v: Vec<VpId> = self.solicited.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Anonymously upload a solicited video. On success the video is
+    /// queued for human review; review acceptance posts the reward.
+    pub fn upload_video(&self, upload: &VideoUpload) -> Result<(), UploadError> {
+        if !self.solicited.read().contains(&upload.vp_id) {
+            return Err(UploadError::NotSolicited);
+        }
+        let db = self.db.read();
+        let stored = db
+            .values()
+            .flatten()
+            .find(|vp| vp.id == upload.vp_id)
+            .ok_or(UploadError::UnknownVp)?;
+        validate_upload(stored, upload)?;
+        Ok(())
+    }
+
+    /// Human review outcome: award `units` of cash to the owner of `vp_id`
+    /// ("request for reward" posting).
+    pub fn post_reward(&self, vp_id: VpId, units: usize) {
+        self.reward_board.write().insert(vp_id, units);
+    }
+
+    /// The reward board.
+    pub fn reward_board(&self) -> Vec<(VpId, usize)> {
+        let mut v: Vec<(VpId, usize)> = self
+            .reward_board
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Step (i) of Appendix A: prove ownership of a rewarded VP with the
+    /// secret `Q_u`; returns the award amount `n`.
+    pub fn claim_reward(&self, vp_id: VpId, secret: &[u8; 8]) -> Result<usize, RewardError> {
+        let board = self.reward_board.read();
+        let units = *board.get(&vp_id).ok_or(RewardError::NotOnBoard)?;
+        if VpId::from_secret(secret) != vp_id {
+            return Err(RewardError::BadOwnershipProof);
+        }
+        Ok(units)
+    }
+
+    /// Step (iii): sign the blinded messages — the server learns nothing
+    /// about the cash it is creating. Consumes the board entry so a
+    /// reward is only issued once.
+    pub fn issue_blind_signatures(
+        &self,
+        vp_id: VpId,
+        secret: &[u8; 8],
+        blinded: &[BlindedMessage],
+    ) -> Result<Vec<Signature>, RewardError> {
+        let units = self.claim_reward(vp_id, secret)?;
+        let take = blinded.len().min(units);
+        let sigs = crate::reward::sign_blinded_batch(&self.key, &blinded[..take]);
+        self.reward_board.write().remove(&vp_id);
+        Ok(sigs)
+    }
+
+    /// Redeem one unit of cash: verify the signature, check and update the
+    /// double-spending ledger.
+    pub fn redeem(&self, cash: &Cash) -> Result<(), RedeemError> {
+        if !cash.verify(self.key.public()) {
+            return Err(RedeemError::BadSignature);
+        }
+        if !self.ledger.write().insert(cash.ledger_key()) {
+            return Err(RedeemError::DoubleSpend);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::Wallet;
+    use crate::types::{GeoPos, SECONDS_PER_VP};
+    use crate::upload::AnonymousChannel;
+    use crate::vp::{VpBuilder, VpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server(seed: u64) -> ViewMapServer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ViewMapServer::new(&mut rng, 512, ViewmapConfig::default())
+    }
+
+    fn record(seed: u64, y: f64) -> (crate::vp::FinalizedMinute, Vec<Vec<u8>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, y), VpKind::Actual);
+        let chunks: Vec<Vec<u8>> = (0..SECONDS_PER_VP)
+            .map(|i| (0..64).map(|j| ((seed + i * 3 + j) % 251) as u8).collect())
+            .collect();
+        for (i, c) in chunks.iter().enumerate() {
+            b.record_second(c, GeoPos::new(i as f64 * 8.0, y));
+        }
+        (b.finalize(), chunks)
+    }
+
+    #[test]
+    fn submissions_are_stored_and_deduplicated() {
+        let srv = server(1);
+        let (fin, _) = record(2, 0.0);
+        let mut ch = AnonymousChannel::new();
+        ch.enqueue(fin.profile.clone());
+        ch.enqueue(fin.profile.clone()); // duplicate id
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = ch.flush(&mut rng);
+        let results: Vec<_> = batch.into_iter().map(|s| srv.submit(s)).collect();
+        assert!(results.contains(&Ok(())));
+        assert!(results.contains(&Err(SubmitError::Duplicate)));
+        assert_eq!(srv.total_vps(), 1);
+    }
+
+    #[test]
+    fn malformed_vp_rejected() {
+        let srv = server(4);
+        let (fin, _) = record(5, 0.0);
+        let mut vp = fin.profile.into_stored();
+        vp.vds.truncate(10);
+        assert_eq!(srv.store(vp), Err(SubmitError::MalformedVds));
+    }
+
+    #[test]
+    fn poisoned_bloom_rejected() {
+        let srv = server(6);
+        let (fin, _) = record(7, 0.0);
+        let mut vp = fin.profile.into_stored();
+        vp.bloom = crate::bloom::BloomFilter::from_bytes(vec![0xff; 256], 8);
+        assert_eq!(srv.store(vp), Err(SubmitError::SuspiciousBloom));
+    }
+
+    #[test]
+    fn video_upload_requires_solicitation() {
+        let srv = server(8);
+        let (fin, chunks) = record(9, 0.0);
+        let id = fin.profile.id();
+        srv.store(fin.profile.into_stored()).unwrap();
+        let upload = VideoUpload {
+            vp_id: id,
+            chunks,
+        };
+        assert_eq!(srv.upload_video(&upload), Err(UploadError::NotSolicited));
+    }
+
+    #[test]
+    fn end_to_end_reward_flow_with_double_spend_defense() {
+        let srv = server(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (fin, _chunks) = record(12, 0.0);
+        let vp_id = fin.profile.id();
+        let secret = fin.secret;
+        srv.store(fin.profile.into_stored()).unwrap();
+
+        // Human review done: award 3 units.
+        srv.post_reward(vp_id, 3);
+        assert_eq!(srv.reward_board().len(), 1);
+
+        // Wrong secret fails ownership proof.
+        assert_eq!(
+            srv.claim_reward(vp_id, &[0u8; 8]),
+            Err(RewardError::BadOwnershipProof)
+        );
+
+        // Owner claims with Q_u.
+        let units = srv.claim_reward(vp_id, &secret).unwrap();
+        assert_eq!(units, 3);
+        let mut wallet = Wallet::new();
+        let (pending, blinded) = wallet.prepare(&mut rng, srv.public_key(), units);
+        let signed = srv.issue_blind_signatures(vp_id, &secret, &blinded).unwrap();
+        assert_eq!(wallet.accept_signed(srv.public_key(), pending, &signed), 3);
+
+        // Board entry consumed: no double issuance.
+        assert_eq!(
+            srv.issue_blind_signatures(vp_id, &secret, &blinded),
+            Err(RewardError::NotOnBoard)
+        );
+
+        // Spend each unit once; second spend is caught.
+        for c in &wallet.cash {
+            assert_eq!(srv.redeem(c), Ok(()));
+        }
+        assert_eq!(srv.redeem(&wallet.cash[0]), Err(RedeemError::DoubleSpend));
+    }
+
+    #[test]
+    fn forged_cash_rejected() {
+        let srv = server(13);
+        let forged = Cash {
+            message: [1u8; 32],
+            signature: vm_crypto::Signature(vm_crypto::BigUint::from_u64(12345)),
+        };
+        assert_eq!(srv.redeem(&forged), Err(RedeemError::BadSignature));
+    }
+
+    #[test]
+    fn trusted_submission_is_flagged() {
+        let srv = server(14);
+        let (fin, _) = record(15, 0.0);
+        srv.submit_trusted(fin.profile.into_stored()).unwrap();
+        let vm = srv.build_viewmap(
+            MinuteId(0),
+            Site {
+                center: GeoPos::new(0.0, 0.0),
+                radius_m: 500.0,
+            },
+        );
+        assert_eq!(vm.trusted.len(), 1);
+    }
+}

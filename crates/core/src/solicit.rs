@@ -1,0 +1,141 @@
+//! Video solicitation and validation (Section 5.2.3).
+//!
+//! Verified VPs are requested *by identifier*: the system posts `R_u`
+//! marked "request for video" — never the location or time under
+//! investigation. Owners watch the board, and if they hold a matching
+//! video they upload it anonymously together with its VP. The server then
+//! re-derives the full cascaded hash chain from the uploaded video bytes
+//! and compares it against the VDs it already holds; only then does the
+//! video go to human review.
+
+use crate::types::VpId;
+use crate::vd::{verify_chain, ChainError};
+use crate::vp::StoredVp;
+
+/// An anonymous video upload in response to a solicitation.
+#[derive(Clone, Debug)]
+pub struct VideoUpload {
+    /// Which solicited VP this video claims to match.
+    pub vp_id: VpId,
+    /// The 60 one-second video chunks.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+/// Why an uploaded video was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UploadError {
+    /// The VP id was never solicited.
+    NotSolicited,
+    /// No VP with this id exists in the database.
+    UnknownVp,
+    /// The cascaded-hash validation failed.
+    Chain(ChainError),
+}
+
+impl std::fmt::Display for UploadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UploadError::NotSolicited => write!(f, "video was not solicited"),
+            UploadError::UnknownVp => write!(f, "unknown VP identifier"),
+            UploadError::Chain(e) => write!(f, "chain validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+/// Validate an uploaded video against the system-owned VP.
+pub fn validate_upload(stored: &StoredVp, upload: &VideoUpload) -> Result<(), UploadError> {
+    if stored.id != upload.vp_id {
+        return Err(UploadError::UnknownVp);
+    }
+    verify_chain(stored.id, &stored.vds, &upload.chunks).map_err(UploadError::Chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GeoPos;
+    use crate::vp::{VpBuilder, VpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn record_video(seed: u64) -> (StoredVp, Vec<Vec<u8>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, 0.0), VpKind::Actual);
+        let chunks: Vec<Vec<u8>> = (0..60u64)
+            .map(|i| {
+                (0..128)
+                    .map(|j| ((seed * 131 + i * 7 + j) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        for (i, c) in chunks.iter().enumerate() {
+            b.record_second(c, GeoPos::new(i as f64 * 5.0, 0.0));
+        }
+        (b.finalize().profile.into_stored(), chunks)
+    }
+
+    #[test]
+    fn honest_upload_validates() {
+        let (vp, chunks) = record_video(1);
+        let upload = VideoUpload {
+            vp_id: vp.id,
+            chunks,
+        };
+        assert_eq!(validate_upload(&vp, &upload), Ok(()));
+    }
+
+    #[test]
+    fn edited_video_rejected() {
+        let (vp, mut chunks) = record_video(2);
+        chunks[10][5] ^= 0x01; // posterior edit of one byte
+        let upload = VideoUpload {
+            vp_id: vp.id,
+            chunks,
+        };
+        assert!(matches!(
+            validate_upload(&vp, &upload),
+            Err(UploadError::Chain(ChainError::HashMismatch(11)))
+        ));
+    }
+
+    #[test]
+    fn substituted_video_rejected() {
+        let (vp, _) = record_video(3);
+        let (_, other_chunks) = record_video(4);
+        let upload = VideoUpload {
+            vp_id: vp.id,
+            chunks: other_chunks,
+        };
+        assert!(matches!(
+            validate_upload(&vp, &upload),
+            Err(UploadError::Chain(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_id_rejected() {
+        let (vp, chunks) = record_video(5);
+        let (other, _) = record_video(6);
+        let upload = VideoUpload {
+            vp_id: other.id,
+            chunks,
+        };
+        assert_eq!(validate_upload(&vp, &upload), Err(UploadError::UnknownVp));
+    }
+
+    #[test]
+    fn truncated_video_rejected() {
+        let (vp, mut chunks) = record_video(7);
+        chunks.pop();
+        let upload = VideoUpload {
+            vp_id: vp.id,
+            chunks,
+        };
+        assert!(matches!(
+            validate_upload(&vp, &upload),
+            Err(UploadError::Chain(ChainError::LengthMismatch))
+        ));
+    }
+}

@@ -1,0 +1,296 @@
+//! The location-tracking adversary (Section 6.2.2).
+//!
+//! The threat: the system itself (or anyone with the VP database) tries to
+//! follow a vehicle across minutes by linking VPs that are adjacent in
+//! space and time. Following Hoh & Gruteser's target-tracking formulation
+//! [23], the tracker holds a belief distribution `p(i, t)` over the VPs of
+//! minute `t`; at each minute boundary it predicts the target's position
+//! (the end of each hypothesis VP — driving is continuous) and re-weights
+//! candidate VPs of the next minute by a Gaussian model of deviation from
+//! the prediction. `Σ_i p(i,t) = 1` at every step.
+//!
+//! Two metrics quantify privacy:
+//! * location entropy `H_t = −Σ_i p(i,t)·log₂ p(i,t)` (Fig. 10 / 22a);
+//! * tracking success ratio `S_t = p(u,t)` for the true target VP
+//!   (Fig. 11 / 22b).
+//!
+//! Guard VPs defeat this tracker because each guard starts exactly at some
+//! vehicle's minute-start position — indistinguishable from the vehicle's
+//! real VP — and ends somewhere else entirely, so belief mass drains into
+//! phantom trajectories.
+
+use crate::types::GeoPos;
+
+/// Tracker model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrackerParams {
+    /// Std-dev of the deviation model between predicted and observed
+    /// minute-start positions, meters.
+    pub sigma_m: f64,
+    /// Hard gate: candidates farther than this from the prediction get
+    /// zero weight.
+    pub max_gap_m: f64,
+}
+
+impl Default for TrackerParams {
+    fn default() -> Self {
+        // GPS-grade prediction: consecutive VPs of the same vehicle are
+        // spatially continuous, so the deviation model is tight. A loose
+        // σ would hand the tracker artificial confusion even without
+        // guard VPs; the paper's no-guard baseline stays above 0.9.
+        TrackerParams {
+            sigma_m: 10.0,
+            max_gap_m: 120.0,
+        }
+    }
+}
+
+/// The VPs visible to the tracker in one minute: start and end locations
+/// (the tracker sees whatever is in the anonymized VP database —
+/// actual and guard VPs alike).
+#[derive(Clone, Debug, Default)]
+pub struct MinuteVps {
+    /// Claimed start location of each VP.
+    pub starts: Vec<GeoPos>,
+    /// Claimed end location of each VP.
+    pub ends: Vec<GeoPos>,
+}
+
+impl MinuteVps {
+    /// Number of VPs this minute.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True iff the minute has no VPs.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+/// A multi-hypothesis tracker locked onto one target.
+#[derive(Clone, Debug)]
+pub struct Tracker {
+    params: TrackerParams,
+    /// Belief over the current minute's VPs (aligned with that minute's
+    /// indices); sums to 1.
+    beliefs: Vec<f64>,
+    /// End positions of the current minute's VPs (for prediction).
+    ends: Vec<GeoPos>,
+}
+
+impl Tracker {
+    /// Start tracking with perfect knowledge: the adversary knows the
+    /// target's VP in the first minute (`p(u,0) = 1`).
+    pub fn lock_on(params: TrackerParams, minute: &MinuteVps, target_idx: usize) -> Self {
+        assert!(target_idx < minute.len(), "target index out of range");
+        let mut beliefs = vec![0.0; minute.len()];
+        beliefs[target_idx] = 1.0;
+        Tracker {
+            params,
+            beliefs,
+            ends: minute.ends.clone(),
+        }
+    }
+
+    /// Advance one minute: propagate beliefs onto the next minute's VPs.
+    pub fn advance(&mut self, next: &MinuteVps) {
+        let mut new_beliefs = vec![0.0; next.len()];
+        let two_sigma_sq = 2.0 * self.params.sigma_m * self.params.sigma_m;
+        for (j, &pj) in self.beliefs.iter().enumerate() {
+            if pj <= 0.0 {
+                continue;
+            }
+            let predicted = self.ends[j];
+            // Transition weights to each candidate VP of the next minute.
+            let mut weights = Vec::new();
+            let mut z = 0.0;
+            for (i, start) in next.starts.iter().enumerate() {
+                let d = predicted.distance(start);
+                if d <= self.params.max_gap_m {
+                    let w = (-d * d / two_sigma_sq).exp();
+                    weights.push((i, w));
+                    z += w;
+                }
+            }
+            if z > 0.0 {
+                for (i, w) in weights {
+                    new_beliefs[i] += pj * w / z;
+                }
+            }
+            // If a hypothesis has no continuation its mass is lost (the
+            // trail went cold); we renormalize below so Σp = 1.
+        }
+        let total: f64 = new_beliefs.iter().sum();
+        if total > 0.0 {
+            for b in &mut new_beliefs {
+                *b /= total;
+            }
+        } else if !new_beliefs.is_empty() {
+            // Complete loss: fall back to uniform uncertainty.
+            let u = 1.0 / new_beliefs.len() as f64;
+            for b in &mut new_beliefs {
+                *b = u;
+            }
+        }
+        self.beliefs = new_beliefs;
+        self.ends = next.ends.clone();
+    }
+
+    /// Current belief vector (sums to 1 when non-empty).
+    pub fn beliefs(&self) -> &[f64] {
+        &self.beliefs
+    }
+
+    /// Location entropy `H_t` in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        -self
+            .beliefs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Tracking success ratio `S_t = p(u, t)` for the target's true VP
+    /// index in the current minute.
+    pub fn success(&self, true_idx: usize) -> f64 {
+        self.beliefs.get(true_idx).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute(pairs: &[((f64, f64), (f64, f64))]) -> MinuteVps {
+        MinuteVps {
+            starts: pairs.iter().map(|(s, _)| GeoPos::new(s.0, s.1)).collect(),
+            ends: pairs.iter().map(|(_, e)| GeoPos::new(e.0, e.1)).collect(),
+        }
+    }
+
+    #[test]
+    fn single_continuation_keeps_certainty() {
+        // One vehicle, no guards: the tracker never loses it.
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        for k in 1..10 {
+            let next = minute(&[((100.0 * k as f64, 0.0), (100.0 * (k + 1) as f64, 0.0))]);
+            tr.advance(&next);
+            assert!((tr.success(0) - 1.0).abs() < 1e-12);
+            assert!(tr.entropy_bits() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equidistant_guard_splits_belief_in_half() {
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        // Next minute: the real continuation and one guard, both starting
+        // exactly at the predicted point.
+        let next = minute(&[
+            ((100.0, 0.0), (200.0, 0.0)),    // real
+            ((100.0, 0.0), (150.0, 400.0)),  // guard (diverges)
+        ]);
+        tr.advance(&next);
+        assert!((tr.success(0) - 0.5).abs() < 1e-12);
+        assert!((tr.entropy_bits() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn belief_mass_decays_exponentially_with_guards() {
+        // One guard per minute starting at the true position, with every
+        // phantom branch staying alive (each guard's end has its own
+        // plausible continuation, as in a real VP database): S_t = 2^-t.
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        let mut x = 100.0;
+        let mut phantom_lanes = 0usize; // lanes carrying lost branches
+        for t in 1..=6 {
+            let mut vps: Vec<((f64, f64), (f64, f64))> = vec![
+                ((x, 0.0), (x + 100.0, 0.0)),        // real continuation
+                ((x, 0.0), (x, 500.0 + x)),          // fresh guard diverging
+            ];
+            // Continuations for every previously diverged branch, far from
+            // the real lane so they never recapture it.
+            for lane in 0..phantom_lanes {
+                let y = 500.0 + 100.0 * lane as f64 + (x - 100.0);
+                vps.push(((x - 100.0, y), (x, y + 100.0)));
+            }
+            let next = minute(&vps);
+            tr.advance(&next);
+            assert!(
+                (tr.success(0) - 0.5f64.powi(t)).abs() < 1e-6,
+                "t={t}: {}",
+                tr.success(0)
+            );
+            phantom_lanes += 1;
+            x += 100.0;
+        }
+    }
+
+    #[test]
+    fn distant_vps_are_not_candidates() {
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        let next = minute(&[
+            ((100.0, 0.0), (200.0, 0.0)),
+            ((3000.0, 3000.0), (3100.0, 3000.0)), // unrelated vehicle
+        ]);
+        tr.advance(&next);
+        assert!((tr.success(0) - 1.0).abs() < 1e-12);
+        assert_eq!(tr.beliefs()[1], 0.0);
+    }
+
+    #[test]
+    fn closer_candidate_gets_more_weight() {
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        let next = minute(&[
+            ((105.0, 0.0), (200.0, 0.0)),  // 5 m deviation
+            ((100.0, 60.0), (200.0, 60.0)), // 60 m deviation
+        ]);
+        tr.advance(&next);
+        assert!(tr.beliefs()[0] > tr.beliefs()[1]);
+        let sum: f64 = tr.beliefs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_trail_falls_back_to_uniform() {
+        let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        let next = minute(&[
+            ((5000.0, 0.0), (5100.0, 0.0)),
+            ((6000.0, 0.0), (6100.0, 0.0)),
+        ]);
+        tr.advance(&next);
+        assert!((tr.success(0) - 0.5).abs() < 1e-12);
+        assert!((tr.entropy_bits() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beliefs_always_normalized() {
+        let m0 = minute(&[((0.0, 0.0), (50.0, 0.0))]);
+        let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
+        for k in 1..8 {
+            let base = 50.0 * k as f64;
+            let next = minute(&[
+                ((base, 0.0), (base + 50.0, 0.0)),
+                ((base + 10.0, 10.0), (base + 60.0, 10.0)),
+                ((base - 20.0, -5.0), (base + 30.0, -5.0)),
+            ]);
+            tr.advance(&next);
+            let sum: f64 = tr.beliefs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "minute {k}: sum {sum}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lock_on_validates_target() {
+        let m0 = minute(&[((0.0, 0.0), (1.0, 0.0))]);
+        let _ = Tracker::lock_on(TrackerParams::default(), &m0, 5);
+    }
+}

@@ -1,0 +1,392 @@
+//! View digests (VDs) — per-second cascaded video fingerprints (Fig. 4).
+//!
+//! Every second, a ViewMap dashcam broadcasts
+//! `T_ui, L_ui, F_ui, L_u1, R_u, H(T_ui | L_ui | F_ui | H_{u,i-1} | u_i^{i-1})`
+//! where `u_i^{i-1}` is the video chunk recorded since the previous second
+//! and `H_{u,0} = R_u`. The cascade means each step hashes only the new
+//! chunk — constant time regardless of total file size (Fig. 8) — while
+//! still committing to the entire file so far.
+//!
+//! The wire format is 72 bytes, matching the paper's Section 6.1 message
+//! accounting, and fits in a DSRC beacon.
+
+use crate::types::{GeoPos, VpId};
+use bytes::{Buf, BufMut};
+use vm_crypto::{Digest16, Sha256};
+
+/// Wire size of one VD message (Section 6.1).
+pub const VD_WIRE_BYTES: usize = 72;
+
+/// A single view digest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViewDigest {
+    /// Second index within the 1-min video, 1..=60.
+    pub seq: u16,
+    /// Message flags (reserved; 0 for normal VDs).
+    pub flags: u16,
+    /// Absolute time of this digest, seconds (`T_ui`).
+    pub time: u64,
+    /// Claimed location at this second (`L_ui`).
+    pub loc: GeoPos,
+    /// Cumulative video byte size (`F_ui`).
+    pub file_size: u64,
+    /// Initial location of the current video (`L_u1`), used by neighbors
+    /// for guard-VP generation.
+    pub initial_loc: GeoPos,
+    /// VP identifier (`R_u`).
+    pub vp_id: VpId,
+    /// Cascaded hash (`H_ui`).
+    pub hash: Digest16,
+}
+
+impl ViewDigest {
+    /// The Bloom-filter key of this VD (hash of its semantic fields).
+    ///
+    /// Neighbors insert received VDs into their VP's filter `N_u`; keying
+    /// by the full content binds linkage to the exact exchanged digests.
+    pub fn bloom_key(&self) -> Digest16 {
+        Digest16::hash(&self.encode())
+    }
+
+    /// Encode to the 72-byte wire format.
+    pub fn encode(&self) -> [u8; VD_WIRE_BYTES] {
+        let mut out = [0u8; VD_WIRE_BYTES];
+        let mut buf = &mut out[..];
+        buf.put_u16_le(self.seq);
+        buf.put_u16_le(self.flags);
+        buf.put_u32_le(0); // reserved
+        buf.put_u64_le(self.time);
+        buf.put_slice(&self.loc.encode());
+        buf.put_u64_le(self.file_size);
+        buf.put_slice(&self.initial_loc.encode());
+        buf.put_slice(self.vp_id.0.as_bytes());
+        buf.put_slice(self.hash.as_bytes());
+        debug_assert!(buf.is_empty());
+        out
+    }
+
+    /// Decode from wire bytes; `None` if the slice is malformed.
+    pub fn decode(bytes: &[u8]) -> Option<ViewDigest> {
+        if bytes.len() != VD_WIRE_BYTES {
+            return None;
+        }
+        let mut buf = bytes;
+        let seq = buf.get_u16_le();
+        let flags = buf.get_u16_le();
+        let _reserved = buf.get_u32_le();
+        let time = buf.get_u64_le();
+        let mut loc8 = [0u8; 8];
+        buf.copy_to_slice(&mut loc8);
+        let loc = GeoPos::decode(&loc8);
+        let file_size = buf.get_u64_le();
+        let mut init8 = [0u8; 8];
+        buf.copy_to_slice(&mut init8);
+        let initial_loc = GeoPos::decode(&init8);
+        let mut id16 = [0u8; 16];
+        buf.copy_to_slice(&mut id16);
+        let mut h16 = [0u8; 16];
+        buf.copy_to_slice(&mut h16);
+        if !(1..=crate::types::SECONDS_PER_VP as u16).contains(&seq) {
+            return None;
+        }
+        Some(ViewDigest {
+            seq,
+            flags,
+            time,
+            loc,
+            file_size,
+            initial_loc,
+            vp_id: VpId(Digest16(id16)),
+            hash: Digest16(h16),
+        })
+    }
+}
+
+/// Compute one cascade step:
+/// `H_i = H(T_i | L_i | F_i | H_{i-1} | chunk)`.
+pub fn cascade_step(
+    time: u64,
+    loc: &GeoPos,
+    file_size: u64,
+    prev: &Digest16,
+    chunk: &[u8],
+) -> Digest16 {
+    let mut h = Sha256::new();
+    h.update(&time.to_le_bytes());
+    h.update(&loc.encode());
+    h.update(&file_size.to_le_bytes());
+    h.update(prev.as_bytes());
+    h.update(chunk);
+    let d = h.finalize();
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&d.0[..16]);
+    Digest16(out)
+}
+
+/// The vehicle-side cascaded digest chain for one recording video.
+#[derive(Clone, Debug)]
+pub struct VdChain {
+    vp_id: VpId,
+    start_time: u64,
+    initial_loc: GeoPos,
+    prev_hash: Digest16,
+    seq: u16,
+    file_size: u64,
+}
+
+impl VdChain {
+    /// Start a new chain for a video whose secret number is `secret`
+    /// (so `R_u = H(Q_u)` and `H_{u,0} = R_u`).
+    pub fn new(secret: [u8; 8], start_time: u64, initial_loc: GeoPos) -> Self {
+        let vp_id = VpId::from_secret(&secret);
+        VdChain {
+            vp_id,
+            start_time,
+            initial_loc,
+            prev_hash: vp_id.0,
+            seq: 0,
+            file_size: 0,
+        }
+    }
+
+    /// The VP identifier of the video being recorded.
+    pub fn vp_id(&self) -> VpId {
+        self.vp_id
+    }
+
+    /// Seconds recorded so far.
+    pub fn seconds(&self) -> u16 {
+        self.seq
+    }
+
+    /// Extend the chain with the video chunk recorded in the last second
+    /// and produce the VD to broadcast. Panics past 60 seconds — the
+    /// dashcam must roll over to a new video (new chain) every minute.
+    pub fn extend(&mut self, chunk: &[u8], loc: GeoPos) -> ViewDigest {
+        assert!(
+            (self.seq as u64) < crate::types::SECONDS_PER_VP,
+            "1-min video already complete; start a new chain"
+        );
+        self.seq += 1;
+        self.file_size += chunk.len() as u64;
+        let time = self.start_time + self.seq as u64;
+        self.prev_hash = cascade_step(time, &loc, self.file_size, &self.prev_hash, chunk);
+        ViewDigest {
+            seq: self.seq,
+            flags: 0,
+            time,
+            loc,
+            file_size: self.file_size,
+            initial_loc: self.initial_loc,
+            vp_id: self.vp_id,
+            hash: self.prev_hash,
+        }
+    }
+}
+
+/// Errors from re-deriving a VD chain against uploaded video bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// Chunk count does not match the number of VDs.
+    LengthMismatch,
+    /// The cascaded hash diverged at the given 1-based second.
+    HashMismatch(u16),
+    /// A VD's cumulative file size is inconsistent with the chunks.
+    SizeMismatch(u16),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::LengthMismatch => write!(f, "chunk/VD count mismatch"),
+            ChainError::HashMismatch(s) => write!(f, "cascaded hash mismatch at second {s}"),
+            ChainError::SizeMismatch(s) => write!(f, "file size mismatch at second {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Re-derive the cascaded chain from uploaded video chunks and check it
+/// against the claimed VDs (the server-side validation of Section 5.2.3:
+/// "the video is first validated via cascading hash operations against the
+/// system-owned VP").
+pub fn verify_chain(vp_id: VpId, vds: &[ViewDigest], chunks: &[Vec<u8>]) -> Result<(), ChainError> {
+    if vds.len() != chunks.len() {
+        return Err(ChainError::LengthMismatch);
+    }
+    let mut prev = vp_id.0;
+    let mut size = 0u64;
+    for (i, (vd, chunk)) in vds.iter().zip(chunks).enumerate() {
+        size += chunk.len() as u64;
+        if vd.file_size != size {
+            return Err(ChainError::SizeMismatch(i as u16 + 1));
+        }
+        let expect = cascade_step(vd.time, &vd.loc, size, &prev, chunk);
+        if expect != vd.hash {
+            return Err(ChainError::HashMismatch(i as u16 + 1));
+        }
+        prev = expect;
+    }
+    Ok(())
+}
+
+/// Non-cascaded comparator for Fig. 8: hash the whole file prefix from
+/// scratch (what a naive per-second fingerprint would cost).
+pub fn flat_digest(prefix: &[u8]) -> Digest16 {
+    Digest16::hash(prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SECONDS_PER_VP;
+
+    fn chunk(i: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|j| ((i * 31 + j as u64) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut chain = VdChain::new([9u8; 8], 100, GeoPos::new(1.0, 2.0));
+        let vd = chain.extend(&chunk(0, 100), GeoPos::new(1.5, 2.0));
+        let bytes = vd.encode();
+        assert_eq!(bytes.len(), VD_WIRE_BYTES);
+        let back = ViewDigest::decode(&bytes).expect("decodes");
+        assert_eq!(vd.seq, back.seq);
+        assert_eq!(vd.time, back.time);
+        assert_eq!(vd.file_size, back.file_size);
+        assert_eq!(vd.vp_id, back.vp_id);
+        assert_eq!(vd.hash, back.hash);
+        assert!((vd.loc.x - back.loc.x).abs() < 0.01);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(ViewDigest::decode(&[0u8; 71]).is_none());
+        assert!(ViewDigest::decode(&[0u8; 73]).is_none());
+        // seq = 0 is invalid (seconds are 1-based).
+        assert!(ViewDigest::decode(&[0u8; 72]).is_none());
+        // seq = 61 is invalid.
+        let mut bytes = [0u8; 72];
+        bytes[0] = 61;
+        assert!(ViewDigest::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn chain_produces_sixty_vds_and_rolls_over() {
+        let mut chain = VdChain::new([1u8; 8], 0, GeoPos::new(0.0, 0.0));
+        for i in 0..SECONDS_PER_VP {
+            let vd = chain.extend(&chunk(i, 64), GeoPos::new(i as f64, 0.0));
+            assert_eq!(vd.seq as u64, i + 1);
+            assert_eq!(vd.time, i + 1);
+        }
+        assert_eq!(chain.seconds() as u64, SECONDS_PER_VP);
+    }
+
+    #[test]
+    #[should_panic(expected = "already complete")]
+    fn chain_panics_past_one_minute() {
+        let mut chain = VdChain::new([1u8; 8], 0, GeoPos::new(0.0, 0.0));
+        for i in 0..=SECONDS_PER_VP {
+            chain.extend(&chunk(i, 8), GeoPos::new(0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn verify_chain_accepts_honest_upload() {
+        let mut chain = VdChain::new([2u8; 8], 50, GeoPos::new(5.0, 5.0));
+        let chunks: Vec<Vec<u8>> = (0..60).map(|i| chunk(i, 200)).collect();
+        let vds: Vec<ViewDigest> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| chain.extend(c, GeoPos::new(5.0 + i as f64, 5.0)))
+            .collect();
+        assert_eq!(verify_chain(chain.vp_id(), &vds, &chunks), Ok(()));
+    }
+
+    #[test]
+    fn verify_chain_rejects_tampered_video() {
+        let mut chain = VdChain::new([3u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let mut chunks: Vec<Vec<u8>> = (0..60).map(|i| chunk(i, 100)).collect();
+        let vds: Vec<ViewDigest> = chunks
+            .iter()
+            .map(|c| chain.extend(c, GeoPos::new(0.0, 0.0)))
+            .collect();
+        // Posterior fabrication: replace one frame's bytes.
+        chunks[30][0] ^= 0xff;
+        assert_eq!(
+            verify_chain(chain.vp_id(), &vds, &chunks),
+            Err(ChainError::HashMismatch(31))
+        );
+    }
+
+    #[test]
+    fn verify_chain_rejects_wrong_secret() {
+        let mut chain = VdChain::new([4u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let chunks: Vec<Vec<u8>> = (0..10).map(|i| chunk(i, 50)).collect();
+        let vds: Vec<ViewDigest> = chunks
+            .iter()
+            .map(|c| chain.extend(c, GeoPos::new(0.0, 0.0)))
+            .collect();
+        let wrong_id = VpId::from_secret(&[5u8; 8]);
+        assert!(matches!(
+            verify_chain(wrong_id, &vds, &chunks),
+            Err(ChainError::HashMismatch(1))
+        ));
+    }
+
+    #[test]
+    fn verify_chain_rejects_length_and_size_mismatch() {
+        let mut chain = VdChain::new([6u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let chunks: Vec<Vec<u8>> = (0..5).map(|i| chunk(i, 50)).collect();
+        let mut vds: Vec<ViewDigest> = chunks
+            .iter()
+            .map(|c| chain.extend(c, GeoPos::new(0.0, 0.0)))
+            .collect();
+        assert_eq!(
+            verify_chain(chain.vp_id(), &vds[..4], &chunks),
+            Err(ChainError::LengthMismatch)
+        );
+        vds[2].file_size += 1;
+        assert_eq!(
+            verify_chain(chain.vp_id(), &vds, &chunks),
+            Err(ChainError::SizeMismatch(3))
+        );
+    }
+
+    #[test]
+    fn cascade_is_order_sensitive() {
+        let a = chunk(1, 64);
+        let b = chunk(2, 64);
+        let mut c1 = VdChain::new([7u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let mut c2 = VdChain::new([7u8; 8], 0, GeoPos::new(0.0, 0.0));
+        c1.extend(&a, GeoPos::new(0.0, 0.0));
+        let h1 = c1.extend(&b, GeoPos::new(0.0, 0.0)).hash;
+        c2.extend(&b, GeoPos::new(0.0, 0.0));
+        let h2 = c2.extend(&a, GeoPos::new(0.0, 0.0)).hash;
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn bloom_key_distinguishes_vds() {
+        let mut chain = VdChain::new([8u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let vd1 = chain.extend(&chunk(0, 10), GeoPos::new(0.0, 0.0));
+        let vd2 = chain.extend(&chunk(1, 10), GeoPos::new(1.0, 0.0));
+        assert_ne!(vd1.bloom_key(), vd2.bloom_key());
+    }
+
+    #[test]
+    fn vd_does_not_reveal_video_content() {
+        // The same metadata with different chunks yields different hashes,
+        // but the chunk bytes never appear in the wire message.
+        let mut c1 = VdChain::new([9u8; 8], 0, GeoPos::new(0.0, 0.0));
+        let secret_content = b"license plate 123-ABC visible here".to_vec();
+        let vd = c1.extend(&secret_content, GeoPos::new(0.0, 0.0));
+        let wire = vd.encode();
+        // 72 bytes cannot contain the 35-byte chunk plus 56 bytes of
+        // metadata; verify no substring of the content leaks.
+        let needle = &secret_content[..8];
+        assert!(!wire.windows(8).any(|w| w == needle));
+    }
+}

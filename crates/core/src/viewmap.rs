@@ -1,0 +1,367 @@
+//! Viewmap construction (Section 5.2.1).
+//!
+//! A viewmap is built per minute around an incident: select the trusted
+//! VP(s) closest to the investigation site, span a coverage area `C` that
+//! encompasses the site and those trusted VPs, admit every VP whose claimed
+//! trajectory enters `C`, and create a *viewlink* edge between two member
+//! VPs iff (a) their time-aligned claimed locations come within DSRC radio
+//! range and (b) the two-way Bloom-filter membership test passes.
+
+use crate::trustrank::{self, Verification};
+use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M};
+use crate::vp::StoredVp;
+use vm_geo::GridIndex;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewmapConfig {
+    /// Radio range used for the location-proximity edge precondition.
+    pub dsrc_radius_m: f64,
+    /// Margin added around the site–trusted-VP hull for the coverage area.
+    pub coverage_margin_m: f64,
+    /// TrustRank damping δ.
+    pub damping: f64,
+}
+
+impl Default for ViewmapConfig {
+    fn default() -> Self {
+        ViewmapConfig {
+            dsrc_radius_m: DSRC_RADIUS_M,
+            coverage_margin_m: 200.0,
+            damping: trustrank::DAMPING,
+        }
+    }
+}
+
+/// An investigation site: a disk around the incident location.
+#[derive(Clone, Copy, Debug)]
+pub struct Site {
+    /// Incident location `l`.
+    pub center: GeoPos,
+    /// Site radius (the paper illustrates ~200 m).
+    pub radius_m: f64,
+}
+
+impl Site {
+    /// Does a VP claim any position inside the site?
+    pub fn contains_vp(&self, vp: &StoredVp) -> bool {
+        vp.vds
+            .iter()
+            .any(|vd| vd.loc.distance(&self.center) <= self.radius_m)
+    }
+}
+
+/// A constructed viewmap for one minute.
+#[derive(Clone, Debug)]
+pub struct Viewmap {
+    /// Member VPs (indices are node ids).
+    pub vps: Vec<StoredVp>,
+    /// Symmetric adjacency lists (viewlinks).
+    pub adj: Vec<Vec<usize>>,
+    /// Indices of trusted member VPs.
+    pub trusted: Vec<usize>,
+    /// The minute this viewmap covers.
+    pub minute: MinuteId,
+}
+
+impl Viewmap {
+    /// Build a viewmap from the minute's candidate VPs around an incident.
+    ///
+    /// `candidates` must all belong to the same minute; VPs from other
+    /// minutes are ignored. Trusted VPs are admitted wherever they are
+    /// (they anchor the coverage area); normal VPs are admitted if their
+    /// trajectory enters the coverage area.
+    pub fn build(
+        candidates: &[StoredVp],
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+    ) -> Viewmap {
+        let in_minute: Vec<&StoredVp> = candidates
+            .iter()
+            .filter(|vp| vp.minute() == minute && !vp.vds.is_empty())
+            .collect();
+
+        // Trusted VP(s) closest to the investigation site.
+        let mut trusted_refs: Vec<&StoredVp> =
+            in_minute.iter().copied().filter(|vp| vp.trusted).collect();
+        trusted_refs.sort_by(|a, b| {
+            let da = nearest_approach(a, &site.center);
+            let db = nearest_approach(b, &site.center);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Coverage radius: encompass the site and the nearest trusted VP.
+        let coverage_radius = trusted_refs
+            .first()
+            .map(|vp| nearest_approach(vp, &site.center))
+            .unwrap_or(0.0)
+            .max(site.radius_m)
+            + cfg.coverage_margin_m;
+
+        let mut vps: Vec<StoredVp> = Vec::new();
+        for vp in &in_minute {
+            let admit = vp.trusted
+                || vp
+                    .vds
+                    .iter()
+                    .any(|vd| vd.loc.distance(&site.center) <= coverage_radius);
+            if admit {
+                vps.push((*vp).clone());
+            }
+        }
+
+        // Candidate pairs via a spatial grid over trajectory midpoints; a
+        // 1-min trajectory spans at most ~1.4 km at highway speed, so a
+        // conservative query radius covers all genuine proximity pairs.
+        let mid = |vp: &StoredVp| {
+            let a = vp.start_loc();
+            let b = vp.end_loc();
+            vm_geo::Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+        };
+        let grid = GridIndex::build(
+            500.0,
+            vps.iter().enumerate().map(|(i, vp)| (i, mid(vp))),
+        );
+        let max_half_span = vps
+            .iter()
+            .map(|vp| vp.start_loc().distance(&vp.end_loc()) / 2.0)
+            .fold(0.0f64, f64::max);
+        let query_r = cfg.dsrc_radius_m + 2.0 * max_half_span + 1.0;
+
+        let mut adj = vec![Vec::new(); vps.len()];
+        for i in 0..vps.len() {
+            for j in grid.query_radius(&mid(&vps[i]), query_r) {
+                if j <= i {
+                    continue;
+                }
+                let close = vps[i]
+                    .min_aligned_distance(&vps[j])
+                    .is_some_and(|d| d <= cfg.dsrc_radius_m);
+                if close && vps[i].mutually_linked(&vps[j]) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+
+        let trusted = vps
+            .iter()
+            .enumerate()
+            .filter(|(_, vp)| vp.trusted)
+            .map(|(i, _)| i)
+            .collect();
+        Viewmap {
+            vps,
+            adj,
+            trusted,
+            minute,
+        }
+    }
+
+    /// Number of member VPs.
+    pub fn len(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// True iff the viewmap has no members.
+    pub fn is_empty(&self) -> bool {
+        self.vps.is_empty()
+    }
+
+    /// Number of viewlinks (undirected edges).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Fraction of members with at least one viewlink (Fig. 22f).
+    pub fn member_connectivity(&self) -> f64 {
+        if self.vps.is_empty() {
+            return 0.0;
+        }
+        let connected = self.adj.iter().filter(|n| !n.is_empty()).count();
+        connected as f64 / self.vps.len() as f64
+    }
+
+    /// Indices of members whose claimed trajectory enters the site.
+    pub fn site_members(&self, site: &Site) -> Vec<usize> {
+        self.vps
+            .iter()
+            .enumerate()
+            .filter(|(_, vp)| site.contains_vp(vp))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Run Algorithm 1 against an investigation site; returns the
+    /// verification outcome plus the marked VP identifiers.
+    pub fn verify(&self, site: &Site, cfg: &ViewmapConfig) -> (Verification, Vec<VpId>) {
+        let site_idx = self.site_members(site);
+        let v = if self.trusted.is_empty() {
+            Verification {
+                scores: vec![0.0; self.vps.len()],
+                top: None,
+                legitimate: Vec::new(),
+            }
+        } else {
+            trustrank::verify_site(&self.adj, &self.trusted, &site_idx, cfg.damping)
+        };
+        let ids = v.legitimate.iter().map(|&i| self.vps[i].id).collect();
+        (v, ids)
+    }
+}
+
+fn nearest_approach(vp: &StoredVp, p: &GeoPos) -> f64 {
+    vp.vds
+        .iter()
+        .map(|vd| vd.loc.distance(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SECONDS_PER_VP;
+    use crate::vp::{VpBuilder, VpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a chain of vehicles along a line, each exchanging VDs with its
+    /// immediate neighbors, the first one trusted.
+    fn build_chain(n: usize, spacing: f64, seed: u64) -> Vec<StoredVp> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builders: Vec<VpBuilder> = (0..n)
+            .map(|i| {
+                let kind = if i == 0 { VpKind::Trusted } else { VpKind::Actual };
+                VpBuilder::new(&mut rng, 0, GeoPos::new(i as f64 * spacing, 0.0), kind)
+            })
+            .collect();
+        for s in 0..SECONDS_PER_VP {
+            let now = s + 1;
+            let locs: Vec<GeoPos> = (0..n)
+                .map(|i| GeoPos::new(i as f64 * spacing + s as f64, 0.0))
+                .collect();
+            let vds: Vec<_> = builders
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| b.record_second(&(s * 97) .to_le_bytes(), locs[i]))
+                .collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && locs[i].distance(&locs[j]) <= spacing * 1.5 {
+                        builders[i].accept_neighbor_vd(vds[j], now, locs[i]);
+                    }
+                }
+            }
+        }
+        builders
+            .into_iter()
+            .map(|b| b.finalize().profile.into_stored())
+            .collect()
+    }
+
+    fn site_at(x: f64, r: f64) -> Site {
+        Site {
+            center: GeoPos::new(x, 0.0),
+            radius_m: r,
+        }
+    }
+
+    #[test]
+    fn chain_viewmap_is_connected_single_layer() {
+        let vps = build_chain(8, 150.0, 1);
+        let site = site_at(7.0 * 150.0, 200.0);
+        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
+        assert_eq!(vm.len(), 8);
+        assert_eq!(vm.trusted, vec![0]);
+        // Each interior node links to both neighbors.
+        assert!(vm.edge_count() >= 7, "edges: {}", vm.edge_count());
+        assert!(vm.member_connectivity() > 0.99);
+    }
+
+    #[test]
+    fn verification_marks_site_vps_legitimate() {
+        let vps = build_chain(8, 150.0, 2);
+        let site = site_at(7.0 * 150.0, 160.0);
+        let cfg = ViewmapConfig::default();
+        let vm = Viewmap::build(&vps, site, MinuteId(0), &cfg);
+        let (v, ids) = vm.verify(&site, &cfg);
+        assert!(v.top.is_some());
+        assert!(!ids.is_empty());
+        // The marked VPs genuinely claim positions in the site.
+        for &i in &v.legitimate {
+            assert!(site.contains_vp(&vm.vps[i]));
+        }
+    }
+
+    #[test]
+    fn unlinked_far_vp_is_isolated() {
+        let mut vps = build_chain(5, 150.0, 3);
+        // A stranger VP near the site but never exchanged VDs with anyone.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(600.0, 10.0), VpKind::Actual);
+        for s in 0..SECONDS_PER_VP {
+            b.record_second(b"solo", GeoPos::new(600.0 + s as f64, 10.0));
+        }
+        vps.push(b.finalize().profile.into_stored());
+        let site = site_at(600.0, 200.0);
+        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
+        let solo = vm.vps.iter().position(|vp| vp.start_loc().y == 10.0).unwrap();
+        assert!(vm.adj[solo].is_empty(), "stranger must have no viewlinks");
+        assert!(vm.member_connectivity() < 1.0);
+    }
+
+    #[test]
+    fn other_minutes_are_excluded() {
+        let mut vps = build_chain(4, 150.0, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = VpBuilder::new(&mut rng, 60, GeoPos::new(0.0, 0.0), VpKind::Actual);
+        for s in 0..SECONDS_PER_VP {
+            b.record_second(b"late", GeoPos::new(s as f64, 0.0));
+        }
+        vps.push(b.finalize().profile.into_stored());
+        // Site radius large enough that coverage admits the whole chain.
+        let vm = Viewmap::build(&vps, site_at(0.0, 400.0), MinuteId(0), &ViewmapConfig::default());
+        assert_eq!(vm.len(), 4, "minute-1 VP must not join minute-0 viewmap");
+    }
+
+    #[test]
+    fn coverage_excludes_vps_far_from_everything() {
+        let mut vps = build_chain(4, 100.0, 7);
+        // A legitimate pair far away (5 km) — outside coverage.
+        let far = build_chain(2, 100.0, 8);
+        for mut vp in far {
+            for vd in &mut vp.vds {
+                vd.loc.x += 5000.0;
+            }
+            vp.trusted = false;
+            vps.push(vp);
+        }
+        let site = site_at(300.0, 150.0);
+        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
+        assert_eq!(vm.len(), 4, "distant VPs excluded from coverage");
+    }
+
+    #[test]
+    fn no_trusted_vp_yields_no_verification() {
+        let mut vps = build_chain(4, 150.0, 9);
+        vps[0].trusted = false;
+        let site = site_at(450.0, 200.0);
+        let cfg = ViewmapConfig::default();
+        let vm = Viewmap::build(&vps, site, MinuteId(0), &cfg);
+        let (v, ids) = vm.verify(&site, &cfg);
+        assert_eq!(v.top, None);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let vps = build_chain(10, 120.0, 10);
+        let vm = Viewmap::build(&vps, site_at(500.0, 300.0), MinuteId(0), &ViewmapConfig::default());
+        for (i, nbrs) in vm.adj.iter().enumerate() {
+            for &j in nbrs {
+                assert!(vm.adj[j].contains(&i), "edge {i}-{j} not symmetric");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Ablation benches: cost of the design choices DESIGN.md calls out
+//! (Bloom size, damping factor, guard rate, viewmap construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viewmap_core::bloom::BloomFilter;
+use viewmap_core::trustrank;
+use viewmap_core::types::{GeoPos, MinuteId};
+use viewmap_core::viewmap::{Site, Viewmap, ViewmapConfig};
+use vm_crypto::Digest16;
+
+fn bloom_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_m_sweep");
+    for m in [1024usize, 2048, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let keys: Vec<Digest16> = (0..100u64)
+                .map(|i| Digest16::hash(&i.to_le_bytes()))
+                .collect();
+            b.iter(|| {
+                let mut f = BloomFilter::new(m, 8);
+                for k in &keys {
+                    f.insert(k);
+                }
+                f.contains(&Digest16::hash(b"probe"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn damping_convergence(c: &mut Criterion) {
+    // Higher damping → slower convergence; this is the latency cost of
+    // the paper's δ = 0.8 choice.
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 500;
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..3 {
+            let j = rng.gen_range(0..n);
+            if i != j && !adj[i].contains(&j) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut g = c.benchmark_group("damping_sweep");
+    for damping in [0.5f64, 0.8, 0.95] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(damping),
+            &damping,
+            |b, &d| b.iter(|| trustrank::trust_scores(&adj, &[0], d, 1e-10)),
+        );
+    }
+    g.finish();
+}
+
+fn viewmap_build(c: &mut Criterion) {
+    use viewmap_core::vp::{VpBuilder, VpKind};
+    // A 60-VP chain world, built once; benchmark viewmap construction.
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 60usize;
+    let mut builders: Vec<VpBuilder> = (0..n)
+        .map(|i| {
+            let kind = if i == 0 { VpKind::Trusted } else { VpKind::Actual };
+            VpBuilder::new(&mut rng, 0, GeoPos::new(i as f64 * 120.0, 0.0), kind)
+        })
+        .collect();
+    for s in 0..60u64 {
+        let locs: Vec<GeoPos> = (0..n)
+            .map(|i| GeoPos::new(i as f64 * 120.0 + s as f64 * 10.0, 0.0))
+            .collect();
+        let vds: Vec<_> = builders
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| b.record_second(&s.to_le_bytes(), locs[i]))
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && locs[i].distance(&locs[j]) <= 390.0 {
+                    builders[i].accept_neighbor_vd(vds[j], s + 1, locs[i]);
+                }
+            }
+        }
+    }
+    let vps: Vec<_> = builders
+        .into_iter()
+        .map(|b| b.finalize().profile.into_stored())
+        .collect();
+    let site = Site {
+        center: GeoPos::new(3600.0, 0.0),
+        radius_m: 400.0,
+    };
+    let cfg = ViewmapConfig::default();
+    let mut g = c.benchmark_group("viewmap");
+    g.sample_size(20);
+    g.bench_function("build_60_vps", |b| {
+        b.iter(|| Viewmap::build(&vps, site, MinuteId(0), &cfg))
+    });
+    let vm = Viewmap::build(&vps, site, MinuteId(0), &cfg);
+    g.bench_function("verify_60_vps", |b| b.iter(|| vm.verify(&site, &cfg)));
+    g.finish();
+}
+
+fn guard_creation(c: &mut Criterion) {
+    use viewmap_core::guard::{create_guards, GuardConfig, StraightLine};
+    use viewmap_core::vp::exchange_minute;
+    let mut g = c.benchmark_group("guard_alpha_sweep");
+    for alpha in [0.1f64, 0.5, 1.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let cfg = GuardConfig {
+                alpha,
+                ..GuardConfig::default()
+            };
+            b.iter(|| {
+                let (mut fin, _) = exchange_minute(
+                    &mut rng,
+                    0,
+                    |s| GeoPos::new(s as f64 * 12.0, 0.0),
+                    |s| GeoPos::new(s as f64 * 12.0, 50.0),
+                );
+                create_guards(&mut rng, &mut fin, &StraightLine, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bloom_sizes,
+    damping_convergence,
+    viewmap_build,
+    guard_creation
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks over the protocol's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viewmap_core::bloom::BloomFilter;
+use viewmap_core::trustrank;
+use viewmap_core::types::GeoPos;
+use viewmap_core::vd::{flat_digest, VdChain};
+use vm_crypto::{Digest16, RsaKeyPair};
+use vm_geo::{CityParams, RoadNetwork, Router};
+
+fn bench_digest(c: &mut Criterion) {
+    // The paper's core performance claim (Fig. 8): cascaded hashing is
+    // constant-time per second; flat re-hashing grows with the prefix.
+    let chunk = vec![0xa5u8; 875 * 1024]; // ~50 MB / 60 s
+    let mut g = c.benchmark_group("digest");
+    g.sample_size(10);
+    g.bench_function("cascade_one_second", |b| {
+        b.iter_batched(
+            || {
+                let mut chain = VdChain::new([1u8; 8], 0, GeoPos::new(0.0, 0.0));
+                for _ in 0..30 {
+                    chain.extend(&chunk[..64], GeoPos::new(0.0, 0.0));
+                }
+                chain
+            },
+            |mut chain| chain.extend(&chunk, GeoPos::new(0.0, 0.0)),
+            BatchSize::LargeInput,
+        )
+    });
+    let prefix_30s = vec![0xa5u8; 875 * 1024 * 30];
+    g.bench_function("flat_rehash_at_30s", |b| b.iter(|| flat_digest(&prefix_30s)));
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Digest16> = (0..100u64)
+        .map(|i| Digest16::hash(&i.to_le_bytes()))
+        .collect();
+    c.bench_function("bloom_insert_100", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::default();
+            for k in &keys {
+                f.insert(k);
+            }
+            f
+        })
+    });
+    let mut f = BloomFilter::default();
+    for k in &keys {
+        f.insert(k);
+    }
+    c.bench_function("bloom_query", |b| {
+        let probe = Digest16::hash(b"probe");
+        b.iter(|| f.contains(&probe))
+    });
+}
+
+fn bench_trustrank(c: &mut Criterion) {
+    // A 1000-node geometric-ish graph.
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 1000;
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..4 {
+            let j = rng.gen_range(0..n);
+            if i != j && !adj[i].contains(&j) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    c.bench_function("trustrank_1000_nodes", |b| {
+        b.iter(|| trustrank::trust_scores(&adj, &[0], 0.8, 1e-10))
+    });
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = RoadNetwork::synthetic_city(&CityParams::small_area(), &mut rng);
+    let router = Router::new(&net);
+    let pairs: Vec<_> = (0..32)
+        .map(|_| (net.random_node(&mut rng), net.random_node(&mut rng)))
+        .collect();
+    c.bench_function("astar_route_4km_city", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (a, z) = pairs[i % pairs.len()];
+            i += 1;
+            router.route(a, z)
+        })
+    });
+}
+
+fn bench_blur(c: &mut Criterion) {
+    use vm_vision::{BlurPipeline, SyntheticScene};
+    let mut rng = StdRng::seed_from_u64(3);
+    let scene = SyntheticScene::generate(&mut rng, 640, 480, 2);
+    let mut g = c.benchmark_group("vision");
+    g.sample_size(20);
+    g.bench_function("blur_frame_640x480", |b| {
+        let mut pipe = BlurPipeline::new();
+        b.iter(|| pipe.process(&scene.frame.data, 640, 480))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let key = RsaKeyPair::generate(&mut rng, 1024);
+    let hashed = key.public().fdh(b"one unit of cash");
+    let mut g = c.benchmark_group("rsa");
+    g.sample_size(10);
+    g.bench_function("blind_sign_unblind_1024", |b| {
+        b.iter(|| {
+            let (blinded, secret) = key.public().blind(&hashed, &mut rng).unwrap();
+            let s = key.sign_blinded(&blinded).unwrap();
+            key.public().unblind(&s, &secret)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digest,
+    bench_bloom,
+    bench_trustrank,
+    bench_route,
+    bench_blur,
+    bench_rsa
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Ablation: TrustRank damping factor δ (the paper sets 0.8).
+use viewmap_core::attack::GeometricParams;
+use vm_bench::{csv_header, scaled, verification};
+
+fn main() {
+    let runs = scaled(40, 8);
+    csv_header(
+        "Ablation: accuracy vs damping factor (worst-case attackers at hops 1-5, 300% fakes)",
+        &["damping", "accuracy_pct"],
+    );
+    let rows = verification::ablation_damping(
+        &GeometricParams::default(),
+        runs,
+        &[0.5, 0.6, 0.7, 0.8, 0.9, 0.95],
+    );
+    for (d, acc) in rows {
+        println!("{d},{:.1}", acc * 100.0);
+    }
+}

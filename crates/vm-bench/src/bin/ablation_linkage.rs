@@ -1,0 +1,16 @@
+//! Ablation: two-way vs one-way Bloom linkage under attack.
+use viewmap_core::attack::GeometricParams;
+use vm_bench::{csv_header, scaled, verification};
+
+fn main() {
+    let runs = scaled(40, 8);
+    csv_header(
+        "Ablation: verification accuracy with two-way vs one-way linkage checks",
+        &["fake_ratio_pct", "two_way_accuracy_pct", "one_way_accuracy_pct"],
+    );
+    for ratio in [1.0, 2.0, 3.0] {
+        let (two, one) = verification::ablation_one_way(&GeometricParams::default(), runs, ratio);
+        println!("{:.0},{:.1},{:.1}", ratio * 100.0, two * 100.0, one * 100.0);
+    }
+    println!("# the two-way check is what forces fakes into their own layer (Fig. 7)");
+}

@@ -1,0 +1,27 @@
+//! Fig. 13: accuracy under many legitimate-but-dummy attacker VPs.
+use viewmap_core::attack::GeometricParams;
+use vm_bench::{csv_header, scaled, verification};
+
+fn main() {
+    let runs = scaled(60, 10);
+    let cells = verification::fig13_sweep(
+        &GeometricParams::default(),
+        8,
+        &[25, 50, 75, 100, 125],
+        runs,
+    );
+    csv_header(
+        "Fig. 13: accuracy (%) vs dummy VPs per attacker x fake-VP ratio",
+        &["dummies_per_attacker", "fake_ratio_pct", "accuracy_pct", "runs"],
+    );
+    for c in cells {
+        println!(
+            "{},{:.0},{:.1},{}",
+            c.x,
+            c.fake_ratio * 100.0,
+            c.accuracy * 100.0,
+            c.runs
+        );
+    }
+    println!("# paper: accuracy stays above 95%");
+}

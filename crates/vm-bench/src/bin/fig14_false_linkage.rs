@@ -1,0 +1,26 @@
+//! Fig. 14: Bloom-filter false linkage rate.
+use viewmap_core::bloom::{false_linkage_rate, optimal_k};
+use vm_bench::{csv_header, misc, scaled};
+
+fn main() {
+    csv_header(
+        "Fig. 14: closed-form false linkage rate vs neighbors (optimal k), m in bits",
+        &["n_neighbors", "m=1024", "m=2048", "m=3072", "m=4096"],
+    );
+    for n in (25..=400).step_by(25) {
+        print!("{n}");
+        for m in [1024usize, 2048, 3072, 4096] {
+            print!(",{:.6}", false_linkage_rate(m, n, optimal_k(m, n)));
+        }
+        println!();
+    }
+    println!("# paper design point: m=2048 -> ~0.1% at 300 neighbors");
+    // Empirical check of the deployed configuration (m=2048, k=8,
+    // two-way 60-VD query) at realistic densities.
+    let trials = scaled(400, 50);
+    println!("# empirical (deployed m=2048,k=8 config, two-way query):");
+    println!("n_neighbors,empirical_false_linkage");
+    for n in [25usize, 50, 100, 150] {
+        println!("{n},{:.6}", misc::empirical_false_linkage(n, trials, 14));
+    }
+}

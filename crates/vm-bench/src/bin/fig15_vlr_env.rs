@@ -1,0 +1,22 @@
+//! Fig. 15: VP linkage ratio vs distance per environment.
+use vm_bench::{csv_header, scaled};
+use vm_radio::Environment;
+use vm_sim::vlr_experiment;
+
+fn main() {
+    let trials = scaled(400, 50);
+    let envs = Environment::fig15_set();
+    csv_header(
+        "Fig. 15: VP linkage ratio (VLR) vs distance (m) per environment",
+        &["distance_m", "open_road", "highway", "residential", "downtown"],
+    );
+    for d in (25..=400).step_by(25) {
+        print!("{d}");
+        for (i, env) in envs.iter().enumerate() {
+            let s = vlr_experiment(env, d as f64, trials, 1500 + i as u64 * 37 + d as u64);
+            print!(",{:.3}", s.vlr);
+        }
+        println!();
+    }
+    println!("# paper: open road >99% out to 400 m; downtown lowest, falling with distance");
+}

@@ -1,0 +1,19 @@
+//! Fig. 20: correlation between VP links and video contents.
+use vm_bench::{csv_header, scaled};
+use vm_radio::Environment;
+use vm_sim::vlr_experiment;
+
+fn main() {
+    let trials = scaled(800, 100);
+    csv_header(
+        "Fig. 20: Pearson correlation of VP linkage vs on-video, by distance and environment",
+        &["distance_m", "downtown", "residential", "highway"],
+    );
+    for d in (50..=400).step_by(50) {
+        let down = vlr_experiment(&Environment::downtown(), d as f64, trials, 2100 + d as u64);
+        let res = vlr_experiment(&Environment::residential(), d as f64, trials, 2200 + d as u64);
+        let hwy = vlr_experiment(&Environment::highway_heavy(), d as f64, trials, 2300 + d as u64);
+        println!("{d},{:.3},{:.3},{:.3}", down.correlation, res.correlation, hwy.correlation);
+    }
+    println!("# paper: correlation 0.7-0.9 across distances");
+}

@@ -1,0 +1,21 @@
+//! Fig. 21: viewmaps built from traffic traces (rendered as ASCII density).
+use vm_bench::{scaled, traffic};
+use vm_mobility::SpeedScenario;
+
+fn main() {
+    let vehicles = scaled(400, 100);
+    for speed in [SpeedScenario::Fixed(50.0), SpeedScenario::Fixed(70.0)] {
+        let out = traffic::traffic_run(vehicles, 2, speed, 21);
+        let vm = traffic::traffic_viewmap(&out, 1);
+        println!(
+            "# Fig. 21 ({}): {} member VPs, {} viewlinks, {:.1}% connected",
+            speed.label(),
+            vm.len(),
+            vm.edge_count(),
+            vm.member_connectivity() * 100.0
+        );
+        print!("{}", traffic::render_ascii(&vm, 78, 24, 8000.0));
+        println!();
+    }
+    println!("# paper: the viewmap shape follows the road network of the simulated area");
+}

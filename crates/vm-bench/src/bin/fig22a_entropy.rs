@@ -1,0 +1,22 @@
+//! Fig. 22a: location entropy over time (n=1000, 8x8 km²).
+use vm_bench::{csv_header, privacy_exp, scaled};
+
+fn main() {
+    let minutes = scaled(20, 6) as u64;
+    let vehicles = scaled(1000, 150);
+    let curves = privacy_exp::large_scale(minutes, vehicles, 40);
+    csv_header(
+        "Fig. 22a: location entropy (bits), large scale",
+        &["minute", "with_guards", "no_guards"],
+    );
+    let horizon = curves[0].1.minutes.len();
+    for t in 0..horizon {
+        println!(
+            "{},{:.3},{:.3}",
+            t + 1,
+            curves[0].1.entropy_bits[t],
+            curves[1].1.entropy_bits[t]
+        );
+    }
+    println!("# paper: ~8 bits by 10 minutes with guards");
+}

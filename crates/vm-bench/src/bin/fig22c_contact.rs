@@ -1,0 +1,15 @@
+//! Fig. 22c: average contact time between vehicles per speed scenario.
+use vm_bench::{csv_header, scaled, traffic};
+
+fn main() {
+    let vehicles = scaled(600, 100);
+    let minutes = scaled(6, 2) as u64;
+    csv_header(
+        "Fig. 22c: average LOS contact time between vehicles (s)",
+        &["speed", "avg_contact_s"],
+    );
+    for (label, secs) in traffic::contact_times(vehicles, minutes) {
+        println!("{label},{secs:.2}");
+    }
+    println!("# paper: roughly 4-13 s, longer at lower speeds");
+}

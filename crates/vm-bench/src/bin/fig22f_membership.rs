@@ -1,0 +1,14 @@
+//! Fig. 22f: percentage of viewmap member VPs per speed scenario.
+use vm_bench::{csv_header, scaled, traffic};
+
+fn main() {
+    let vehicles = scaled(500, 100);
+    csv_header(
+        "Fig. 22f: % of member VPs with at least one viewlink, per speed",
+        &["speed", "member_pct"],
+    );
+    for (label, pct) in traffic::membership_percentages(vehicles, 2) {
+        println!("{label},{pct:.1}");
+    }
+    println!("# paper: >97% (under 3% isolated VPs)");
+}

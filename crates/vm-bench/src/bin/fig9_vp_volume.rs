@@ -1,0 +1,18 @@
+//! Fig. 9: volume of VP creation vs neighbor count.
+use viewmap_core::analysis::vp_volume_per_minute;
+use vm_bench::csv_header;
+
+fn main() {
+    csv_header(
+        "Fig. 9: VPs created per vehicle-minute vs neighbors m, for alpha in {0.1, 0.5, 0.9}",
+        &["m", "alpha_0.1", "alpha_0.5", "alpha_0.9"],
+    );
+    for m in (20..=200).step_by(20) {
+        println!(
+            "{m},{},{},{}",
+            vp_volume_per_minute(0.1, m),
+            vp_volume_per_minute(0.5, m),
+            vp_volume_per_minute(0.9, m)
+        );
+    }
+}

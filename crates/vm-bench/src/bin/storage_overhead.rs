@@ -1,0 +1,20 @@
+//! §6.1: communication and storage overhead accounting.
+use viewmap_core::analysis;
+use viewmap_core::vd::VD_WIRE_BYTES;
+use vm_bench::csv_header;
+
+fn main() {
+    csv_header("Section 6.1: overhead accounting", &["quantity", "value"]);
+    println!("vd_wire_bytes,{VD_WIRE_BYTES}");
+    println!("vp_storage_bytes,{}", analysis::vp_storage_bytes());
+    println!(
+        "storage_overhead_vs_50MB_video,{:.6}%",
+        analysis::storage_overhead_ratio(50 * 1024 * 1024) * 100.0
+    );
+    println!("# paper: 72-byte VDs, 4584-byte VPs, <0.01% of the video size");
+    println!("# guard coverage rule P_t = [1-(1-(1-a)^m)^m]^t:");
+    println!("alpha,m,t_minutes,P_t");
+    for (alpha, m, t) in [(0.1, 50, 5u32), (0.1, 50, 10), (0.1, 30, 5), (0.5, 30, 5)] {
+        println!("{alpha},{m},{t},{:.5}", analysis::uncovered_prob(alpha, m, t));
+    }
+}

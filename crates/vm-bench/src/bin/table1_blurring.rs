@@ -1,0 +1,19 @@
+//! Table 1: frame rates of realtime license plate blurring.
+use vm_bench::{csv_header, misc, scaled};
+use vm_vision::pipeline::PAPER_TABLE1;
+
+fn main() {
+    let frames = scaled(60, 6);
+    let (blur_ms, io_ms, fps) = misc::blur_benchmark(frames);
+    csv_header(
+        "Table 1: realtime plate blurring (measured host + paper rows)",
+        &["platform", "blur_ms", "io_ms", "fps"],
+    );
+    println!("this host (measured,640x480),{blur_ms:.2},{io_ms:.2},{fps:.1}");
+    for p in PAPER_TABLE1 {
+        println!(
+            "{} [paper],{:.2},{:.2},{:.0}",
+            p.name, p.paper_blur_ms, p.paper_io_ms, p.paper_fps
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 2: VLR and on-video ratio across the 14 field scenarios.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vm_bench::{csv_header, scaled};
+use vm_radio::{CameraModel, Channel, SCENARIOS};
+
+fn main() {
+    let trials = scaled(500, 60);
+    let ch = Channel::default();
+    let cam = CameraModel::default();
+    csv_header(
+        "Table 2: VP linkage and on-video ratios per scenario (paper values in trailing columns)",
+        &["scenario", "condition", "vp_linkage_pct", "on_video_pct", "paper_linkage_pct", "paper_video_pct"],
+    );
+    let paper: [(f64, f64); 14] = [
+        (100.0, 100.0), (0.0, 0.0), (100.0, 93.0), (9.0, 0.0), (84.0, 77.0),
+        (0.0, 0.0), (61.0, 52.0), (13.0, 0.0), (100.0, 100.0), (0.0, 0.0),
+        (39.0, 18.0), (0.0, 0.0), (56.0, 51.0), (3.0, 0.0),
+    ];
+    let mut rng = StdRng::seed_from_u64(2);
+    for (s, (pl, pv)) in SCENARIOS.iter().zip(paper) {
+        let (vlr, video) = s.measure(&mut rng, &ch, &cam, trials);
+        println!(
+            "{},{},{:.0},{:.0},{:.0},{:.0}",
+            s.name,
+            s.condition,
+            vlr * 100.0,
+            video * 100.0,
+            pl,
+            pv
+        );
+    }
+}

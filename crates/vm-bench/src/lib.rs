@@ -1,0 +1,41 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each binary in `src/bin/` prints a CSV (with `#`-prefixed header
+//! comments) for one table or figure; the heavy lifting lives here so the
+//! Criterion benches and the binaries share code.
+//!
+//! Scaling: experiments honor the `VM_SCALE` environment variable
+//! (default 1.0) as a multiplier on trial counts, so
+//! `VM_SCALE=0.1 cargo run --bin fig12_verification_position` gives a
+//! quick smoke pass and `VM_SCALE=10` approaches the paper's 1000-run
+//! cells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod misc;
+pub mod privacy_exp;
+pub mod traffic;
+pub mod verification;
+
+/// Trial-count scale factor from `VM_SCALE` (default 1.0, clamped to
+/// `[0.01, 100]`).
+pub fn scale() -> f64 {
+    std::env::var("VM_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.01, 100.0)
+}
+
+/// `n` scaled by [`scale`], at least `min`.
+pub fn scaled(n: usize, min: usize) -> usize {
+    ((n as f64 * scale()).round() as usize).max(min)
+}
+
+/// Print a `#`-prefixed header line followed by a CSV header row.
+pub fn csv_header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    println!("{}", columns.join(","));
+}

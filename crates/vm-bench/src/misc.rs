@@ -1,0 +1,160 @@
+//! Micro experiments: hashing (Fig. 8), VP volume (Fig. 9), Bloom false
+//! linkage (Fig. 14), plate blurring (Table 1), storage (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use viewmap_core::types::GeoPos;
+use viewmap_core::vd::{flat_digest, VdChain};
+use vm_vision::{BlurPipeline, SyntheticScene};
+
+/// Fig. 8 row: per-second digest cost at recording time `t`.
+#[derive(Clone, Copy, Debug)]
+pub struct HashTimings {
+    /// Recording second (1..=60).
+    pub second: usize,
+    /// Cascaded per-second digest cost, ms (avg over repeats).
+    pub cascade_avg_ms: f64,
+    /// Cascaded worst case, ms.
+    pub cascade_worst_ms: f64,
+    /// Whole-prefix re-hash cost, ms (avg).
+    pub flat_avg_ms: f64,
+    /// Whole-prefix worst case, ms.
+    pub flat_worst_ms: f64,
+}
+
+/// Fig. 8: cascaded vs flat hashing for a `video_mb` MB 1-minute video.
+pub fn hash_generation_times(video_mb: usize, repeats: usize) -> Vec<HashTimings> {
+    let chunk_len = video_mb * 1024 * 1024 / 60;
+    let mut rng = StdRng::seed_from_u64(8);
+    let chunk: Vec<u8> = (0..chunk_len).map(|_| rng.gen()).collect();
+    let mut out = Vec::new();
+    for &second in &[1usize, 10, 20, 30, 40, 50, 60] {
+        // Cascaded: cost of extending by one chunk at `second`.
+        let mut cas: Vec<f64> = Vec::new();
+        for _ in 0..repeats {
+            let mut chain = VdChain::new([1u8; 8], 0, GeoPos::new(0.0, 0.0));
+            for _ in 0..second - 1 {
+                chain.extend(&chunk[..64.min(chunk.len())], GeoPos::new(0.0, 0.0));
+            }
+            let t = Instant::now();
+            chain.extend(&chunk, GeoPos::new(0.0, 0.0));
+            cas.push(t.elapsed().as_secs_f64() * 1000.0);
+        }
+        // Flat: hash the whole prefix of `second` chunks.
+        let prefix = vec![0u8; chunk_len * second];
+        let mut flat: Vec<f64> = Vec::new();
+        for _ in 0..repeats {
+            let t = Instant::now();
+            std::hint::black_box(flat_digest(&prefix));
+            flat.push(t.elapsed().as_secs_f64() * 1000.0);
+        }
+        out.push(HashTimings {
+            second,
+            cascade_avg_ms: avg(&cas),
+            cascade_worst_ms: max(&cas),
+            flat_avg_ms: avg(&flat),
+            flat_worst_ms: max(&flat),
+        });
+    }
+    out
+}
+
+fn avg(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn max(v: &[f64]) -> f64 {
+    v.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Table 1 measurement on the host: mean per-stage times over `frames`
+/// 640×480 frames with 0–3 plates each.
+pub fn blur_benchmark(frames: usize) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut pipe = BlurPipeline::new();
+    let mut blur = 0.0;
+    let mut io = 0.0;
+    let mut total = 0.0;
+    for i in 0..frames {
+        let scene = SyntheticScene::generate(&mut rng, 640, 480, i % 4);
+        let (_, t) = pipe.process(&scene.frame.data, 640, 480);
+        blur += t.blur_ms;
+        io += t.io_ms();
+        total += t.total_ms();
+    }
+    (
+        blur / frames as f64,
+        io / frames as f64,
+        1000.0 / (total / frames as f64),
+    )
+}
+
+/// Empirical false-linkage probe for our Bloom configuration: `trials`
+/// pairs of *unrelated* VPs, each with `n_neighbors` random insertions,
+/// checked with the full two-way 60-VD query the server runs.
+pub fn empirical_false_linkage(n_neighbors: usize, trials: usize, seed: u64) -> f64 {
+    use viewmap_core::vp::{VpBuilder, VpKind};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let mut mk = |y: f64| {
+            let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, y), VpKind::Actual);
+            for s in 0..60u64 {
+                b.record_second(&s.to_le_bytes(), GeoPos::new(s as f64, y));
+            }
+            let mut fin = b.finalize();
+            // Fill the bloom with `n_neighbors` unrelated VD keys
+            // (2 per neighbor, as the protocol stores first+last).
+            for _ in 0..n_neighbors * 2 {
+                let mut key = [0u8; 16];
+                rng.fill(&mut key);
+                fin.profile.bloom.insert(&vm_crypto::Digest16(key));
+            }
+            fin.profile.into_stored()
+        };
+        let a = mk(0.0);
+        let b = mk(10.0);
+        if a.mutually_linked(&b) {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_is_flat_in_time_flat_is_linear() {
+        let rows = hash_generation_times(6, 2); // 6 MB to keep tests quick
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // Flat cost grows ~linearly with the prefix; cascade stays flat.
+        assert!(
+            last.flat_avg_ms > first.flat_avg_ms * 5.0,
+            "flat: {} -> {}",
+            first.flat_avg_ms,
+            last.flat_avg_ms
+        );
+        assert!(
+            last.cascade_avg_ms < first.cascade_avg_ms * 5.0 + 2.0,
+            "cascade: {} -> {}",
+            first.cascade_avg_ms,
+            last.cascade_avg_ms
+        );
+    }
+
+    #[test]
+    fn blur_benchmark_reports_sane_numbers() {
+        let (blur_ms, io_ms, fps) = blur_benchmark(3);
+        assert!(blur_ms > 0.0 && io_ms > 0.0 && fps > 0.0);
+    }
+
+    #[test]
+    fn false_linkage_low_at_design_density() {
+        let p = empirical_false_linkage(50, 300, 9);
+        assert!(p < 0.02, "false linkage {p}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Privacy experiments (Figs. 10, 11, 22a, 22b) and the α ablation.
+
+use viewmap_core::tracker::TrackerParams;
+use vm_geo::CityParams;
+use vm_mobility::SpeedScenario;
+use vm_radio::Environment;
+use vm_sim::{privacy_curves, run_protocol_sim, PrivacyCurves, SimConfig};
+
+/// One privacy run: fleet size, α, minutes → curves.
+pub fn privacy_run(
+    vehicles: usize,
+    minutes: u64,
+    alpha: f64,
+    city: CityParams,
+    seed: u64,
+    targets: usize,
+) -> PrivacyCurves {
+    let cfg = SimConfig {
+        vehicles,
+        minutes,
+        speed: SpeedScenario::Mix,
+        alpha,
+        environment: Environment::residential(),
+        city,
+        keep_vps: false,
+        chunk_bytes: 16,
+    };
+    let out = run_protocol_sim(&cfg, seed);
+    privacy_curves(&out, targets, TrackerParams::default())
+}
+
+/// Fig. 10/11 sweep: small-area fleets of 50/100/150/200 vehicles with
+/// α = 0.1, plus the no-guard reference at n = 50.
+pub fn small_scale_sweep(minutes: u64, targets: usize) -> Vec<(String, PrivacyCurves)> {
+    let mut out = Vec::new();
+    for &n in &[50usize, 100, 150, 200] {
+        out.push((
+            format!("n={n}"),
+            privacy_run(n, minutes, 0.1, CityParams::small_area(), 10 + n as u64, targets),
+        ));
+    }
+    out.push((
+        "n=50 no-guard".to_string(),
+        privacy_run(50, minutes, 0.0, CityParams::small_area(), 60, targets),
+    ));
+    out
+}
+
+/// Fig. 22a/b: the large-scale (n = 1000, 8×8 km²) runs with and without
+/// guard VPs.
+pub fn large_scale(minutes: u64, vehicles: usize, targets: usize) -> Vec<(String, PrivacyCurves)> {
+    vec![
+        (
+            format!("n={vehicles}"),
+            privacy_run(vehicles, minutes, 0.1, CityParams::seoul_like(), 22, targets),
+        ),
+        (
+            format!("n={vehicles} no-guard"),
+            privacy_run(vehicles, minutes, 0.0, CityParams::seoul_like(), 22, targets),
+        ),
+    ]
+}
+
+/// α ablation: privacy vs upload volume as the guard rate varies.
+pub struct AlphaAblation {
+    /// Guard rate.
+    pub alpha: f64,
+    /// Final-minute tracking success.
+    pub final_success: f64,
+    /// Final-minute entropy, bits.
+    pub final_entropy: f64,
+    /// Mean VPs uploaded per vehicle per minute.
+    pub vps_per_vehicle_minute: f64,
+}
+
+/// Sweep α and report the privacy/overhead trade-off (Design ablation 3).
+pub fn alpha_ablation(alphas: &[f64], vehicles: usize, minutes: u64) -> Vec<AlphaAblation> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let cfg = SimConfig {
+                vehicles,
+                minutes,
+                speed: SpeedScenario::Mix,
+                alpha,
+                environment: Environment::residential(),
+                city: CityParams::small_area(),
+                keep_vps: false,
+                chunk_bytes: 16,
+            };
+            let out = run_protocol_sim(&cfg, 7_000 + (alpha * 100.0) as u64);
+            let pc = privacy_curves(&out, vehicles.min(30), TrackerParams::default());
+            AlphaAblation {
+                alpha,
+                final_success: *pc.success.last().unwrap_or(&1.0),
+                final_entropy: *pc.entropy_bits.last().unwrap_or(&0.0),
+                vps_per_vehicle_minute: out.vps_per_minute() / vehicles as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_ablation_tradeoff_direction() {
+        let rows = alpha_ablation(&[0.0, 0.3], 20, 5);
+        assert_eq!(rows.len(), 2);
+        // More guards → more uploads, lower tracking success.
+        assert!(rows[1].vps_per_vehicle_minute > rows[0].vps_per_vehicle_minute);
+        assert!(rows[1].final_success <= rows[0].final_success + 1e-9);
+    }
+}

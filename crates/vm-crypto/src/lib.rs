@@ -1,0 +1,133 @@
+//! Cryptographic substrate for ViewMap, implemented from scratch.
+//!
+//! The ViewMap protocol (NSDI '17) needs three primitives:
+//!
+//! * a cryptographic hash for video fingerprints and VP identifiers
+//!   ([`sha256`], truncated to 128 bits on the wire),
+//! * big-integer arithmetic ([`bigint`]) as the substrate for
+//! * RSA blind signatures ([`rsa`]) used for the untraceable virtual cash
+//!   of Section 5.3 / Appendix A (Chaum's scheme).
+//!
+//! Nothing here depends on the rest of the workspace; the protocol crates
+//! build on top of this one.
+//!
+//! # Security note
+//!
+//! This is a research reproduction. The RSA implementation uses raw
+//! (unpadded) exponentiation over full-domain-hashed messages exactly as
+//! the blind-signature construction in the paper's appendix requires, and
+//! the arithmetic is not constant-time. Do not reuse it outside of this
+//! reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod rsa;
+pub mod sha256;
+
+pub use bigint::BigUint;
+pub use rsa::{BlindedMessage, BlindingSecret, RsaKeyPair, RsaPublicKey, Signature};
+pub use sha256::{sha256, Digest32, Sha256};
+
+/// A 128-bit digest: the truncation of SHA-256 used in ViewMap wire formats.
+///
+/// The paper's view digest carries a 16-byte cascaded hash and a 16-byte VP
+/// identifier; both are [`Digest16`] values here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest16(pub [u8; 16]);
+
+impl Digest16 {
+    /// The all-zero digest (used as a placeholder, never produced by hashing).
+    pub const ZERO: Digest16 = Digest16([0u8; 16]);
+
+    /// Hash arbitrary bytes and truncate to 128 bits.
+    pub fn hash(data: &[u8]) -> Self {
+        let d = sha256(data);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&d.0[..16]);
+        Digest16(out)
+    }
+
+    /// Hash the concatenation of several byte slices (domain-order matters).
+    pub fn hash_parts(parts: &[&[u8]]) -> Self {
+        let mut h = Sha256::new();
+        for p in parts {
+            h.update(p);
+        }
+        let d = h.finalize();
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&d.0[..16]);
+        Digest16(out)
+    }
+
+    /// Raw bytes of the digest.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Interpret the first 8 bytes as a little-endian `u64` (for hashing
+    /// into Bloom filter slots and hash maps).
+    pub fn low_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("16-byte digest"))
+    }
+
+    /// Interpret the last 8 bytes as a little-endian `u64`.
+    pub fn high_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[8..].try_into().expect("16-byte digest"))
+    }
+}
+
+impl std::fmt::Debug for Digest16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest16(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for Digest16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest16_is_prefix_of_sha256() {
+        let full = sha256(b"viewmap");
+        let short = Digest16::hash(b"viewmap");
+        assert_eq!(&full.0[..16], short.as_bytes());
+    }
+
+    #[test]
+    fn digest16_parts_equals_concat() {
+        let a = Digest16::hash_parts(&[b"ab", b"cd"]);
+        let b = Digest16::hash(b"abcd");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest16_u64_views_cover_all_bytes() {
+        let d = Digest16([
+            1, 0, 0, 0, 0, 0, 0, 0, //
+            2, 0, 0, 0, 0, 0, 0, 0,
+        ]);
+        assert_eq!(d.low_u64(), 1);
+        assert_eq!(d.high_u64(), 2);
+    }
+
+    #[test]
+    fn digest16_display_roundtrip_length() {
+        let d = Digest16::hash(b"x");
+        assert_eq!(format!("{d}").len(), 32);
+    }
+}

@@ -1,0 +1,279 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! Supports both one-shot hashing ([`sha256`]) and incremental hashing
+//! ([`Sha256`]), which ViewMap's cascaded view-digest chain relies on: each
+//! second only the newly recorded video chunk is fed into the hash, so the
+//! per-second digest cost is constant regardless of total file size
+//! (Section 6.1, Fig. 8 of the paper).
+
+/// A full 256-bit SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest32(pub [u8; 32]);
+
+impl std::fmt::Debug for Digest32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest32(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Digest32 {
+    /// Hex encoding of the digest (lowercase, 64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use vm_crypto::sha256::{sha256, Sha256};
+/// let mut h = Sha256::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), sha256(b"hello world"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher with the FIPS initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish hashing and return the digest. Consumes the hasher.
+    pub fn finalize(mut self) -> Digest32 {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then 64-bit big-endian length.
+        self.update_padding(0x80);
+        while self.buf_len != 56 {
+            self.update_padding(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        for b in len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        Digest32(out)
+    }
+
+    fn update_padding(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of a byte slice.
+pub fn sha256(data: &[u8]) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST CAVP known-answer vectors.
+    const VECTORS: &[(&str, &str)] = &[
+        (
+            "",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            "abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+
+    #[test]
+    fn known_answer_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(&sha256(input.as_bytes()).to_hex(), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7 % 251) as u8).collect();
+        let expected = sha256(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 128, 200, 300] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expected, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_many_small_updates() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Sha256::new();
+        for b in data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), sha256(data));
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Lengths around the 55/56/64 padding boundaries must all hash
+        // consistently with a two-part incremental computation.
+        for len in 50..70usize {
+            let data = vec![0xa5u8; len];
+            let one = sha256(&data);
+            let mut h = Sha256::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), one, "len {len}");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut h = Sha256::new();
+        h.update(b"prefix");
+        let h2 = h.clone();
+        h.update(b"-a");
+        let mut h2 = h2;
+        h2.update(b"-a");
+        assert_eq!(h.finalize(), h2.finalize());
+    }
+}

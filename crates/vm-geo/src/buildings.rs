@@ -1,0 +1,255 @@
+//! Building footprints and line-of-sight queries.
+//!
+//! The paper's field study (Section 7) finds that *line-of-sight condition*
+//! — obstruction by buildings, overpasses, tunnels — dominates VP linkage,
+//! not distance or RSSI. The DSRC channel model therefore needs building
+//! geometry: we fill the blocks of the road network with axis-aligned
+//! footprints at an environment-dependent density and answer
+//! "does the segment A→B cross a building?" via a spatial grid over
+//! footprints.
+
+use crate::geometry::{Point, Rect, Segment};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Parameters controlling building generation for an environment.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildingParams {
+    /// Fraction of candidate block cells that receive a building (0..=1).
+    pub density: f64,
+    /// Building footprint edge length range, meters.
+    pub size_range: (f64, f64),
+    /// Minimum clearance between a building and the street grid lines,
+    /// meters (keeps roads themselves unobstructed).
+    pub street_clearance: f64,
+}
+
+impl BuildingParams {
+    /// Open road / open terrain: no obstructions.
+    pub fn open_road() -> Self {
+        BuildingParams {
+            density: 0.0,
+            size_range: (0.0, 0.0),
+            street_clearance: 10.0,
+        }
+    }
+
+    /// Highway: sparse obstructions (sound walls, sporadic structures).
+    pub fn highway() -> Self {
+        BuildingParams {
+            density: 0.08,
+            size_range: (20.0, 60.0),
+            street_clearance: 14.0,
+        }
+    }
+
+    /// Residential area: moderate, low-rise coverage.
+    pub fn residential() -> Self {
+        BuildingParams {
+            density: 0.55,
+            size_range: (25.0, 70.0),
+            street_clearance: 8.0,
+        }
+    }
+
+    /// Downtown: dense, large-footprint buildings.
+    pub fn downtown() -> Self {
+        BuildingParams {
+            density: 0.85,
+            size_range: (40.0, 110.0),
+            street_clearance: 6.0,
+        }
+    }
+}
+
+/// An indexed set of building footprints supporting fast segment queries.
+#[derive(Clone, Debug)]
+pub struct BuildingIndex {
+    buildings: Vec<Rect>,
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl BuildingIndex {
+    /// Index an explicit set of footprints.
+    pub fn from_rects(buildings: Vec<Rect>) -> Self {
+        let cell = 200.0;
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, r) in buildings.iter().enumerate() {
+            let (x0, y0) = ((r.min.x / cell).floor() as i64, (r.min.y / cell).floor() as i64);
+            let (x1, y1) = ((r.max.x / cell).floor() as i64, (r.max.y / cell).floor() as i64);
+            for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    cells.entry((cx, cy)).or_default().push(i as u32);
+                }
+            }
+        }
+        BuildingIndex {
+            buildings,
+            cell,
+            cells,
+        }
+    }
+
+    /// Generate footprints over an area on a `block_m` lattice, one
+    /// candidate per block interior.
+    pub fn generate<R: Rng + ?Sized>(
+        area: Rect,
+        block_m: f64,
+        params: &BuildingParams,
+        rng: &mut R,
+    ) -> Self {
+        let mut rects = Vec::new();
+        if params.density > 0.0 {
+            let nx = (area.width() / block_m).floor() as usize;
+            let ny = (area.height() / block_m).floor() as usize;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    if !rng.gen_bool(params.density.clamp(0.0, 1.0)) {
+                        continue;
+                    }
+                    let cx = area.min.x + (ix as f64 + 0.5) * block_m;
+                    let cy = area.min.y + (iy as f64 + 0.5) * block_m;
+                    let max_half = (block_m / 2.0 - params.street_clearance).max(1.0);
+                    let w = rng
+                        .gen_range(params.size_range.0..=params.size_range.1)
+                        .min(max_half * 2.0)
+                        / 2.0;
+                    let h = rng
+                        .gen_range(params.size_range.0..=params.size_range.1)
+                        .min(max_half * 2.0)
+                        / 2.0;
+                    let jx = rng.gen_range(-0.2..=0.2) * block_m;
+                    let jy = rng.gen_range(-0.2..=0.2) * block_m;
+                    let c = Point::new(
+                        (cx + jx).clamp(area.min.x + w, area.max.x - w),
+                        (cy + jy).clamp(area.min.y + h, area.max.y - h),
+                    );
+                    rects.push(Rect::centered(c, w, h));
+                }
+            }
+        }
+        Self::from_rects(rects)
+    }
+
+    /// Number of indexed footprints.
+    pub fn len(&self) -> usize {
+        self.buildings.len()
+    }
+
+    /// True iff no buildings are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.buildings.is_empty()
+    }
+
+    /// The footprints.
+    pub fn rects(&self) -> &[Rect] {
+        &self.buildings
+    }
+
+    /// True iff the straight segment from `a` to `b` is unobstructed.
+    pub fn line_of_sight(&self, a: &Point, b: &Point) -> bool {
+        if self.buildings.is_empty() {
+            return true;
+        }
+        let seg = Segment::new(*a, *b);
+        // Walk grid cells along the segment's bounding box (segments here
+        // are ≤ 400 m so the box walk is small).
+        let (x0, y0) = (
+            (a.x.min(b.x) / self.cell).floor() as i64,
+            (a.y.min(b.y) / self.cell).floor() as i64,
+        );
+        let (x1, y1) = (
+            (a.x.max(b.x) / self.cell).floor() as i64,
+            (a.y.max(b.y) / self.cell).floor() as i64,
+        );
+        let mut checked: Vec<u32> = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        if checked.contains(&id) {
+                            continue;
+                        }
+                        checked.push(id);
+                        if self.buildings[id as usize].intersects_segment(&seg) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_index_is_always_los() {
+        let idx = BuildingIndex::from_rects(vec![]);
+        assert!(idx.line_of_sight(&Point::new(0.0, 0.0), &Point::new(1000.0, 1000.0)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn building_blocks_sight() {
+        let idx = BuildingIndex::from_rects(vec![Rect::new(
+            Point::new(40.0, -10.0),
+            Point::new(60.0, 10.0),
+        )]);
+        assert!(!idx.line_of_sight(&Point::new(0.0, 0.0), &Point::new(100.0, 0.0)));
+        // Going around (above) the building is clear.
+        assert!(idx.line_of_sight(&Point::new(0.0, 20.0), &Point::new(100.0, 20.0)));
+    }
+
+    #[test]
+    fn large_building_spanning_cells() {
+        let idx = BuildingIndex::from_rects(vec![Rect::new(
+            Point::new(100.0, 100.0),
+            Point::new(900.0, 150.0),
+        )]);
+        assert!(!idx.line_of_sight(&Point::new(500.0, 0.0), &Point::new(500.0, 300.0)));
+        assert!(idx.line_of_sight(&Point::new(0.0, 0.0), &Point::new(50.0, 300.0)));
+    }
+
+    #[test]
+    fn generation_densities_ordered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
+        let open = BuildingIndex::generate(area, 200.0, &BuildingParams::open_road(), &mut rng);
+        let res = BuildingIndex::generate(area, 200.0, &BuildingParams::residential(), &mut rng);
+        let down = BuildingIndex::generate(area, 200.0, &BuildingParams::downtown(), &mut rng);
+        assert_eq!(open.len(), 0);
+        assert!(!res.is_empty());
+        assert!(down.len() > res.len());
+    }
+
+    #[test]
+    fn generated_buildings_stay_inside_area() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let idx = BuildingIndex::generate(area, 100.0, &BuildingParams::downtown(), &mut rng);
+        for r in idx.rects() {
+            assert!(r.min.x >= -1e-9 && r.min.y >= -1e-9);
+            assert!(r.max.x <= 1000.0 + 1e-9 && r.max.y <= 1000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn los_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let idx = BuildingIndex::generate(area, 100.0, &BuildingParams::residential(), &mut rng);
+        use rand::Rng;
+        for _ in 0..50 {
+            let a = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let b = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            assert_eq!(idx.line_of_sight(&a, &b), idx.line_of_sight(&b, &a));
+        }
+    }
+}

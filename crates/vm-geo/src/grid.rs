@@ -1,0 +1,160 @@
+//! A uniform spatial hash grid for radius queries.
+//!
+//! The protocol simulation asks "which vehicles are within DSRC range of
+//! vehicle A?" for every vehicle every simulated second; a rebuild-per-tick
+//! uniform grid keeps that O(n · k) instead of O(n²).
+
+use crate::geometry::Point;
+use std::collections::HashMap;
+
+/// A spatial hash grid mapping cell coordinates to item ids.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<(usize, Point)>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Create an empty index with the given cell size (meters).
+    ///
+    /// For radius-`r` queries, a cell size near `r` is a good default.
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        GridIndex {
+            cell,
+            cells: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Build an index from `(id, position)` pairs.
+    pub fn build(cell: f64, items: impl IntoIterator<Item = (usize, Point)>) -> Self {
+        let mut g = Self::new(cell);
+        for (id, p) in items {
+            g.insert(id, p);
+        }
+        g
+    }
+
+    fn key(&self, p: &Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, id: usize, p: Point) {
+        self.cells.entry(self.key(&p)).or_default().push((id, p));
+        self.len += 1;
+    }
+
+    /// Number of items in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all items, keeping allocated buckets for reuse.
+    pub fn clear(&mut self) {
+        for v in self.cells.values_mut() {
+            v.clear();
+        }
+        self.len = 0;
+    }
+
+    /// All item ids strictly within `radius` of `p` (excluding exact self
+    /// matches only if the caller filters them; the index itself returns
+    /// every stored item in range, including one at distance 0).
+    pub fn query_radius(&self, p: &Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_in_radius(p, radius, |id, _| out.push(id));
+        out
+    }
+
+    /// Visit `(id, position)` for each item within `radius` of `p`.
+    pub fn for_each_in_radius(&self, p: &Point, radius: f64, mut f: impl FnMut(usize, Point)) {
+        let r_cells = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = self.key(p);
+        let r2 = radius * radius;
+        for dx in -r_cells..=r_cells {
+            for dy in -r_cells..=r_cells {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for (id, q) in bucket {
+                        if p.distance_sq(q) <= r2 {
+                            f(*id, *q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_items_in_radius() {
+        let items = vec![
+            (0, Point::new(0.0, 0.0)),
+            (1, Point::new(50.0, 0.0)),
+            (2, Point::new(150.0, 0.0)),
+            (3, Point::new(0.0, 99.0)),
+            (4, Point::new(0.0, 101.0)),
+        ];
+        let g = GridIndex::build(100.0, items);
+        let mut hits = g.query_radius(&Point::new(0.0, 0.0), 100.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn radius_larger_than_cell() {
+        let items: Vec<(usize, Point)> = (0..100)
+            .map(|i| (i, Point::new(i as f64 * 10.0, 0.0)))
+            .collect();
+        let g = GridIndex::build(25.0, items);
+        let hits = g.query_radius(&Point::new(0.0, 0.0), 400.0);
+        assert_eq!(hits.len(), 41); // 0..=400 m at 10 m spacing
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let g = GridIndex::build(
+            10.0,
+            vec![(7, Point::new(-5.0, -5.0)), (8, Point::new(-25.0, -25.0))],
+        );
+        let hits = g.query_radius(&Point::new(-6.0, -6.0), 5.0);
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_empties() {
+        let mut g = GridIndex::build(10.0, vec![(0, Point::new(0.0, 0.0))]);
+        assert_eq!(g.len(), 1);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.query_radius(&Point::new(0.0, 0.0), 100.0).is_empty());
+        g.insert(3, Point::new(1.0, 1.0));
+        assert_eq!(g.query_radius(&Point::new(0.0, 0.0), 5.0), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::new(0.0);
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let g = GridIndex::build(10.0, vec![(0, Point::new(10.0, 0.0))]);
+        assert_eq!(g.query_radius(&Point::new(0.0, 0.0), 10.0), vec![0]);
+    }
+}

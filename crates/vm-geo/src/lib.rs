@@ -1,0 +1,25 @@
+//! Geometric substrate for ViewMap: planar geometry, a spatial hash index,
+//! a synthetic road network (the stand-in for the OpenStreetMap extract of
+//! Seoul used in the paper's Section 8), a driving-route planner (the
+//! stand-in for the Google Directions API used for guard-VP trajectories,
+//! Section 5.1.2), and building footprints used by the DSRC line-of-sight
+//! model (Section 7).
+//!
+//! All coordinates are meters in a local planar frame; the simulations use
+//! 4×4 km² (Section 6) and 8×8 km² (Section 8) areas, so a flat projection
+//! is exact enough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buildings;
+pub mod geometry;
+pub mod grid;
+pub mod roadnet;
+pub mod route;
+
+pub use buildings::{BuildingIndex, BuildingParams};
+pub use geometry::{segments_intersect, Point, Rect, Segment};
+pub use grid::GridIndex;
+pub use roadnet::{CityParams, EdgeId, NodeId, RoadNetwork};
+pub use route::{Route, Router};

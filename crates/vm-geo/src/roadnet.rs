@@ -1,0 +1,390 @@
+//! Synthetic road networks.
+//!
+//! The paper's large-scale evaluation (Section 8) extracts an 8×8 km² street
+//! map of Seoul via OpenStreetMap and feeds it to SUMO. We generate a
+//! comparable street network instead: an irregular Manhattan-style grid with
+//! jittered intersections, randomly removed links (dead ends, superblocks),
+//! and a handful of diagonal avenues. The result has the statistics the
+//! evaluation depends on — block sizes around 100–200 m, 4-way
+//! intersections, and full connectivity (largest connected component).
+
+use crate::geometry::Point;
+use rand::Rng;
+
+/// Identifier of a road-network node (intersection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed road edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub u32);
+
+/// A directed road segment.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Length in meters.
+    pub length: f64,
+}
+
+/// Parameters for the synthetic city generator.
+#[derive(Clone, Copy, Debug)]
+pub struct CityParams {
+    /// Width of the covered area in meters.
+    pub width_m: f64,
+    /// Height of the covered area in meters.
+    pub height_m: f64,
+    /// Nominal block edge length in meters.
+    pub block_m: f64,
+    /// Fractional position jitter applied to intersections (0..0.5).
+    pub jitter: f64,
+    /// Probability that a grid link is kept (0..=1). Lower values create
+    /// dead ends and superblocks, like a real street map.
+    pub keep_link_prob: f64,
+    /// Number of diagonal avenues cut across the grid.
+    pub diagonals: usize,
+}
+
+impl CityParams {
+    /// The 4×4 km² area of the paper's Section 6 experiments.
+    pub fn small_area() -> Self {
+        CityParams {
+            width_m: 4_000.0,
+            height_m: 4_000.0,
+            block_m: 200.0,
+            jitter: 0.18,
+            keep_link_prob: 0.93,
+            diagonals: 2,
+        }
+    }
+
+    /// The 8×8 km² Seoul-like area of the paper's Section 8 experiments.
+    pub fn seoul_like() -> Self {
+        CityParams {
+            width_m: 8_000.0,
+            height_m: 8_000.0,
+            block_m: 160.0,
+            jitter: 0.22,
+            keep_link_prob: 0.91,
+            diagonals: 5,
+        }
+    }
+}
+
+/// A road network: nodes at intersections, directed edges both ways along
+/// each street segment.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<EdgeId>>,
+    bounds: (Point, Point),
+}
+
+impl RoadNetwork {
+    /// Build a network from explicit nodes and *undirected* links; each link
+    /// becomes two directed edges.
+    pub fn from_links(nodes: Vec<Point>, links: &[(u32, u32)]) -> Self {
+        let mut edges = Vec::with_capacity(links.len() * 2);
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for &(a, b) in links {
+            assert!((a as usize) < nodes.len() && (b as usize) < nodes.len());
+            assert_ne!(a, b, "self-loop road link");
+            let len = nodes[a as usize].distance(&nodes[b as usize]);
+            adj[a as usize].push(EdgeId(edges.len() as u32));
+            edges.push(Edge {
+                from: NodeId(a),
+                to: NodeId(b),
+                length: len,
+            });
+            adj[b as usize].push(EdgeId(edges.len() as u32));
+            edges.push(Edge {
+                from: NodeId(b),
+                to: NodeId(a),
+                length: len,
+            });
+        }
+        let bounds = bounds_of(&nodes);
+        RoadNetwork {
+            nodes,
+            edges,
+            adj,
+            bounds,
+        }
+    }
+
+    /// Generate a synthetic city street network.
+    pub fn synthetic_city<R: Rng + ?Sized>(params: &CityParams, rng: &mut R) -> Self {
+        let nx = (params.width_m / params.block_m).round() as usize + 1;
+        let ny = (params.height_m / params.block_m).round() as usize + 1;
+        assert!(nx >= 2 && ny >= 2, "area too small for block size");
+        let idx = |ix: usize, iy: usize| (iy * nx + ix) as u32;
+
+        let mut nodes = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let jx = rng.gen_range(-params.jitter..=params.jitter) * params.block_m;
+                let jy = rng.gen_range(-params.jitter..=params.jitter) * params.block_m;
+                nodes.push(Point::new(
+                    (ix as f64 * params.block_m + jx).clamp(0.0, params.width_m),
+                    (iy as f64 * params.block_m + jy).clamp(0.0, params.height_m),
+                ));
+            }
+        }
+
+        let mut links = Vec::new();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                if ix + 1 < nx && rng.gen_bool(params.keep_link_prob) {
+                    links.push((idx(ix, iy), idx(ix + 1, iy)));
+                }
+                if iy + 1 < ny && rng.gen_bool(params.keep_link_prob) {
+                    links.push((idx(ix, iy), idx(ix, iy + 1)));
+                }
+            }
+        }
+        // Diagonal avenues: connect (ix,iy)-(ix+1,iy+1) along a random band.
+        for _ in 0..params.diagonals {
+            let start = rng.gen_range(0..nx.max(2) - 1);
+            let up = rng.gen_bool(0.5);
+            let mut ix = start;
+            let mut iy = if up { 0 } else { ny - 1 };
+            loop {
+                let next_iy = if up { iy + 1 } else { iy.wrapping_sub(1) };
+                if ix + 1 >= nx || next_iy >= ny {
+                    break;
+                }
+                links.push((idx(ix, iy), idx(ix + 1, next_iy)));
+                ix += 1;
+                iy = next_iy;
+            }
+        }
+
+        let net = Self::from_links(nodes, &links);
+        net.largest_component()
+    }
+
+    /// Restrict the network to its largest connected component (renumbers
+    /// nodes). Guarantees every remaining pair of nodes is mutually
+    /// reachable, which the router and trip generator rely on.
+    pub fn largest_component(&self) -> RoadNetwork {
+        let n = self.nodes.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0usize;
+        let mut sizes = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = count;
+            let mut size = 0usize;
+            while let Some(u) = stack.pop() {
+                size += 1;
+                for &eid in &self.adj[u] {
+                    let v = self.edges[eid.0 as usize].to.0 as usize;
+                    if comp[v] == usize::MAX {
+                        comp[v] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            sizes.push(size);
+            count += 1;
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i)
+            .expect("at least one component");
+        let mut remap = vec![u32::MAX; n];
+        let mut new_nodes = Vec::new();
+        for (i, &c) in comp.iter().enumerate() {
+            if c == best {
+                remap[i] = new_nodes.len() as u32;
+                new_nodes.push(self.nodes[i]);
+            }
+        }
+        let mut links = Vec::new();
+        for e in &self.edges {
+            let (a, b) = (e.from.0 as usize, e.to.0 as usize);
+            if comp[a] == best && comp[b] == best && e.from.0 < e.to.0 {
+                links.push((remap[a], remap[b]));
+            }
+        }
+        RoadNetwork::from_links(new_nodes, &links)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Position of a node.
+    pub fn pos(&self, n: NodeId) -> Point {
+        self.nodes[n.0 as usize]
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, n: NodeId) -> &[EdgeId] {
+        &self.adj[n.0 as usize]
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.0 as usize]
+    }
+
+    /// Iterate over all directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Bounding box of the network `(min, max)`.
+    pub fn bounds(&self) -> (Point, Point) {
+        self.bounds
+    }
+
+    /// A uniformly random node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        NodeId(rng.gen_range(0..self.nodes.len() as u32))
+    }
+
+    /// The node nearest to an arbitrary point (linear scan; used only at
+    /// setup time).
+    pub fn nearest_node(&self, p: &Point) -> NodeId {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, q) in self.nodes.iter().enumerate() {
+            let d = p.distance_sq(q);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        NodeId(best as u32)
+    }
+}
+
+fn bounds_of(nodes: &[Point]) -> (Point, Point) {
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in nodes {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> RoadNetwork {
+        // 0 -- 1 -- 2
+        //      |
+        //      3
+        RoadNetwork::from_links(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(200.0, 0.0),
+                Point::new(100.0, 100.0),
+            ],
+            &[(0, 1), (1, 2), (1, 3)],
+        )
+    }
+
+    #[test]
+    fn from_links_builds_bidirectional_edges() {
+        let net = tiny();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.edge_count(), 6);
+        assert_eq!(net.outgoing(NodeId(1)).len(), 3);
+        let e = net.edge(net.outgoing(NodeId(0))[0]);
+        assert_eq!(e.from, NodeId(0));
+        assert_eq!(e.length, 100.0);
+    }
+
+    #[test]
+    fn largest_component_drops_islands() {
+        let net = RoadNetwork::from_links(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(5000.0, 5000.0),
+                Point::new(5100.0, 5000.0),
+                Point::new(5200.0, 5000.0),
+            ],
+            &[(0, 1), (2, 3), (3, 4)],
+        );
+        let lc = net.largest_component();
+        assert_eq!(lc.node_count(), 3);
+        assert_eq!(lc.edge_count(), 4);
+    }
+
+    #[test]
+    fn synthetic_city_is_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = RoadNetwork::synthetic_city(&CityParams::small_area(), &mut rng);
+        // 4 km / 200 m blocks → 21×21 grid, minus removed islands.
+        assert!(net.node_count() > 350, "nodes: {}", net.node_count());
+        // Connectivity: BFS from node 0 reaches everything.
+        let mut seen = vec![false; net.node_count()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(u) = stack.pop() {
+            for &eid in net.outgoing(NodeId(u as u32)) {
+                let v = net.edge(eid).to.0 as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    reached += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(reached, net.node_count());
+        // Bounds stay within the requested area.
+        let (min, max) = net.bounds();
+        assert!(min.x >= 0.0 && min.y >= 0.0);
+        assert!(max.x <= 4000.0 && max.y <= 4000.0);
+    }
+
+    #[test]
+    fn seoul_like_scale() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = RoadNetwork::synthetic_city(&CityParams::seoul_like(), &mut rng);
+        assert!(net.node_count() > 2000, "nodes: {}", net.node_count());
+        assert!(net.edge_count() > 6000, "edges: {}", net.edge_count());
+    }
+
+    #[test]
+    fn nearest_node_picks_closest() {
+        let net = tiny();
+        assert_eq!(net.nearest_node(&Point::new(90.0, 90.0)), NodeId(3));
+        assert_eq!(net.nearest_node(&Point::new(-10.0, 0.0)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = RoadNetwork::from_links(vec![Point::new(0.0, 0.0)], &[(0, 0)]);
+    }
+}

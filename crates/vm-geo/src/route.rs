@@ -1,0 +1,274 @@
+//! Driving-route planning — the stand-in for the Google Directions API.
+//!
+//! Guard-VP generation (paper Section 5.1.2) needs "a driving route between
+//! two points on a road map" that is instantly computable and plausible. We
+//! run A* over the same road network the simulated vehicles drive on, which
+//! makes guard trajectories follow exactly the kind of paths real vehicles
+//! produce.
+
+use crate::geometry::Point;
+use crate::roadnet::{NodeId, RoadNetwork};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A computed driving route.
+#[derive(Clone, Debug)]
+pub struct Route {
+    /// Node sequence from origin to destination.
+    pub nodes: Vec<NodeId>,
+    /// Polyline of the route (node positions).
+    pub points: Vec<Point>,
+    /// Total length in meters.
+    pub length: f64,
+}
+
+impl Route {
+    /// Position at arc length `s` meters from the start (clamped to the
+    /// route's ends).
+    pub fn position_at(&self, s: f64) -> Point {
+        if self.points.len() == 1 || s <= 0.0 {
+            return self.points[0];
+        }
+        let mut remaining = s;
+        for w in self.points.windows(2) {
+            let seg_len = w[0].distance(&w[1]);
+            if remaining <= seg_len {
+                let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+                return w[0].lerp(&w[1], t);
+            }
+            remaining -= seg_len;
+        }
+        *self.points.last().expect("non-empty route")
+    }
+
+    /// Sample the route at the given arc lengths (they need not be
+    /// monotonic, but usually are). Used to place guard-VP view digests
+    /// "variably spaced along the given routes" (Section 5.1.2).
+    pub fn sample(&self, arc_lengths: &[f64]) -> Vec<Point> {
+        arc_lengths.iter().map(|&s| self.position_at(s)).collect()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    f: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A* shortest-path router over a [`RoadNetwork`].
+pub struct Router<'a> {
+    net: &'a RoadNetwork,
+}
+
+impl<'a> Router<'a> {
+    /// Create a router borrowing the network.
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        Router { net }
+    }
+
+    /// Shortest driving route between two nodes; `None` if unreachable.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        let n = self.net.node_count();
+        let goal = self.net.pos(to);
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.0 as usize] = 0.0;
+        heap.push(HeapEntry {
+            f: self.net.pos(from).distance(&goal),
+            node: from.0,
+        });
+        while let Some(HeapEntry { node, .. }) = heap.pop() {
+            if node == to.0 {
+                break;
+            }
+            let u = node as usize;
+            let du = dist[u];
+            for &eid in self.net.outgoing(NodeId(node)) {
+                let e = self.net.edge(eid);
+                let v = e.to.0 as usize;
+                let nd = du + e.length;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(NodeId(node));
+                    heap.push(HeapEntry {
+                        f: nd + self.net.pos(e.to).distance(&goal),
+                        node: e.to.0,
+                    });
+                }
+            }
+        }
+        if dist[to.0 as usize].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.0 as usize] {
+            nodes.push(p);
+            cur = p;
+        }
+        if cur != from {
+            // `to == from` leaves prev empty; anything else means no path.
+            if to != from {
+                return None;
+            }
+        }
+        nodes.reverse();
+        let points: Vec<Point> = nodes.iter().map(|&n| self.net.pos(n)).collect();
+        Some(Route {
+            nodes,
+            points,
+            length: dist[to.0 as usize],
+        })
+    }
+
+    /// Shortest route between the nodes nearest to two arbitrary points —
+    /// the Directions-API-shaped entry point used by guard-VP creation.
+    pub fn route_points(&self, from: &Point, to: &Point) -> Option<Route> {
+        self.route(self.net.nearest_node(from), self.net.nearest_node(to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadnet::CityParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid3() -> RoadNetwork {
+        // 3×3 grid, spacing 100 m, nodes numbered row-major.
+        let mut nodes = Vec::new();
+        for iy in 0..3 {
+            for ix in 0..3 {
+                nodes.push(Point::new(ix as f64 * 100.0, iy as f64 * 100.0));
+            }
+        }
+        let mut links = Vec::new();
+        for iy in 0..3u32 {
+            for ix in 0..3u32 {
+                let id = iy * 3 + ix;
+                if ix < 2 {
+                    links.push((id, id + 1));
+                }
+                if iy < 2 {
+                    links.push((id, id + 3));
+                }
+            }
+        }
+        RoadNetwork::from_links(nodes, &links)
+    }
+
+    #[test]
+    fn shortest_path_on_grid() {
+        let net = grid3();
+        let router = Router::new(&net);
+        let r = router.route(NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(r.length, 400.0);
+        assert_eq!(r.nodes.first(), Some(&NodeId(0)));
+        assert_eq!(r.nodes.last(), Some(&NodeId(8)));
+        assert_eq!(r.nodes.len(), 5);
+    }
+
+    #[test]
+    fn route_to_self_is_zero_length() {
+        let net = grid3();
+        let r = Router::new(&net).route(NodeId(4), NodeId(4)).unwrap();
+        assert_eq!(r.length, 0.0);
+        assert_eq!(r.nodes, vec![NodeId(4)]);
+        assert_eq!(r.position_at(10.0), net.pos(NodeId(4)));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let net = RoadNetwork::from_links(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(1000.0, 0.0),
+                Point::new(1100.0, 0.0),
+            ],
+            &[(0, 1), (2, 3)],
+        );
+        assert!(Router::new(&net).route(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn position_at_walks_the_polyline() {
+        let net = grid3();
+        let r = Router::new(&net).route(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(r.position_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(r.position_at(50.0), Point::new(50.0, 0.0));
+        assert_eq!(r.position_at(150.0), Point::new(150.0, 0.0));
+        assert_eq!(r.position_at(1e9), Point::new(200.0, 0.0)); // clamped
+    }
+
+    #[test]
+    fn sample_matches_position_at() {
+        let net = grid3();
+        let r = Router::new(&net).route(NodeId(0), NodeId(8)).unwrap();
+        let samples = r.sample(&[0.0, 123.0, 400.0]);
+        assert_eq!(samples[0], r.position_at(0.0));
+        assert_eq!(samples[1], r.position_at(123.0));
+        assert_eq!(samples[2], r.position_at(400.0));
+    }
+
+    #[test]
+    fn astar_equals_route_length_on_random_city_pairs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = RoadNetwork::synthetic_city(&CityParams::small_area(), &mut rng);
+        let router = Router::new(&net);
+        for _ in 0..20 {
+            let a = net.random_node(&mut rng);
+            let b = net.random_node(&mut rng);
+            let r = router.route(a, b).expect("connected network");
+            // Route length equals the sum of its polyline segments.
+            let poly_len: f64 = r.points.windows(2).map(|w| w[0].distance(&w[1])).sum();
+            assert!((poly_len - r.length).abs() < 1e-6);
+            // And is at least the straight-line distance.
+            assert!(r.length + 1e-9 >= net.pos(a).distance(&net.pos(b)));
+        }
+    }
+
+    #[test]
+    fn route_points_snaps_to_nearest_nodes() {
+        let net = grid3();
+        let router = Router::new(&net);
+        let r = router
+            .route_points(&Point::new(-5.0, 3.0), &Point::new(205.0, 198.0))
+            .unwrap();
+        assert_eq!(r.nodes.first(), Some(&NodeId(0)));
+        assert_eq!(r.nodes.last(), Some(&NodeId(8)));
+    }
+
+    #[test]
+    fn random_arc_samples_lie_on_route_bounds() {
+        let net = grid3();
+        let r = Router::new(&net).route(NodeId(0), NodeId(8)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s: f64 = rng.gen_range(0.0..r.length);
+            let p = r.position_at(s);
+            assert!(p.x >= 0.0 && p.x <= 200.0 && p.y >= 0.0 && p.y <= 200.0);
+        }
+    }
+}

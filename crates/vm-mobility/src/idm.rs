@@ -1,0 +1,114 @@
+//! Intelligent Driver Model (Treiber et al.) car-following law.
+//!
+//! The IDM produces realistic speed traces — smooth approach to the desired
+//! speed on free road, graceful braking behind a leader — which is what the
+//! contact-time and density statistics of the paper's evaluation depend on.
+
+/// IDM parameters (urban driving defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct IdmParams {
+    /// Maximum acceleration, m/s².
+    pub a_max: f64,
+    /// Comfortable deceleration, m/s².
+    pub b_comfort: f64,
+    /// Minimum bumper-to-bumper gap, m.
+    pub s0: f64,
+    /// Desired time headway, s.
+    pub headway: f64,
+    /// Acceleration exponent.
+    pub delta: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            a_max: 1.5,
+            b_comfort: 2.0,
+            s0: 2.0,
+            headway: 1.5,
+            delta: 4.0,
+        }
+    }
+}
+
+impl IdmParams {
+    /// Acceleration for a vehicle at speed `v` with desired speed `v0`,
+    /// following a leader `gap` meters ahead moving at `v_leader`
+    /// (`None` for free road).
+    pub fn acceleration(&self, v: f64, v0: f64, leader: Option<(f64, f64)>) -> f64 {
+        let v0 = v0.max(0.1);
+        let free = 1.0 - (v / v0).powf(self.delta);
+        let interaction = match leader {
+            None => 0.0,
+            Some((gap, v_leader)) => {
+                let gap = gap.max(0.01);
+                let dv = v - v_leader;
+                let s_star = self.s0
+                    + (v * self.headway + v * dv / (2.0 * (self.a_max * self.b_comfort).sqrt()))
+                        .max(0.0);
+                (s_star / gap).powi(2)
+            }
+        };
+        self.a_max * (free - interaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerates_on_free_road_below_desired_speed() {
+        let idm = IdmParams::default();
+        assert!(idm.acceleration(5.0, 14.0, None) > 0.0);
+    }
+
+    #[test]
+    fn holds_desired_speed_on_free_road() {
+        let idm = IdmParams::default();
+        let a = idm.acceleration(14.0, 14.0, None);
+        assert!(a.abs() < 1e-9, "at v0 the free term vanishes: {a}");
+    }
+
+    #[test]
+    fn decelerates_above_desired_speed() {
+        let idm = IdmParams::default();
+        assert!(idm.acceleration(20.0, 14.0, None) < 0.0);
+    }
+
+    #[test]
+    fn brakes_behind_close_leader() {
+        let idm = IdmParams::default();
+        let a = idm.acceleration(14.0, 14.0, Some((5.0, 0.0)));
+        assert!(a < -2.0, "should brake hard: {a}");
+    }
+
+    #[test]
+    fn distant_leader_barely_matters() {
+        let idm = IdmParams::default();
+        let free = idm.acceleration(10.0, 14.0, None);
+        let with_far_leader = idm.acceleration(10.0, 14.0, Some((500.0, 10.0)));
+        assert!((free - with_far_leader).abs() < 0.05);
+    }
+
+    #[test]
+    fn converges_to_equilibrium_gap() {
+        // Two-car platoon: follower settles to a stable gap behind a
+        // constant-speed leader.
+        let idm = IdmParams::default();
+        let v_leader = 10.0;
+        let mut v = 0.0;
+        let mut gap = 100.0;
+        for _ in 0..600 {
+            let a = idm.acceleration(v, 15.0, Some((gap, v_leader)));
+            let dt = 0.5;
+            let v_new = (v + a * dt).max(0.0);
+            gap += (v_leader - v) * dt;
+            v = v_new;
+            assert!(gap > 0.0, "follower must not crash into leader");
+        }
+        assert!((v - v_leader).abs() < 0.3, "speed matched: {v}");
+        let s_star = idm.s0 + v_leader * idm.headway;
+        assert!((gap - s_star).abs() < 3.0, "gap {gap} near equilibrium {s_star}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Vehicular traffic simulation — the SUMO substitute.
+//!
+//! The paper's large-scale evaluation (Section 8) drives 1000 vehicles from
+//! SUMO traces over a Seoul street map; Section 6 uses 50–200 vehicles in a
+//! 4×4 km² area. This crate produces equivalent per-second position traces:
+//! vehicles follow shortest-path trips over a [`vm_geo::RoadNetwork`],
+//! regulated by an Intelligent-Driver-Model (IDM) car-following law, under
+//! the paper's speed scenarios (30 / 50 / 70 km/h and mixed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod idm;
+pub mod sim;
+
+pub use idm::IdmParams;
+pub use sim::{MobilityConfig, SpeedScenario, TrafficSim, VehicleState};

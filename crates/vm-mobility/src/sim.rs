@@ -1,0 +1,384 @@
+//! The per-second traffic simulation.
+
+use crate::idm::IdmParams;
+use rand::Rng;
+use std::collections::HashMap;
+use vm_geo::{NodeId, Point, RoadNetwork, Router};
+
+/// Speed scenario of the paper's evaluation (Section 8, Fig. 21/22).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpeedScenario {
+    /// Every vehicle's desired speed is the given km/h value (±10%).
+    Fixed(f64),
+    /// Desired speeds drawn uniformly from 30–70 km/h ("Mix").
+    Mix,
+}
+
+impl SpeedScenario {
+    /// Draw a desired speed in m/s for one vehicle.
+    pub fn desired_speed_mps<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let kmh = match self {
+            SpeedScenario::Fixed(v) => rng.gen_range(0.9 * v..=1.1 * v),
+            SpeedScenario::Mix => rng.gen_range(30.0..=70.0),
+        };
+        kmh / 3.6
+    }
+
+    /// Scenario label as used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            SpeedScenario::Fixed(v) => format!("{v:.0}km/h"),
+            SpeedScenario::Mix => "Mix".to_string(),
+        }
+    }
+}
+
+/// Traffic simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MobilityConfig {
+    /// Number of simulated vehicles.
+    pub vehicles: usize,
+    /// Speed scenario.
+    pub speed: SpeedScenario,
+    /// IDM car-following parameters.
+    pub idm: IdmParams,
+}
+
+impl MobilityConfig {
+    /// Paper Section 6 small-scale setting (n vehicles, mixed speeds).
+    pub fn small(n: usize) -> Self {
+        MobilityConfig {
+            vehicles: n,
+            speed: SpeedScenario::Mix,
+            idm: IdmParams::default(),
+        }
+    }
+
+    /// Paper Section 8 large-scale setting (1000 vehicles).
+    pub fn large(speed: SpeedScenario) -> Self {
+        MobilityConfig {
+            vehicles: 1000,
+            speed,
+            idm: IdmParams::default(),
+        }
+    }
+}
+
+/// Public snapshot of one vehicle.
+#[derive(Clone, Copy, Debug)]
+pub struct VehicleState {
+    /// Current position.
+    pub pos: Point,
+    /// Current speed, m/s.
+    pub speed: f64,
+    /// Desired (free-flow) speed, m/s.
+    pub desired_speed: f64,
+}
+
+struct Vehicle {
+    route: Vec<NodeId>,
+    leg: usize,    // traveling route[leg] -> route[leg+1]
+    offset: f64,   // meters from route[leg]
+    speed: f64,    // m/s
+    desired: f64,  // m/s
+}
+
+impl Vehicle {
+    fn leg_len(&self, net: &RoadNetwork) -> f64 {
+        net.pos(self.route[self.leg])
+            .distance(&net.pos(self.route[self.leg + 1]))
+    }
+
+    fn position(&self, net: &RoadNetwork) -> Point {
+        let a = net.pos(self.route[self.leg]);
+        let b = net.pos(self.route[self.leg + 1]);
+        let len = a.distance(&b);
+        let t = if len > 0.0 {
+            (self.offset / len).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        a.lerp(&b, t)
+    }
+}
+
+/// A running traffic simulation over a road network.
+pub struct TrafficSim<'a> {
+    net: &'a RoadNetwork,
+    cfg: MobilityConfig,
+    vehicles: Vec<Vehicle>,
+    time_s: u64,
+}
+
+impl<'a> TrafficSim<'a> {
+    /// Spawn `cfg.vehicles` vehicles at random nodes with random trips.
+    pub fn new<R: Rng + ?Sized>(net: &'a RoadNetwork, cfg: MobilityConfig, rng: &mut R) -> Self {
+        assert!(net.node_count() >= 2, "network too small");
+        let router = Router::new(net);
+        let mut vehicles = Vec::with_capacity(cfg.vehicles);
+        while vehicles.len() < cfg.vehicles {
+            let origin = net.random_node(rng);
+            let Some(route) = new_trip(net, &router, origin, rng) else {
+                continue;
+            };
+            let desired = cfg.speed.desired_speed_mps(rng);
+            let first_len = net.pos(route[0]).distance(&net.pos(route[1]));
+            vehicles.push(Vehicle {
+                offset: rng.gen_range(0.0..first_len.max(1.0)).min(first_len),
+                route,
+                leg: 0,
+                speed: desired * rng.gen_range(0.5..1.0),
+                desired,
+            });
+        }
+        TrafficSim {
+            net,
+            cfg,
+            vehicles,
+            time_s: 0,
+        }
+    }
+
+    /// Seconds simulated so far.
+    pub fn time_s(&self) -> u64 {
+        self.time_s
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// True iff the simulation has no vehicles.
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// Current positions of all vehicles (indexed by vehicle id).
+    pub fn positions(&self) -> Vec<Point> {
+        self.vehicles.iter().map(|v| v.position(self.net)).collect()
+    }
+
+    /// Current state snapshots of all vehicles.
+    pub fn states(&self) -> Vec<VehicleState> {
+        self.vehicles
+            .iter()
+            .map(|v| VehicleState {
+                pos: v.position(self.net),
+                speed: v.speed,
+                desired_speed: v.desired,
+            })
+            .collect()
+    }
+
+    /// Advance the simulation by one second.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let dt = 1.0;
+        // Group vehicles by directed leg so each can find its leader.
+        let mut on_leg: HashMap<(u32, u32), Vec<(usize, f64)>> = HashMap::new();
+        for (i, v) in self.vehicles.iter().enumerate() {
+            let key = (v.route[v.leg].0, v.route[v.leg + 1].0);
+            on_leg.entry(key).or_default().push((i, v.offset));
+        }
+        let mut leaders: Vec<Option<(f64, f64)>> = vec![None; self.vehicles.len()];
+        for group in on_leg.values_mut() {
+            group.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            for w in group.windows(2) {
+                let (follower, f_off) = w[0];
+                let (leader, l_off) = w[1];
+                leaders[follower] = Some((l_off - f_off, self.vehicles[leader].speed));
+            }
+        }
+        let router = Router::new(self.net);
+        for i in 0..self.vehicles.len() {
+            let (accel, desired, speed) = {
+                let v = &self.vehicles[i];
+                (
+                    self.cfg.idm.acceleration(v.speed, v.desired, leaders[i]),
+                    v.desired,
+                    v.speed,
+                )
+            };
+            let new_speed = (speed + accel * dt).clamp(0.0, desired * 1.2);
+            let v = &mut self.vehicles[i];
+            v.speed = new_speed;
+            v.offset += new_speed * dt;
+            // Advance across legs; start a fresh trip when the route ends.
+            loop {
+                let leg_len = self.vehicles[i].leg_len(self.net);
+                if self.vehicles[i].offset < leg_len {
+                    break;
+                }
+                self.vehicles[i].offset -= leg_len;
+                self.vehicles[i].leg += 1;
+                if self.vehicles[i].leg + 1 >= self.vehicles[i].route.len() {
+                    let last = *self.vehicles[i].route.last().expect("non-empty route");
+                    if let Some(route) = new_trip(self.net, &router, last, rng) {
+                        self.vehicles[i].route = route;
+                        self.vehicles[i].leg = 0;
+                    } else {
+                        // Stuck node (cannot happen on a connected net);
+                        // restart the same route backwards.
+                        self.vehicles[i].route.reverse();
+                        self.vehicles[i].leg = 0;
+                    }
+                }
+            }
+        }
+        self.time_s += 1;
+    }
+}
+
+/// Plan a trip from `origin` to a random destination at least a few blocks
+/// away; `None` only if the network is degenerate.
+fn new_trip<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    router: &Router<'_>,
+    origin: NodeId,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    for _ in 0..32 {
+        let dest = net.random_node(rng);
+        if dest == origin {
+            continue;
+        }
+        if net.pos(dest).distance(&net.pos(origin)) < 500.0 {
+            continue;
+        }
+        if let Some(route) = router.route(origin, dest) {
+            if route.nodes.len() >= 2 {
+                return Some(route.nodes);
+            }
+        }
+    }
+    // Fall back to any neighbor hop.
+    let out = net.outgoing(origin);
+    if out.is_empty() {
+        return None;
+    }
+    let e = net.edge(out[rng.gen_range(0..out.len())]);
+    Some(vec![e.from, e.to])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vm_geo::CityParams;
+
+    fn city(seed: u64) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RoadNetwork::synthetic_city(&CityParams::small_area(), &mut rng)
+    }
+
+    #[test]
+    fn vehicles_spawn_on_roads() {
+        let net = city(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sim = TrafficSim::new(&net, MobilityConfig::small(50), &mut rng);
+        assert_eq!(sim.len(), 50);
+        let (min, max) = net.bounds();
+        for p in sim.positions() {
+            assert!(p.x >= min.x - 1.0 && p.x <= max.x + 1.0);
+            assert!(p.y >= min.y - 1.0 && p.y <= max.y + 1.0);
+        }
+    }
+
+    #[test]
+    fn vehicles_move_over_time() {
+        let net = city(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = TrafficSim::new(&net, MobilityConfig::small(30), &mut rng);
+        let before = sim.positions();
+        for _ in 0..30 {
+            sim.step(&mut rng);
+        }
+        let after = sim.positions();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(a, b)| a.distance(b) > 10.0)
+            .count();
+        assert!(moved > 20, "most vehicles should have moved: {moved}/30");
+        assert_eq!(sim.time_s(), 30);
+    }
+
+    #[test]
+    fn per_second_displacement_bounded_by_speed() {
+        let net = city(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = MobilityConfig {
+            vehicles: 40,
+            speed: SpeedScenario::Fixed(50.0),
+            idm: IdmParams::default(),
+        };
+        let mut sim = TrafficSim::new(&net, cfg, &mut rng);
+        for _ in 0..20 {
+            let before = sim.positions();
+            sim.step(&mut rng);
+            let after = sim.positions();
+            for (a, b) in before.iter().zip(&after) {
+                // Straight-line displacement can't exceed distance driven:
+                // max desired 55 km/h * 1.2 ≈ 18.3 m/s.
+                assert!(a.distance(b) <= 19.0, "teleport: {}", a.distance(b));
+            }
+        }
+    }
+
+    #[test]
+    fn speed_scenarios_scale_average_speed() {
+        let net = city(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let avg_speed = |scenario: SpeedScenario, rng: &mut StdRng| {
+            let cfg = MobilityConfig {
+                vehicles: 60,
+                speed: scenario,
+                idm: IdmParams::default(),
+            };
+            let mut sim = TrafficSim::new(&net, cfg, rng);
+            for _ in 0..60 {
+                sim.step(rng);
+            }
+            let states = sim.states();
+            states.iter().map(|s| s.speed).sum::<f64>() / states.len() as f64
+        };
+        let slow = avg_speed(SpeedScenario::Fixed(30.0), &mut rng);
+        let fast = avg_speed(SpeedScenario::Fixed(70.0), &mut rng);
+        assert!(
+            fast > slow * 1.4,
+            "70 km/h fleet ({fast:.1} m/s) should be much faster than 30 km/h fleet ({slow:.1} m/s)"
+        );
+    }
+
+    #[test]
+    fn desired_speed_draws_match_scenario() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = SpeedScenario::Fixed(50.0).desired_speed_mps(&mut rng);
+            assert!((12.0..=15.5).contains(&v), "50km/h ±10% in m/s: {v}");
+            let m = SpeedScenario::Mix.desired_speed_mps(&mut rng);
+            assert!((8.0..=19.5).contains(&m), "mix in m/s: {m}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SpeedScenario::Fixed(50.0).label(), "50km/h");
+        assert_eq!(SpeedScenario::Mix.label(), "Mix");
+    }
+
+    #[test]
+    fn long_run_remains_stable() {
+        let net = city(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sim = TrafficSim::new(&net, MobilityConfig::small(20), &mut rng);
+        for _ in 0..600 {
+            sim.step(&mut rng);
+        }
+        for s in sim.states() {
+            assert!(s.speed.is_finite() && s.speed >= 0.0);
+            assert!(s.pos.x.is_finite() && s.pos.y.is_finite());
+        }
+    }
+}

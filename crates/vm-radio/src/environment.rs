@@ -1,0 +1,142 @@
+//! Named measurement environments (Section 7.2).
+//!
+//! An environment bundles a building density (for geometric LOS tests) with
+//! a *per-minute* probability of vehicle obstruction: obstruction geometry
+//! (a truck convoy between two cars) persists on the timescale of a whole
+//! VP window, which is how heavy traffic lowers linkage in the paper's
+//! highway experiments (Fig. 17) without one lucky beacon rescuing the
+//! minute.
+
+use crate::channel::Blockage;
+use rand::Rng;
+use vm_geo::BuildingParams;
+
+/// A measurement environment: building geometry + traffic obstruction.
+#[derive(Clone, Copy, Debug)]
+pub struct Environment {
+    /// Human-readable name (matches the paper's figure legends).
+    pub name: &'static str,
+    /// Building generation parameters for this environment.
+    pub buildings: BuildingParams,
+    /// Per-minute probability that vehicle traffic obstructs the path.
+    pub traffic_blockage: f64,
+}
+
+impl Environment {
+    /// Open road: no obstacles at all (Fig. 15 "Open road").
+    pub fn open_road() -> Self {
+        Environment {
+            name: "open-road",
+            buildings: BuildingParams::open_road(),
+            traffic_blockage: 0.0,
+        }
+    }
+
+    /// Highway with light traffic (Fig. 17 "Hwy1").
+    pub fn highway_light() -> Self {
+        Environment {
+            name: "highway-light",
+            buildings: BuildingParams::highway(),
+            traffic_blockage: 0.05,
+        }
+    }
+
+    /// Highway with heavy traffic (Fig. 17 "Hwy2").
+    pub fn highway_heavy() -> Self {
+        Environment {
+            name: "highway-heavy",
+            buildings: BuildingParams::highway(),
+            traffic_blockage: 0.5,
+        }
+    }
+
+    /// Residential area (Fig. 15).
+    pub fn residential() -> Self {
+        Environment {
+            name: "residential",
+            buildings: BuildingParams::residential(),
+            traffic_blockage: 0.05,
+        }
+    }
+
+    /// Downtown (Fig. 15): dense buildings plus city traffic.
+    pub fn downtown() -> Self {
+        Environment {
+            name: "downtown",
+            buildings: BuildingParams::downtown(),
+            traffic_blockage: 0.15,
+        }
+    }
+
+    /// All Fig. 15 environments in the paper's legend order.
+    pub fn fig15_set() -> [Environment; 4] {
+        [
+            Self::open_road(),
+            Self::highway_light(),
+            Self::residential(),
+            Self::downtown(),
+        ]
+    }
+
+    /// Resolve the blockage state for one 1-min VP window: the geometric
+    /// LOS answer (from the building index) composed with a per-minute
+    /// vehicle obstruction draw.
+    pub fn blockage<R: Rng + ?Sized>(&self, geometric_los: bool, rng: &mut R) -> Blockage {
+        if !geometric_los {
+            Blockage::Building
+        } else if self.traffic_blockage > 0.0 && rng.gen_bool(self.traffic_blockage) {
+            Blockage::Vehicle
+        } else {
+            Blockage::Los
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn building_nlos_always_wins() {
+        let env = Environment::open_road();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(env.blockage(false, &mut rng), Blockage::Building);
+    }
+
+    #[test]
+    fn open_road_never_vehicle_blocked() {
+        let env = Environment::open_road();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(env.blockage(true, &mut rng), Blockage::Los);
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_blocks_more_than_light() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let count = |env: &Environment, rng: &mut StdRng| {
+            (0..2000)
+                .filter(|_| env.blockage(true, rng) == Blockage::Vehicle)
+                .count()
+        };
+        let heavy = count(&Environment::highway_heavy(), &mut rng);
+        let light = count(&Environment::highway_light(), &mut rng);
+        assert!(heavy > light * 3, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn densities_ordered_open_to_downtown() {
+        assert!(Environment::open_road().buildings.density == 0.0);
+        assert!(
+            Environment::downtown().buildings.density
+                > Environment::residential().buildings.density
+        );
+        assert!(
+            Environment::residential().buildings.density
+                > Environment::highway_light().buildings.density
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! DSRC radio channel model — the ns-3 / field-testbed substitute.
+//!
+//! The paper's field study (Section 7) establishes the causal structure the
+//! protocol relies on: VP linkage is dominated by *line-of-sight condition*
+//! (buildings, overpasses, heavy vehicle traffic), while distance, RSSI and
+//! vehicle speed have little impact within the 400 m DSRC range. This crate
+//! reproduces exactly that structure:
+//!
+//! * log-distance path loss with log-normal shadowing at 5.9 GHz,
+//! * a harsh building-obstruction penalty (NLOS effectively kills the link
+//!   beyond a few tens of meters),
+//! * a milder vehicle-obstruction penalty (heavy traffic),
+//! * a logistic RSSI→PDR curve with a fluctuating "gray zone" between
+//!   −100 and −80 dBm, matching Fig. 16 and Bai et al. [17],
+//! * a camera-visibility model used for the VP-link/video-content
+//!   correlation study (Table 2, Fig. 20).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod channel;
+pub mod environment;
+pub mod scenario;
+
+pub use camera::CameraModel;
+pub use channel::{Blockage, Channel, ChannelParams};
+pub use environment::Environment;
+pub use scenario::{Scenario, ScenarioKind, SCENARIOS};

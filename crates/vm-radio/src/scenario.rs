@@ -1,0 +1,358 @@
+//! Scripted Table-2 measurement scenarios.
+//!
+//! Section 7.2.2 of the paper reports fourteen semi-controlled two-vehicle
+//! scenarios (open road, blocked by a building, LOS/NLOS intersections,
+//! overpasses, tunnels, ...) with the measured VP-linkage ratio and the
+//! fraction of encounters where the other vehicle appeared on video. Each
+//! scenario here scripts the same geometry: a 60-second encounter with a
+//! distance profile and an obstruction pattern, run through the channel and
+//! camera models.
+
+use crate::camera::CameraModel;
+use crate::channel::{Blockage, Channel};
+use rand::Rng;
+
+/// Which Table-2 row a scenario reproduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Open road, clear LOS.
+    OpenRoad,
+    /// Fully blocked by a building.
+    Building1,
+    /// Intersection with open corners (LOS).
+    Intersection1,
+    /// Intersection blocked by corner buildings (NLOS).
+    Intersection2,
+    /// Overpass with LOS between levels.
+    Overpass1,
+    /// Overpass/underpass without LOS.
+    Overpass2,
+    /// Driving in mixed traffic.
+    Traffic,
+    /// A row of large vehicles between the two cars.
+    VehicleArray,
+    /// Pedestrians between vehicles (no RF obstruction).
+    Pedestrians,
+    /// Separate tunnel tubes.
+    Tunnels,
+    /// Partially blocked by a building (mixed).
+    Building2,
+    /// Double-deck bridge, different decks.
+    DoubleDeckBridge,
+    /// Suburban house between vehicles (mixed).
+    House,
+    /// Different floors of a parking structure.
+    ParkingStructure,
+}
+
+/// How line-of-sight evolves over an encounter.
+#[derive(Clone, Copy, Debug)]
+enum LosPattern {
+    /// LOS for the entire encounter.
+    Always,
+    /// Obstructed (by `Blockage`) for the entire encounter.
+    Never(Blockage),
+    /// Whole encounter is LOS with probability `p`, otherwise obstructed.
+    PerTrial(f64, Blockage),
+}
+
+/// A scripted two-vehicle encounter.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Which Table-2 row this is.
+    pub kind: ScenarioKind,
+    /// Table-2 row label.
+    pub name: &'static str,
+    /// Table-2 condition column ("LOS", "NLOS", "LOS/NLOS").
+    pub condition: &'static str,
+    /// Distance at the start/end of the encounter, meters.
+    far_m: f64,
+    /// Distance at closest approach, meters.
+    near_m: f64,
+    los: LosPattern,
+}
+
+/// Outcome of one scenario trial.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrialOutcome {
+    /// Did the two vehicles establish two-way VP linkage this minute?
+    pub linked: bool,
+    /// Did either vehicle appear on the other's video?
+    pub on_video: bool,
+}
+
+/// All fourteen Table-2 scenarios, in the paper's row order.
+pub const SCENARIOS: [Scenario; 14] = [
+    Scenario {
+        kind: ScenarioKind::OpenRoad,
+        name: "Open road",
+        condition: "LOS",
+        far_m: 350.0,
+        near_m: 50.0,
+        los: LosPattern::Always,
+    },
+    Scenario {
+        kind: ScenarioKind::Building1,
+        name: "Building 1",
+        condition: "NLOS",
+        far_m: 160.0,
+        near_m: 80.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Intersection1,
+        name: "Intersection 1",
+        condition: "LOS",
+        far_m: 250.0,
+        near_m: 30.0,
+        los: LosPattern::Always,
+    },
+    Scenario {
+        kind: ScenarioKind::Intersection2,
+        name: "Intersection 2",
+        condition: "NLOS",
+        far_m: 300.0,
+        near_m: 40.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Overpass1,
+        name: "Overpass 1",
+        condition: "LOS",
+        far_m: 220.0,
+        near_m: 40.0,
+        los: LosPattern::PerTrial(0.80, Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Overpass2,
+        name: "Overpass 2",
+        condition: "NLOS",
+        far_m: 220.0,
+        near_m: 70.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Traffic,
+        name: "Traffic",
+        condition: "LOS/NLOS",
+        far_m: 280.0,
+        near_m: 60.0,
+        los: LosPattern::PerTrial(0.58, Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::VehicleArray,
+        name: "Vehicle array",
+        condition: "NLOS",
+        far_m: 120.0,
+        near_m: 50.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Pedestrians,
+        name: "Pedestrians",
+        condition: "LOS",
+        far_m: 90.0,
+        near_m: 20.0,
+        los: LosPattern::Always,
+    },
+    Scenario {
+        kind: ScenarioKind::Tunnels,
+        name: "Tunnels",
+        condition: "NLOS",
+        far_m: 300.0,
+        near_m: 120.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::Building2,
+        name: "Building 2",
+        condition: "LOS/NLOS",
+        far_m: 340.0,
+        near_m: 180.0,
+        los: LosPattern::PerTrial(0.40, Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::DoubleDeckBridge,
+        name: "Double-deck bridge",
+        condition: "NLOS",
+        far_m: 220.0,
+        near_m: 120.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::House,
+        name: "House",
+        condition: "LOS/NLOS",
+        far_m: 150.0,
+        near_m: 50.0,
+        los: LosPattern::PerTrial(0.55, Blockage::Building),
+    },
+    Scenario {
+        kind: ScenarioKind::ParkingStructure,
+        name: "Parking structure",
+        condition: "NLOS",
+        far_m: 150.0,
+        near_m: 55.0,
+        los: LosPattern::Never(Blockage::Building),
+    },
+];
+
+impl Scenario {
+    /// Distance between the vehicles at second `t` of the 60-second
+    /// encounter (V-shaped approach-and-depart profile).
+    pub fn distance_at(&self, t: usize) -> f64 {
+        let t = t.min(60) as f64;
+        let half = 30.0;
+        let frac = (t - half).abs() / half; // 1 at ends, 0 at closest
+        self.near_m + (self.far_m - self.near_m) * frac
+    }
+
+    /// Run one 60-second encounter trial.
+    pub fn run_trial<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        channel: &Channel,
+        camera: &CameraModel,
+    ) -> TrialOutcome {
+        let (los, blockage) = match self.los {
+            LosPattern::Always => (true, Blockage::Los),
+            LosPattern::Never(b) => (false, b),
+            LosPattern::PerTrial(p, b) => {
+                if rng.gen_bool(p) {
+                    (true, Blockage::Los)
+                } else {
+                    (false, b)
+                }
+            }
+        };
+        let slow = channel.sample_slow_shadow(rng, blockage);
+        let mut a_received = false;
+        let mut b_received = false;
+        for t in 0..60 {
+            let d = self.distance_at(t);
+            if channel
+                .try_deliver_with_shadow(rng, d, blockage, slow)
+                .is_some()
+            {
+                a_received = true;
+            }
+            if channel
+                .try_deliver_with_shadow(rng, d, blockage, slow)
+                .is_some()
+            {
+                b_received = true;
+            }
+        }
+        let linked = a_received && b_received;
+        // Encounter-level visibility at closest approach under the trial's
+        // LOS state.
+        let on_video = camera.visible(rng, self.near_m, los);
+        TrialOutcome { linked, on_video }
+    }
+
+    /// Run `trials` encounters and return (VP-linkage ratio, on-video ratio).
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        channel: &Channel,
+        camera: &CameraModel,
+        trials: usize,
+    ) -> (f64, f64) {
+        let mut linked = 0usize;
+        let mut video = 0usize;
+        for _ in 0..trials {
+            let o = self.run_trial(rng, channel, camera);
+            if o.linked {
+                linked += 1;
+            }
+            if o.on_video {
+                video += 1;
+            }
+        }
+        (linked as f64 / trials as f64, video as f64 / trials as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn measure(kind: ScenarioKind, seed: u64) -> (f64, f64) {
+        let s = SCENARIOS.iter().find(|s| s.kind == kind).expect("scenario");
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.measure(&mut rng, &Channel::default(), &CameraModel::default(), 400)
+    }
+
+    #[test]
+    fn distance_profile_is_v_shaped() {
+        let s = &SCENARIOS[0];
+        assert_eq!(s.distance_at(0), 350.0);
+        assert_eq!(s.distance_at(30), 50.0);
+        assert_eq!(s.distance_at(60), 350.0);
+        assert!(s.distance_at(15) > s.distance_at(25));
+    }
+
+    #[test]
+    fn open_road_links_and_sees() {
+        let (vlr, video) = measure(ScenarioKind::OpenRoad, 1);
+        assert!(vlr > 0.98, "open road VLR {vlr}");
+        assert!(video > 0.85, "open road video {video}");
+    }
+
+    #[test]
+    fn full_nlos_scenarios_rarely_link_and_never_see() {
+        for kind in [
+            ScenarioKind::Building1,
+            ScenarioKind::Tunnels,
+            ScenarioKind::DoubleDeckBridge,
+        ] {
+            let (vlr, video) = measure(kind, 2);
+            assert!(vlr < 0.08, "{kind:?} VLR {vlr}");
+            assert_eq!(video, 0.0, "{kind:?} video {video}");
+        }
+    }
+
+    #[test]
+    fn nlos_intersection_links_occasionally() {
+        // Table 2: Intersection 2 reports 9% linkage, 0% on video.
+        let (vlr, video) = measure(ScenarioKind::Intersection2, 3);
+        assert!(vlr > 0.01 && vlr < 0.35, "intersection-2 VLR {vlr}");
+        assert_eq!(video, 0.0);
+    }
+
+    #[test]
+    fn mixed_scenarios_sit_between() {
+        let (vlr_traffic, video_traffic) = measure(ScenarioKind::Traffic, 4);
+        assert!(vlr_traffic > 0.4 && vlr_traffic < 0.9, "traffic VLR {vlr_traffic}");
+        assert!(video_traffic <= vlr_traffic + 0.1);
+        let (vlr_house, _) = measure(ScenarioKind::House, 5);
+        assert!(vlr_house > 0.35 && vlr_house < 0.85, "house VLR {vlr_house}");
+    }
+
+    #[test]
+    fn on_video_never_dramatically_exceeds_linkage() {
+        // Paper's key field observation: vehicles appear on video only when
+        // their VPs link; on-video ratio tracks (and is below) VLR.
+        let mut rng = StdRng::seed_from_u64(6);
+        let ch = Channel::default();
+        let cam = CameraModel::default();
+        for s in &SCENARIOS {
+            let (vlr, video) = s.measure(&mut rng, &ch, &cam, 300);
+            assert!(
+                video <= vlr + 0.12,
+                "{}: video {video} vs VLR {vlr}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_fourteen_rows_present() {
+        assert_eq!(SCENARIOS.len(), 14);
+        let names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"Open road"));
+        assert!(names.contains(&"Parking structure"));
+    }
+}

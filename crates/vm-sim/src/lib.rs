@@ -1,0 +1,24 @@
+//! Integrated ViewMap protocol simulation — the ns-3 substitute.
+//!
+//! Glues the substrates together into the experiment pipeline the paper's
+//! evaluation runs on:
+//!
+//! * [`vm_mobility`] drives vehicles over a [`vm_geo`] road network,
+//! * [`vm_radio`] decides which per-second VD broadcasts are delivered,
+//! * [`viewmap_core`] builds VPs, guard VPs, and the server-side datasets.
+//!
+//! [`protocol`] is the full per-second simulation (Sections 6.2.2 and 8);
+//! [`linkage`] runs the controlled two-vehicle experiments of Section 7
+//! (Figs. 15–17, 20, Table 2); [`privacy`] evaluates the tracking
+//! adversary on simulation output (Figs. 10/11/22a/22b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linkage;
+pub mod privacy;
+pub mod protocol;
+
+pub use linkage::{vlr_experiment, LinkageSample};
+pub use privacy::{privacy_curves, PrivacyCurves};
+pub use protocol::{run_protocol_sim, MinuteRecord, SimConfig, SimOutput};

@@ -1,0 +1,237 @@
+//! Controlled two-vehicle linkage experiments (Section 7.2).
+//!
+//! Reproduces the paper's field measurements: the VP linkage ratio (VLR)
+//! as a function of separation distance in different environments
+//! (Fig. 15), speed/traffic conditions (Fig. 17), the RSSI/PDR scatter
+//! (Fig. 16), and the Pearson correlation between VP linkage and video
+//! visibility (Fig. 20). Two vehicles hold a fixed separation for one
+//! minute; the geometric LOS answer comes from a generated building field
+//! for the environment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vm_geo::{BuildingIndex, Point, Rect};
+use vm_radio::{Blockage, CameraModel, Channel, Environment};
+
+/// One measured (distance-bucket) sample.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkageSample {
+    /// Separation distance, meters.
+    pub distance_m: f64,
+    /// VP linkage ratio across trials.
+    pub vlr: f64,
+    /// Fraction of trials where the other vehicle appeared on video.
+    pub on_video: f64,
+    /// Pearson correlation between the linkage and visibility indicators.
+    pub correlation: f64,
+}
+
+/// Run `trials` one-minute encounters at a fixed separation in an
+/// environment and measure VLR / visibility / correlation.
+pub fn vlr_experiment(
+    env: &Environment,
+    distance_m: f64,
+    trials: usize,
+    seed: u64,
+) -> LinkageSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let channel = Channel::default();
+    let camera = CameraModel::default();
+    // A building field large enough to embed the pair anywhere.
+    let field = 2_000.0;
+    let area = Rect::new(Point::new(0.0, 0.0), Point::new(field, field));
+    let buildings = BuildingIndex::generate(area, 160.0, &env.buildings, &mut rng);
+
+    let mut linked_v = Vec::with_capacity(trials);
+    let mut visible_v = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        // Random placement of the pair at the given separation.
+        let margin = distance_m + 10.0;
+        let ax = rng.gen_range(margin..field - margin);
+        let ay = rng.gen_range(margin..field - margin);
+        let th = rng.gen_range(0.0..std::f64::consts::TAU);
+        let a = Point::new(ax, ay);
+        let b = Point::new(ax + distance_m * th.cos(), ay + distance_m * th.sin());
+        let geo_los = buildings.line_of_sight(&a, &b);
+        let blockage = env.blockage(geo_los, &mut rng);
+        let slow = channel.sample_slow_shadow(&mut rng, blockage);
+        let mut a_rx = false;
+        let mut b_rx = false;
+        for _ in 0..60 {
+            if channel
+                .try_deliver_with_shadow(&mut rng, distance_m, blockage, slow)
+                .is_some()
+            {
+                a_rx = true;
+            }
+            if channel
+                .try_deliver_with_shadow(&mut rng, distance_m, blockage, slow)
+                .is_some()
+            {
+                b_rx = true;
+            }
+            if a_rx && b_rx {
+                break;
+            }
+        }
+        let linked = a_rx && b_rx;
+        let visible = camera.visible(&mut rng, distance_m, blockage == Blockage::Los);
+        linked_v.push(linked);
+        visible_v.push(visible);
+    }
+    let vlr = frac(&linked_v);
+    let on_video = frac(&visible_v);
+    LinkageSample {
+        distance_m,
+        vlr,
+        on_video,
+        correlation: pearson(&linked_v, &visible_v),
+    }
+}
+
+/// RSSI vs PDR scatter point (Fig. 16): run one batch of beacons at a
+/// distance/blockage and report (mean RSSI of delivered+attempted, PDR).
+pub fn rssi_pdr_point(
+    channel: &Channel,
+    distance_m: f64,
+    blockage: Blockage,
+    beacons: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slow = channel.sample_slow_shadow(&mut rng, blockage);
+    let mut rssi_sum = 0.0;
+    let mut delivered = 0usize;
+    for _ in 0..beacons {
+        let rssi = channel.sample_rssi_with_shadow(&mut rng, distance_m, blockage, slow);
+        rssi_sum += rssi;
+        if rng.gen_bool(channel.pdr(rssi).clamp(0.0, 1.0)) {
+            delivered += 1;
+        }
+    }
+    (rssi_sum / beacons as f64, delivered as f64 / beacons as f64)
+}
+
+fn frac(v: &[bool]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().filter(|&&b| b).count() as f64 / v.len() as f64
+}
+
+/// Pearson correlation coefficient between two boolean indicator series
+/// (the paper's Fig. 20 statistic). Returns 0 when either series is
+/// constant.
+pub fn pearson(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let xf = |x: bool| if x { 1.0 } else { 0.0 };
+    let mean_a = a.iter().map(|&x| xf(x)).sum::<f64>() / n;
+    let mean_b = b.iter().map(|&x| xf(x)).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = xf(x) - mean_a;
+        let dy = xf(y) - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_road_vlr_high_out_to_400m() {
+        for d in [100.0, 250.0, 400.0] {
+            let s = vlr_experiment(&Environment::open_road(), d, 300, 1);
+            assert!(s.vlr > 0.97, "open road VLR at {d} m: {}", s.vlr);
+        }
+    }
+
+    #[test]
+    fn downtown_vlr_decays_with_distance() {
+        let near = vlr_experiment(&Environment::downtown(), 50.0, 300, 2);
+        let far = vlr_experiment(&Environment::downtown(), 350.0, 300, 3);
+        assert!(
+            near.vlr > far.vlr + 0.15,
+            "downtown: near {} vs far {}",
+            near.vlr,
+            far.vlr
+        );
+    }
+
+    #[test]
+    fn environments_ordered_by_density() {
+        let d = 250.0;
+        let open = vlr_experiment(&Environment::open_road(), d, 300, 4).vlr;
+        let res = vlr_experiment(&Environment::residential(), d, 300, 5).vlr;
+        let down = vlr_experiment(&Environment::downtown(), d, 300, 6).vlr;
+        assert!(open > res, "open {open} vs residential {res}");
+        assert!(res > down, "residential {res} vs downtown {down}");
+    }
+
+    #[test]
+    fn heavy_traffic_reduces_vlr() {
+        let d = 300.0;
+        let light = vlr_experiment(&Environment::highway_light(), d, 400, 7).vlr;
+        let heavy = vlr_experiment(&Environment::highway_heavy(), d, 400, 8).vlr;
+        assert!(
+            light > heavy + 0.15,
+            "light {light} should beat heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn correlation_is_strong_where_both_vary() {
+        // Fig. 20: correlation 0.7–0.9 in mixed environments.
+        let s = vlr_experiment(&Environment::downtown(), 150.0, 600, 9);
+        assert!(
+            s.correlation > 0.55,
+            "correlation at 150 m downtown: {}",
+            s.correlation
+        );
+    }
+
+    #[test]
+    fn on_video_never_exceeds_vlr_much() {
+        for d in [100.0, 200.0, 300.0] {
+            let s = vlr_experiment(&Environment::residential(), d, 400, 10);
+            assert!(
+                s.on_video <= s.vlr + 0.1,
+                "at {d}: video {} vs vlr {}",
+                s.on_video,
+                s.vlr
+            );
+        }
+    }
+
+    #[test]
+    fn rssi_pdr_shape() {
+        let ch = Channel::default();
+        let (rssi_near, pdr_near) = rssi_pdr_point(&ch, 50.0, Blockage::Los, 200, 11);
+        let (rssi_far, pdr_far) = rssi_pdr_point(&ch, 390.0, Blockage::Building, 200, 12);
+        assert!(rssi_near > -80.0 && pdr_near > 0.95);
+        assert!(rssi_far < -100.0 && pdr_far < 0.05);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let a = [true, true, false, false];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        let b = [false, false, true, true];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+        let c = [true, true, true, true];
+        assert_eq!(pearson(&a, &c), 0.0);
+    }
+}

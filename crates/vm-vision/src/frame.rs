@@ -1,0 +1,236 @@
+//! Grayscale frames and the synthetic road-scene generator.
+
+use rand::Rng;
+
+/// An 8-bit grayscale frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel data, `width * height` bytes.
+    pub data: Vec<u8>,
+}
+
+impl Frame {
+    /// A black frame.
+    pub fn new(width: usize, height: usize) -> Self {
+        Frame {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Pixel accessor (row-major).
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Mean intensity of a rectangular region (clamped to bounds).
+    pub fn region_mean(&self, x0: usize, y0: usize, w: usize, h: usize) -> f64 {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        let mut sum = 0u64;
+        let mut cnt = 0u64;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                sum += self.get(x, y) as u64;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        }
+    }
+
+    /// Intensity variance of a rectangular region.
+    pub fn region_variance(&self, x0: usize, y0: usize, w: usize, h: usize) -> f64 {
+        let mean = self.region_mean(x0, y0, w, h);
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        let mut acc = 0.0;
+        let mut cnt = 0u64;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let d = self.get(x, y) as f64 - mean;
+                acc += d * d;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            acc / cnt as f64
+        }
+    }
+}
+
+/// Ground truth for one embedded plate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlateSpec {
+    /// Left edge, pixels.
+    pub x: usize,
+    /// Top edge, pixels.
+    pub y: usize,
+    /// Width, pixels.
+    pub w: usize,
+    /// Height, pixels.
+    pub h: usize,
+}
+
+/// A synthetic dashcam scene: frame + plate ground truth.
+#[derive(Clone, Debug)]
+pub struct SyntheticScene {
+    /// The rendered frame.
+    pub frame: Frame,
+    /// Where the plates are.
+    pub plates: Vec<PlateSpec>,
+}
+
+impl SyntheticScene {
+    /// Render a scene with `n_plates` plates at plausible sizes.
+    ///
+    /// The background is a vertical sky-to-road gradient with mild noise
+    /// and a few large dark "vehicle body" rectangles; plates are bright
+    /// rectangles with dark vertical character strokes at the Korean
+    /// 4.7:1 aspect ratio.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        width: usize,
+        height: usize,
+        n_plates: usize,
+    ) -> SyntheticScene {
+        let mut frame = Frame::new(width, height);
+        // Background gradient + noise (kept dim so plates stand out the
+        // way retroreflective plates do at night / with exposure control).
+        for y in 0..height {
+            let base = 40 + (60 * y / height.max(1)) as i32;
+            for x in 0..width {
+                let noise: i32 = rng.gen_range(-12..=12);
+                frame.set(x, y, (base + noise).clamp(0, 140) as u8);
+            }
+        }
+        // Vehicle bodies: dark rounded-ish rectangles.
+        for _ in 0..3 {
+            let w = rng.gen_range(width / 6..width / 3);
+            let h = rng.gen_range(height / 6..height / 3);
+            let x0 = rng.gen_range(0..width.saturating_sub(w).max(1));
+            let y0 = rng.gen_range(height / 3..height.saturating_sub(h).max(height / 3 + 1));
+            for y in y0..(y0 + h).min(height) {
+                for x in x0..(x0 + w).min(width) {
+                    let v = frame.get(x, y) / 2;
+                    frame.set(x, y, v.max(15));
+                }
+            }
+        }
+        // Plates.
+        let mut plates = Vec::with_capacity(n_plates);
+        for _ in 0..n_plates {
+            let h = rng.gen_range(14..30usize);
+            let w = (h as f64 * 4.7).round() as usize;
+            if w + 2 >= width || h + 2 >= height {
+                continue;
+            }
+            // Keep plates apart from each other to avoid merged components.
+            let mut x0 = 0;
+            let mut y0 = 0;
+            let mut ok = false;
+            for _ in 0..40 {
+                x0 = rng.gen_range(1..width - w - 1);
+                y0 = rng.gen_range(height / 3..height - h - 1);
+                ok = plates.iter().all(|p: &PlateSpec| {
+                    let sep_x = x0 + w + 8 < p.x || p.x + p.w + 8 < x0;
+                    let sep_y = y0 + h + 8 < p.y || p.y + p.h + 8 < y0;
+                    sep_x || sep_y
+                });
+                if ok {
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Bright plate body.
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    frame.set(x, y, rng.gen_range(225..=255));
+                }
+            }
+            // Dark character strokes.
+            let strokes = 7;
+            for s in 0..strokes {
+                let cx = x0 + 2 + (w - 4) * (2 * s + 1) / (2 * strokes);
+                for y in y0 + h / 5..y0 + h - h / 5 {
+                    for dx in 0..(w / 24).max(1) {
+                        let x = (cx + dx).min(x0 + w - 1);
+                        frame.set(x, y, rng.gen_range(10..=50));
+                    }
+                }
+            }
+            plates.push(PlateSpec { x: x0, y: y0, w, h });
+        }
+        SyntheticScene { frame, plates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frame_accessors() {
+        let mut f = Frame::new(10, 5);
+        f.set(3, 2, 200);
+        assert_eq!(f.get(3, 2), 200);
+        assert_eq!(f.data.len(), 50);
+    }
+
+    #[test]
+    fn region_stats() {
+        let mut f = Frame::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                f.set(x, y, 100);
+            }
+        }
+        assert_eq!(f.region_mean(0, 0, 4, 4), 100.0);
+        assert_eq!(f.region_variance(0, 0, 4, 4), 0.0);
+        f.set(0, 0, 0);
+        assert!(f.region_variance(0, 0, 4, 4) > 0.0);
+    }
+
+    #[test]
+    fn scene_embeds_requested_plates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scene = SyntheticScene::generate(&mut rng, 640, 480, 3);
+        assert!(!scene.plates.is_empty());
+        for p in &scene.plates {
+            // Plates are bright relative to the background.
+            let plate_mean = scene.frame.region_mean(p.x, p.y, p.w, p.h);
+            assert!(plate_mean > 120.0, "plate too dark: {plate_mean}");
+            // Aspect ratio is Korean-plate-like.
+            let ar = p.w as f64 / p.h as f64;
+            assert!((4.0..5.4).contains(&ar), "aspect {ar}");
+        }
+    }
+
+    #[test]
+    fn scene_without_plates_is_dim() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scene = SyntheticScene::generate(&mut rng, 320, 240, 0);
+        assert!(scene.plates.is_empty());
+        let mean = scene.frame.region_mean(0, 0, 320, 240);
+        assert!(mean < 120.0, "background mean {mean}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The realtime blurring pipeline with per-stage timing (Table 1).
+
+use crate::blur::box_blur_region;
+use crate::detect::{detect_plates, DetectParams};
+use crate::frame::Frame;
+use std::time::Instant;
+
+/// Per-frame stage timings, milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Camera-buffer read time (I/O).
+    pub io_in_ms: f64,
+    /// Localization + blur time.
+    pub blur_ms: f64,
+    /// Video-file write time (I/O).
+    pub io_out_ms: f64,
+}
+
+impl StageTimings {
+    /// Total per-frame latency.
+    pub fn total_ms(&self) -> f64 {
+        self.io_in_ms + self.blur_ms + self.io_out_ms
+    }
+
+    /// Sustained frame rate implied by the per-frame latency.
+    pub fn fps(&self) -> f64 {
+        if self.total_ms() <= 0.0 {
+            0.0
+        } else {
+            1000.0 / self.total_ms()
+        }
+    }
+
+    /// Combined I/O time (the paper reports blur and I/O separately).
+    pub fn io_ms(&self) -> f64 {
+        self.io_in_ms + self.io_out_ms
+    }
+}
+
+/// A reference platform from the paper's Table 1, for side-by-side
+/// reporting (we cannot re-run their hardware; we report our measured
+/// host numbers next to the paper's).
+#[derive(Clone, Copy, Debug)]
+pub struct PlatformProfile {
+    /// Platform name.
+    pub name: &'static str,
+    /// Paper-reported blur time, ms.
+    pub paper_blur_ms: f64,
+    /// Paper-reported I/O time, ms.
+    pub paper_io_ms: f64,
+    /// Paper-reported sustained frame rate, fps.
+    pub paper_fps: f64,
+}
+
+/// The paper's Table 1 rows.
+pub const PAPER_TABLE1: [PlatformProfile; 3] = [
+    PlatformProfile {
+        name: "Rasp. Pi 3 (1.2 GHz)",
+        paper_blur_ms: 50.19,
+        paper_io_ms: 49.32,
+        paper_fps: 10.0,
+    },
+    PlatformProfile {
+        name: "iMac 2008 (2.4 GHz)",
+        paper_blur_ms: 10.72,
+        paper_io_ms: 41.78,
+        paper_fps: 18.0,
+    },
+    PlatformProfile {
+        name: "iMac 2014 (4.0 GHz)",
+        paper_blur_ms: 10.18,
+        paper_io_ms: 20.44,
+        paper_fps: 30.0,
+    },
+];
+
+/// The realtime blurring pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct BlurPipeline {
+    params: DetectParams,
+    /// Frames processed so far.
+    pub frames: usize,
+    /// Plates blurred so far.
+    pub plates_blurred: usize,
+}
+
+impl BlurPipeline {
+    /// Pipeline with default Korean-plate parameters.
+    pub fn new() -> Self {
+        BlurPipeline {
+            params: DetectParams::default(),
+            frames: 0,
+            plates_blurred: 0,
+        }
+    }
+
+    /// Process one frame: read from the camera buffer, localize + blur,
+    /// write to the file buffer. Returns the anonymized frame and the
+    /// stage timings.
+    pub fn process(&mut self, camera_buffer: &[u8], width: usize, height: usize) -> (Frame, StageTimings) {
+        assert_eq!(camera_buffer.len(), width * height, "frame size mismatch");
+        // (i) I/O in: take the realtime frame from the camera module.
+        let t0 = Instant::now();
+        let mut frame = Frame {
+            width,
+            height,
+            data: camera_buffer.to_vec(),
+        };
+        let io_in_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        // (ii) Localize plate regions and blur those areas.
+        let t1 = Instant::now();
+        let regions = detect_plates(&frame, &self.params);
+        for r in &regions {
+            let radius = (r.h / 3).max(2);
+            let grown = r.expanded(2, width, height);
+            box_blur_region(&mut frame, &grown, radius);
+        }
+        let blur_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        // (iii) I/O out: write the plate-blurred frame to the video file.
+        let t2 = Instant::now();
+        let mut out = vec![0u8; frame.data.len()];
+        out.copy_from_slice(&frame.data);
+        std::hint::black_box(&out);
+        let io_out_ms = t2.elapsed().as_secs_f64() * 1000.0;
+
+        self.frames += 1;
+        self.plates_blurred += regions.len();
+        (
+            frame,
+            StageTimings {
+                io_in_ms,
+                blur_ms,
+                io_out_ms,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::SyntheticScene;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_blurs_detected_plates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scene = SyntheticScene::generate(&mut rng, 640, 480, 2);
+        let mut pipe = BlurPipeline::new();
+        let (out, timings) = pipe.process(&scene.frame.data, 640, 480);
+        assert_eq!(pipe.frames, 1);
+        assert!(pipe.plates_blurred >= 1);
+        assert!(timings.total_ms() > 0.0);
+        // The plate areas lost their stripe variance.
+        for p in &scene.plates {
+            let before = scene.frame.region_variance(p.x, p.y, p.w, p.h);
+            let after = out.region_variance(p.x, p.y, p.w, p.h);
+            assert!(
+                after < before,
+                "plate at ({},{}) not blurred: {before} -> {after}",
+                p.x,
+                p.y
+            );
+        }
+    }
+
+    #[test]
+    fn fps_math() {
+        let t = StageTimings {
+            io_in_ms: 20.0,
+            blur_ms: 50.0,
+            io_out_ms: 30.0,
+        };
+        assert_eq!(t.total_ms(), 100.0);
+        assert_eq!(t.fps(), 10.0);
+        assert_eq!(t.io_ms(), 50.0);
+    }
+
+    #[test]
+    fn paper_table_is_consistent() {
+        // The paper's own numbers: fps ≈ 1000 / (blur + io), loosely (they
+        // round to whole fps).
+        for p in PAPER_TABLE1 {
+            let implied = 1000.0 / (p.paper_blur_ms + p.paper_io_ms);
+            assert!(
+                (implied - p.paper_fps).abs() / p.paper_fps < 0.12,
+                "{}: implied {implied} vs reported {}",
+                p.name,
+                p.paper_fps
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn bad_buffer_size_rejected() {
+        let mut pipe = BlurPipeline::new();
+        let _ = pipe.process(&[0u8; 100], 640, 480);
+    }
+
+    #[test]
+    fn sustained_processing_is_realtime_on_host() {
+        // 640×480 frames should process far faster than the 10 fps the
+        // paper achieves on a Raspberry Pi 3.
+        let mut rng = StdRng::seed_from_u64(2);
+        let scene = SyntheticScene::generate(&mut rng, 640, 480, 2);
+        let mut pipe = BlurPipeline::new();
+        let mut total = 0.0;
+        for _ in 0..5 {
+            let (_, t) = pipe.process(&scene.frame.data, 640, 480);
+            total += t.total_ms();
+        }
+        let avg = total / 5.0;
+        assert!(avg < 1000.0, "avg per-frame {avg} ms is absurd");
+    }
+}

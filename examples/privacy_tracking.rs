@@ -1,0 +1,70 @@
+//! Location privacy under a tracking adversary (Section 6.2.2).
+//!
+//! Runs the same fleet twice — once with guard VPs (α = 0.1) and once
+//! without — and pits the multi-hypothesis tracker of Hoh & Gruteser
+//! against the anonymized VP database. Prints the entropy and tracking-
+//! success curves side by side (the shape of Figs. 10/11).
+//!
+//! Run with: `cargo run --release --example privacy_tracking`
+
+use viewmap::core::tracker::TrackerParams;
+use viewmap::geo::CityParams;
+use viewmap::mobility::SpeedScenario;
+use viewmap::radio::Environment;
+use viewmap::sim::{privacy_curves, run_protocol_sim, SimConfig};
+
+fn main() {
+    println!("== privacy tracking example ==\n");
+    let base = SimConfig {
+        vehicles: 50,
+        minutes: 10,
+        speed: SpeedScenario::Mix,
+        alpha: 0.1,
+        environment: Environment::residential(),
+        city: CityParams::small_area(),
+        keep_vps: false,
+        chunk_bytes: 16,
+    };
+    println!(
+        "simulating {} vehicles, {} minutes, 4×4 km² (twice: α=0.1 and α=0) ...\n",
+        base.vehicles, base.minutes
+    );
+    let with_guards = run_protocol_sim(&base, 1);
+    let no_guards = run_protocol_sim(
+        &SimConfig {
+            alpha: 0.0,
+            ..base.clone()
+        },
+        1,
+    );
+    println!(
+        "with guards:  {} actual + {} guard VPs",
+        with_guards.actual_vps, with_guards.guard_vps
+    );
+    println!(
+        "without:      {} actual VPs\n",
+        no_guards.actual_vps
+    );
+
+    let params = TrackerParams::default();
+    let targets = 30;
+    let pg = privacy_curves(&with_guards, targets, params);
+    let pn = privacy_curves(&no_guards, targets, params);
+
+    println!("minute | entropy(guards) entropy(none) | success(guards) success(none)");
+    println!("-------+-------------------------------+------------------------------");
+    for i in 0..pg.minutes.len() {
+        println!(
+            "  {:>4} | {:>15.2} {:>13.2} | {:>15.3} {:>13.3}",
+            pg.minutes[i], pg.entropy_bits[i], pn.entropy_bits[i], pg.success[i], pn.success[i]
+        );
+    }
+    let last = pg.minutes.len() - 1;
+    println!(
+        "\nafter {} minutes: tracker confidence {:.1}% with guards vs {:.1}% without",
+        pg.minutes[last],
+        pg.success[last] * 100.0,
+        pn.success[last] * 100.0
+    );
+    println!("(the paper reports < 10% within 15 min at n=50, vs > 90% without guards)");
+}

@@ -1,0 +1,87 @@
+//! The untraceable-reward protocol, step by step (Section 5.3, App. A).
+//!
+//! Shows exactly what each party sees — in particular that the system
+//! signs cash without ever seeing it, and that the cash it later redeems
+//! cannot be linked back to the video, the VP, or the uploader.
+//!
+//! Run with: `cargo run --example reward_flow`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viewmap::core::reward::Wallet;
+use viewmap::core::server::{RedeemError, ViewMapServer};
+use viewmap::core::types::{GeoPos, VpId, SECONDS_PER_VP};
+use viewmap::core::viewmap::ViewmapConfig;
+use viewmap::core::vp::{VpBuilder, VpKind};
+
+fn main() {
+    println!("== untraceable rewarding walkthrough ==\n");
+    let mut rng = StdRng::seed_from_u64(42);
+    let server = ViewMapServer::new(&mut rng, 512, ViewmapConfig::default());
+
+    // A user recorded a video last week; its VP sits in the database.
+    let mut builder = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, 0.0), VpKind::Actual);
+    for s in 0..SECONDS_PER_VP {
+        builder.record_second(b"evidence-frame", GeoPos::new(s as f64 * 10.0, 0.0));
+    }
+    let fin = builder.finalize();
+    let vp_id = fin.profile.id();
+    let secret = fin.secret;
+    server
+        .submit(viewmap::core::upload::AnonymousSubmission {
+            session_id: 0xdead_beef,
+            vp: fin.profile.into_stored(),
+        })
+        .expect("VP stored");
+
+    // The video passed human review; the board posts "request for reward".
+    server.post_reward(vp_id, 4);
+    println!("reward board: {:?}\n", server.reward_board());
+
+    // Step (i): ownership proof. R_u = H(Q_u); only the owner knows Q_u.
+    println!("step i   — user proves ownership of {vp_id} with Q_u");
+    assert_eq!(VpId::from_secret(&secret), vp_id);
+    let units = server.claim_reward(vp_id, &secret).expect("proof accepted");
+    println!("           system answers: award is {units} unit(s)\n");
+
+    // Step (ii): the user draws random messages and blinds them.
+    let mut wallet = Wallet::new();
+    let (pending, blinded) = wallet.prepare(&mut rng, server.public_key(), units);
+    println!("step ii  — user blinds {units} random cash messages");
+    println!("           (blinded value ≠ message hash: the signer is blind)\n");
+
+    // Step (iii): the system signs blind.
+    let signed = server
+        .issue_blind_signatures(vp_id, &secret, &blinded)
+        .expect("signatures issued");
+    println!("step iii — system signs {} blinded messages with K_S⁻", signed.len());
+
+    // Step (iv): unblind into self-verifiable cash.
+    let added = wallet.accept_signed(server.public_key(), pending, &signed);
+    println!("step iv  — user unblinds: {added} valid cash unit(s) in the wallet\n");
+
+    // Anyone can verify authenticity; the system cannot link cash → video.
+    for (i, cash) in wallet.cash.iter().enumerate() {
+        assert!(cash.verify(server.public_key()));
+        println!(
+            "cash #{i}: message {} ... — verifies under the system's public key ✔",
+            cash.message[..4]
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>()
+        );
+    }
+
+    // Spending and double-spending.
+    println!("\nspending all units once:");
+    for cash in &wallet.cash {
+        server.redeem(cash).expect("fresh unit accepted");
+    }
+    println!("  all accepted ✔");
+    println!("attempting to double-spend unit #0:");
+    match server.redeem(&wallet.cash[0]) {
+        Err(RedeemError::DoubleSpend) => println!("  rejected: double spend detected ✔"),
+        other => panic!("expected double-spend rejection, got {other:?}"),
+    }
+    println!("\nreward flow complete ✔");
+}

@@ -1,0 +1,55 @@
+//! # ViewMap — full-system reproduction of NSDI '17
+//!
+//! *"ViewMap: Sharing Private In-Vehicle Dashcam Videos"* (Kim, Lim, Yu,
+//! Kim, Kim, Lee — Hanyang University, NSDI 2017), rebuilt as a Rust
+//! workspace: the protocol itself plus every substrate its evaluation
+//! rests on.
+//!
+//! This facade crate re-exports the workspace members under one roof and
+//! hosts the runnable examples and cross-crate integration tests:
+//!
+//! * [`core`](viewmap_core) — view digests, view profiles, guard VPs,
+//!   viewmap construction, TrustRank verification, solicitation,
+//!   blind-signature rewarding, the tracking adversary, attack toolkit.
+//! * [`crypto`](vm_crypto) — SHA-256, big integers, RSA blind signatures
+//!   (all from scratch).
+//! * [`geo`](vm_geo) — planar geometry, road networks, routing, building
+//!   fields, spatial indices.
+//! * [`mobility`](vm_mobility) — the SUMO-substitute traffic simulator.
+//! * [`radio`](vm_radio) — the DSRC channel model with LOS/NLOS structure.
+//! * [`sim`](vm_sim) — the integrated protocol simulation (ns-3
+//!   substitute) and the controlled linkage experiments.
+//! * [`vision`](vm_vision) — realtime license-plate blurring.
+//!
+//! ## Example
+//!
+//! ```
+//! use viewmap::core::types::GeoPos;
+//! use viewmap::core::vp::exchange_minute;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Two vehicles drive side by side for a minute, exchanging view
+//! // digests over DSRC; their view profiles end up mutually viewlinked.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let (a, b) = exchange_minute(
+//!     &mut rng,
+//!     0,
+//!     |s| GeoPos::new(s as f64 * 12.0, 0.0),
+//!     |s| GeoPos::new(s as f64 * 12.0, 40.0),
+//! );
+//! let (a, b) = (a.profile.into_stored(), b.profile.into_stored());
+//! assert!(a.mutually_linked(&b));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use viewmap_core as core;
+pub use vm_crypto as crypto;
+pub use vm_geo as geo;
+pub use vm_mobility as mobility;
+pub use vm_radio as radio;
+pub use vm_sim as sim;
+pub use vm_vision as vision;
+
+pub mod dashcam;
+pub use dashcam::{Dashcam, DashcamConfig, MinuteOutput};

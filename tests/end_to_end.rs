@@ -1,0 +1,240 @@
+//! Cross-crate integration tests: the full ViewMap pipeline from driving
+//! to reward, including the adversarial paths.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viewmap::core::reward::Wallet;
+use viewmap::core::server::{RedeemError, RewardError, ViewMapServer};
+use viewmap::core::solicit::{UploadError, VideoUpload};
+use viewmap::core::types::{GeoPos, MinuteId, SECONDS_PER_VP};
+use viewmap::core::upload::AnonymousChannel;
+use viewmap::core::viewmap::{Site, ViewmapConfig};
+use viewmap::core::vp::{FinalizedMinute, VpBuilder, VpKind};
+
+/// Drive a convoy of `n` vehicles along a line, all exchanging VDs with
+/// every vehicle in DSRC range; vehicle 0 is a police car.
+fn convoy(n: usize, spacing: f64, seed: u64) -> (Vec<FinalizedMinute>, Vec<Vec<Vec<u8>>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builders: Vec<VpBuilder> = (0..n)
+        .map(|i| {
+            let kind = if i == 0 {
+                VpKind::Trusted
+            } else {
+                VpKind::Actual
+            };
+            VpBuilder::new(&mut rng, 0, GeoPos::new(i as f64 * spacing, 0.0), kind)
+        })
+        .collect();
+    let mut videos: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    for s in 0..SECONDS_PER_VP {
+        let now = s + 1;
+        let locs: Vec<GeoPos> = (0..n)
+            .map(|i| GeoPos::new(i as f64 * spacing + s as f64 * 11.0, 0.0))
+            .collect();
+        let vds: Vec<_> = (0..n)
+            .map(|i| {
+                let chunk: Vec<u8> = (0..64u64)
+                    .map(|j| ((seed + i as u64 * 13 + s * 7 + j) % 251) as u8)
+                    .collect();
+                let vd = builders[i].record_second(&chunk, locs[i]);
+                videos[i].push(chunk);
+                vd
+            })
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && locs[i].distance(&locs[j]) <= 399.0 {
+                    builders[i].accept_neighbor_vd(vds[j], now, locs[i]);
+                }
+            }
+        }
+    }
+    (
+        builders.into_iter().map(|b| b.finalize()).collect(),
+        videos,
+    )
+}
+
+#[test]
+fn full_pipeline_drive_to_reward() {
+    let (mut fins, videos) = convoy(6, 150.0, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let server = ViewMapServer::new(&mut rng, 512, ViewmapConfig::default());
+
+    // Police VP through the authority channel; others anonymously.
+    let police = fins.remove(0);
+    server
+        .submit_trusted(police.profile.into_stored())
+        .expect("trusted accepted");
+    let mut channel = AnonymousChannel::new();
+    let witness = &fins[2]; // vehicle 3 of the original convoy
+    let witness_id = witness.profile.id();
+    let witness_secret = witness.secret;
+    let witness_video = videos[3].clone();
+    for fin in &fins {
+        channel.enqueue(fin.profile.clone());
+    }
+    for sub in channel.flush(&mut rng) {
+        server.submit(sub).expect("accepted");
+    }
+    assert_eq!(server.total_vps(), 6);
+
+    // Incident near vehicle 3's trajectory.
+    let site = Site {
+        center: GeoPos::new(3.0 * 150.0 + 300.0, 0.0),
+        radius_m: 250.0,
+    };
+    let vm = server.build_viewmap(MinuteId(0), site);
+    assert!(vm.edge_count() >= 5, "convoy should be chained");
+    let solicited = server.investigate(MinuteId(0), site);
+    assert!(
+        solicited.contains(&witness_id),
+        "witness must be solicited; got {solicited:?}"
+    );
+
+    // Upload, validate, reward, spend.
+    server
+        .upload_video(&VideoUpload {
+            vp_id: witness_id,
+            chunks: witness_video,
+        })
+        .expect("honest video validates");
+    server.post_reward(witness_id, 2);
+    let mut wallet = Wallet::new();
+    let units = server.claim_reward(witness_id, &witness_secret).unwrap();
+    let (pending, blinded) = wallet.prepare(&mut rng, server.public_key(), units);
+    let signed = server
+        .issue_blind_signatures(witness_id, &witness_secret, &blinded)
+        .unwrap();
+    assert_eq!(wallet.accept_signed(server.public_key(), pending, &signed), 2);
+    for cash in &wallet.cash {
+        assert_eq!(server.redeem(cash), Ok(()));
+    }
+    assert_eq!(
+        server.redeem(&wallet.cash[1]),
+        Err(RedeemError::DoubleSpend)
+    );
+}
+
+#[test]
+fn tampered_video_is_rejected_end_to_end() {
+    let (mut fins, videos) = convoy(4, 150.0, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let server = ViewMapServer::new(&mut rng, 512, ViewmapConfig::default());
+    let police = fins.remove(0);
+    server.submit_trusted(police.profile.into_stored()).unwrap();
+    let victim_id = fins[0].profile.id();
+    let mut channel = AnonymousChannel::new();
+    for fin in &fins {
+        channel.enqueue(fin.profile.clone());
+    }
+    for sub in channel.flush(&mut rng) {
+        server.submit(sub).unwrap();
+    }
+    let site = Site {
+        center: GeoPos::new(150.0, 0.0),
+        radius_m: 400.0,
+    };
+    let solicited = server.investigate(MinuteId(0), site);
+    assert!(solicited.contains(&victim_id));
+
+    // The attacker intercepts the solicitation and uploads a doctored
+    // video under the honest VP id — one frame replaced.
+    let mut doctored = videos[1].clone();
+    doctored[30] = vec![0u8; 64];
+    let err = server
+        .upload_video(&VideoUpload {
+            vp_id: victim_id,
+            chunks: doctored,
+        })
+        .unwrap_err();
+    assert!(matches!(err, UploadError::Chain(_)), "got {err:?}");
+}
+
+#[test]
+fn reward_requires_ownership_and_board_entry() {
+    let (mut fins, _) = convoy(3, 120.0, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let server = ViewMapServer::new(&mut rng, 512, ViewmapConfig::default());
+    let police = fins.remove(0);
+    server.submit_trusted(police.profile.into_stored()).unwrap();
+    let fin = fins.remove(0);
+    let id = fin.profile.id();
+    let secret = fin.secret;
+    server
+        .submit(viewmap::core::upload::AnonymousSubmission {
+            session_id: 1,
+            vp: fin.profile.into_stored(),
+        })
+        .unwrap();
+
+    // Not on the board yet.
+    assert_eq!(server.claim_reward(id, &secret), Err(RewardError::NotOnBoard));
+    server.post_reward(id, 1);
+    // Thief with the wrong secret.
+    assert_eq!(
+        server.claim_reward(id, &[9u8; 8]),
+        Err(RewardError::BadOwnershipProof)
+    );
+    // Rightful owner succeeds.
+    assert_eq!(server.claim_reward(id, &secret), Ok(1));
+}
+
+#[test]
+fn fake_vps_cannot_enter_an_honest_viewmap() {
+    // An attacker fabricates a VP claiming positions inside the site with
+    // a bloom filter that *claims* to have heard the honest vehicles; the
+    // two-way check keeps it isolated, and verification never marks it.
+    let (mut fins, _) = convoy(5, 150.0, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let server = ViewMapServer::new(&mut rng, 512, ViewmapConfig::default());
+    let police = fins.remove(0);
+    server.submit_trusted(police.profile.into_stored()).unwrap();
+    let honest_profiles: Vec<_> = fins.iter().map(|f| f.profile.clone()).collect();
+    let mut channel = AnonymousChannel::new();
+    for fin in fins {
+        channel.enqueue(fin.profile);
+    }
+    for sub in channel.flush(&mut rng) {
+        server.submit(sub).unwrap();
+    }
+
+    // Fabricate the fake: copy claimed positions near the site, poison its
+    // bloom with every honest VD it has scraped.
+    let mut fake_builder = VpBuilder::new(&mut rng, 0, GeoPos::new(450.0, 5.0), VpKind::Actual);
+    for s in 0..SECONDS_PER_VP {
+        fake_builder.record_second(b"fake", GeoPos::new(450.0 + s as f64 * 11.0, 5.0));
+    }
+    let mut fake = fake_builder.finalize();
+    for p in &honest_profiles {
+        for vd in &p.vds {
+            fake.profile.bloom.insert(&vd.bloom_key());
+        }
+    }
+    let fake_id = fake.profile.id();
+    server
+        .submit(viewmap::core::upload::AnonymousSubmission {
+            session_id: 2,
+            vp: fake.profile.into_stored(),
+        })
+        .expect("server cannot tell it is fake at submission time");
+
+    let site = Site {
+        center: GeoPos::new(600.0, 0.0),
+        radius_m: 300.0,
+    };
+    let vm = server.build_viewmap(MinuteId(0), site);
+    // The fake VP is a member (it claims in-coverage positions) ...
+    let fake_idx = vm.vps.iter().position(|vp| vp.id == fake_id);
+    assert!(fake_idx.is_some(), "fake should be admitted as a member");
+    // ... but has no viewlinks: honest blooms never heard it.
+    assert!(
+        vm.adj[fake_idx.unwrap()].is_empty(),
+        "two-way check must isolate the fake"
+    );
+    let solicited = server.investigate(MinuteId(0), site);
+    assert!(
+        !solicited.contains(&fake_id),
+        "fake VP must not be solicited"
+    );
+}
