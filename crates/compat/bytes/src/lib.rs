@@ -1,0 +1,158 @@
+//! Offline drop-in subset of the `bytes` crate: the [`Buf`] / [`BufMut`]
+//! cursor traits implemented over plain slices, which is all the wire
+//! codecs in this workspace use (the registry is unreachable here).
+//!
+//! As in the real crate, reading from `&[u8]` and writing to `&mut [u8]`
+//! advance the slice in place, so a codec can end with
+//! `debug_assert!(buf.is_empty())` to prove it consumed exactly the frame.
+
+#![forbid(unsafe_code)]
+
+/// Cursor-style reader over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Cursor-style writer into a byte sink.
+pub trait BufMut {
+    /// Bytes of room left to write.
+    fn remaining_mut(&self) -> usize;
+
+    /// Write `src`, advancing the cursor.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "buffer overflow");
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn remaining_mut(&self) -> usize {
+        usize::MAX - self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_write_then_read_roundtrip() {
+        let mut out = [0u8; 14];
+        let mut w = &mut out[..];
+        w.put_u16_le(0xbeef);
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX - 1);
+        assert!(w.is_empty());
+
+        let mut r = &out[..];
+        assert_eq!(r.get_u16_le(), 0xbeef);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_to_slice_advances() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = &data[..];
+        let mut head = [0u8; 2];
+        r.copy_to_slice(&mut head);
+        assert_eq!(head, [1, 2]);
+        assert_eq!(r, &[3, 4, 5]);
+    }
+
+    #[test]
+    fn vec_sink_grows() {
+        let mut v = Vec::new();
+        v.put_u8(1);
+        v.put_u16_le(2);
+        assert_eq!(v, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer overflow")]
+    fn overflow_panics() {
+        let mut out = [0u8; 2];
+        let mut w = &mut out[..];
+        w.put_u32_le(1);
+    }
+}

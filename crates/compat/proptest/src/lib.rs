@@ -1,0 +1,279 @@
+//! Offline drop-in subset of the `proptest` property-testing API.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! implements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, [`any`], range and tuple strategies, and
+//! [`collection::vec`]. Each property runs a fixed number of cases
+//! ([`test_runner::CASES`]) from a deterministic per-test seed (FNV-1a of
+//! the test name), so failures are reproducible run to run. There is no
+//! shrinking: a failing case panics with the values that produced it left
+//! to the assertion message.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and implementations for ranges, tuples, and arrays.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_range_from {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_range_from!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3)
+    );
+
+    /// Types with a canonical "anything goes" strategy (see [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_gen!(u8, u16, u32, u64, u128, usize, bool, f32, f64);
+
+    macro_rules! impl_arbitrary_signed {
+        ($($t:ty as $u:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen::<$u>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`crate::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+/// Deterministic case driver used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases each property runs.
+    pub const CASES: usize = 64;
+
+    /// Per-test deterministic RNG.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Seed from the test's name so every run replays the same cases.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+/// The canonical strategy for a type: uniform over its value space.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut prop_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut prop_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a property holds (panics with the failing values in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in 0u64..1_000_000, f in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b < 1_000_000);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(any::<u8>(), 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+        }
+
+        #[test]
+        fn nested_and_tuples(
+            m in crate::collection::vec(crate::collection::vec(any::<u8>(), 1..8), 1..5),
+            p in (0.0f64..10.0, 0.0f64..10.0),
+            s in any::<[u8; 8]>(),
+            d in 1u64..,
+        ) {
+            prop_assert!(m.len() < 5 && m.iter().all(|row| row.len() < 8));
+            prop_assert!(p.0 < 10.0 && p.1 < 10.0);
+            prop_assert_eq!(s.len(), 8);
+            prop_assert_ne!(d, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("x");
+        let mut r2 = crate::test_runner::TestRng::deterministic("x");
+        let s = 0usize..100;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

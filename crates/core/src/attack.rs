@@ -173,7 +173,11 @@ impl SyntheticViewmap {
     /// fake VPs wired as chains toward the site plus a clique around it.
     ///
     /// Returns the indices of the attackers' legitimate VPs.
-    pub fn inject_attack<R: Rng + ?Sized>(&mut self, cfg: &AttackConfig, rng: &mut R) -> Vec<usize> {
+    pub fn inject_attack<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &AttackConfig,
+        rng: &mut R,
+    ) -> Vec<usize> {
         let n_legit = self.legit.len();
         let hops = self.hops_from_trusted();
         // Attackers cannot predict the future investigation site, so their
@@ -205,7 +209,11 @@ impl SyntheticViewmap {
                 })
                 .collect();
             best.sort_unstable();
-            candidates = best.into_iter().take(cfg.n_attackers * 4).map(|(_, i)| i).collect();
+            candidates = best
+                .into_iter()
+                .take(cfg.n_attackers * 4)
+                .map(|(_, i)| i)
+                .collect();
         }
         // Sample attackers without replacement.
         let mut attackers = Vec::new();
@@ -253,7 +261,9 @@ impl SyntheticViewmap {
             ai += 1;
             // One ray: a persistent heading with mild wobble; length
             // bounded by the per-ray share of the budget.
-            let ray_len = (n_fake / (attackers.len() * 2).max(1)).clamp(3, 60).min(budget);
+            let ray_len = (n_fake / (attackers.len() * 2).max(1))
+                .clamp(3, 60)
+                .min(budget);
             let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let mut prev = a;
             let mut p = self.pos[a];
@@ -330,8 +340,10 @@ fn geometric_edges(pos: &[GeoPos], radius: f64) -> Vec<Vec<usize>> {
             .map(|(i, p)| (i, vm_geo::Point::new(p.x, p.y))),
     );
     let mut adj = vec![Vec::new(); pos.len()];
+    let mut hits = Vec::new();
     for (i, p) in pos.iter().enumerate() {
-        for j in grid.query_radius(&vm_geo::Point::new(p.x, p.y), radius) {
+        grid.query_radius_into(&vm_geo::Point::new(p.x, p.y), radius, &mut hits);
+        for &j in &hits {
             if j > i {
                 adj[i].push(j);
                 adj[j].push(i);
@@ -459,10 +471,7 @@ mod tests {
             }
             for &j in nbrs {
                 let honest_victim = map.legit[j] && j < n_honest && !attacker_set.contains(&j);
-                assert!(
-                    !honest_victim,
-                    "fake {i} linked to honest non-attacker {j}"
-                );
+                assert!(!honest_victim, "fake {i} linked to honest non-attacker {j}");
             }
         }
     }

@@ -62,7 +62,8 @@ pub trait Directions {
 
 impl Directions for Router<'_> {
     fn driving_route(&self, from: GeoPos, to: GeoPos) -> Option<Vec<Point>> {
-        self.route_points(&from.into(), &to.into()).map(|r| r.points)
+        self.route_points(&from.into(), &to.into())
+            .map(|r| r.points)
     }
 }
 
@@ -97,12 +98,7 @@ pub fn create_guards<R: Rng + ?Sized, D: Directions>(
         let j = rng.gen_range(i..m);
         idx.swap(i, j);
     }
-    let own_end = minute
-        .profile
-        .vds
-        .last()
-        .expect("finalized VP has VDs")
-        .loc;
+    let own_end = minute.profile.vds.last().expect("finalized VP has VDs").loc;
     let start_time = minute
         .profile
         .vds

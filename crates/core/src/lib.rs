@@ -13,14 +13,26 @@
 //! | Neighbor VD acceptance rules | [`neighbor`] |
 //! | Guard VPs / path obfuscation (§5.1.2) | [`guard`] |
 //! | Anonymous upload (Tor substitute) | [`upload`] |
-//! | Server: VP database, boards, ledger (§4) | [`server`] |
-//! | Viewmap construction (§5.2.1) | [`viewmap`] |
-//! | TrustRank verification (§5.2.2, Alg. 1) | [`trustrank`] |
+//! | Server: sharded VP database (`VpId`-indexed), boards, ledger (§4) | [`server`] |
+//! | Viewmap construction (§5.2.1), zero-copy `Arc` members + per-second spatial grid | [`viewmap`] |
+//! | TrustRank verification (§5.2.2, Alg. 1) on the CSR gather engine | [`trustrank`] |
 //! | Video solicitation & hash validation (§5.2.3) | [`solicit`] |
 //! | Untraceable rewarding (§5.3, App. A) | [`reward`] |
 //! | Tracking adversary (§6.2.2) | [`tracker`] |
 //! | Fake-VP attack toolkit & synthetic viewmaps (§6.3) | [`attack`] |
 //! | Closed-form analyses (α rule, Bloom false linkage, overhead) | [`analysis`] |
+//!
+//! # Scale engineering
+//!
+//! The investigation hot path is built for city-scale populations
+//! (10⁵+ VPs per minute): TrustRank runs as a gather-style power
+//! iteration over a flat [`trustrank::CsrGraph`] (thread-parallel above
+//! [`trustrank::PARALLEL_EDGE_THRESHOLD`] edges), viewmap construction
+//! generates candidate viewlinks from a per-second spatial grid with
+//! precomputed Bloom keys, and the server's VP store is striped across
+//! [`server::DB_SHARDS`] locks with an O(1) `VpId → minute` index. The
+//! `vm-bench` crate's `bench_investigate` binary tracks these paths at
+//! 1k/10k/100k VPs against the retained naive baselines.
 //!
 //! # Quick start
 //!

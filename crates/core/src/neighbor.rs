@@ -136,7 +136,10 @@ mod tests {
     fn accepts_fresh_in_range_vd() {
         let mut t = NeighborTable::new();
         let vd = vd_from(1, 100, GeoPos::new(50.0, 0.0));
-        assert_eq!(t.observe(vd, 100, GeoPos::new(0.0, 0.0)), Accept::NewNeighbor);
+        assert_eq!(
+            t.observe(vd, 100, GeoPos::new(0.0, 0.0)),
+            Accept::NewNeighbor
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -189,7 +192,11 @@ mod tests {
         let mut t = NeighborTable::new();
         let here = GeoPos::new(0.0, 0.0);
         for i in 0..MAX_NEIGHBORS + 10 {
-            let vd = vd_from((i % 251) as u8 ^ (i / 251) as u8, 100, GeoPos::new(1.0, i as f64 % 300.0));
+            let vd = vd_from(
+                (i % 251) as u8 ^ (i / 251) as u8,
+                100,
+                GeoPos::new(1.0, i as f64 % 300.0),
+            );
             // Use distinct secrets: combine index into the chain secret.
             let mut secret = [0u8; 8];
             secret[..4].copy_from_slice(&(i as u32).to_le_bytes());

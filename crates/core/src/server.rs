@@ -5,6 +5,29 @@
 //! operates purely on anonymized VPs, requests videos by VP identifier,
 //! validates uploads against the stored cascaded hashes, and pays with
 //! blind-signature cash it cannot trace.
+//!
+//! # Storage layout
+//!
+//! The VP database is built for sustained city-scale ingest (millions of
+//! VPs per minute across many uploader sessions) with concurrent
+//! investigations reading from it:
+//!
+//! * **Sharded minute store** — the minute-keyed map is split across
+//!   [`DB_SHARDS`] independent `RwLock` stripes (keyed by a mixed hash of
+//!   the minute), so submissions for different minutes never contend on
+//!   one global lock, and an investigation building a viewmap only blocks
+//!   ingest for the single minute it reads.
+//! * **VP-id index** — a second set of stripes maps `VpId → (MinuteId,
+//!   position)`. It doubles as the duplicate-submission set, and turns
+//!   video-upload lookup into two hash probes (id stripe, then minute
+//!   shard) instead of the full-database scan the first implementation
+//!   did. Positions are stable because minute vectors are append-only.
+//! * **Zero-copy hand-off** — VPs are stored as `Arc<StoredVp>`, and
+//!   [`Viewmap`] members share those `Arc`s: building a viewmap never
+//!   clones a VP's 60 VDs or its Bloom filter.
+//!
+//! Lock order is always id stripe → minute shard; both acquisitions are
+//! short (no validation or hashing happens under a lock).
 
 use crate::reward::Cash;
 use crate::solicit::{validate_upload, UploadError, VideoUpload};
@@ -15,7 +38,12 @@ use crate::vp::StoredVp;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use vm_crypto::{BlindedMessage, RsaKeyPair, RsaPublicKey, Signature};
+
+/// Number of lock stripes in the VP database (and in the id index).
+/// Power of two so stripe selection is a mask.
+pub const DB_SHARDS: usize = 16;
 
 /// Why a VP submission was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,10 +74,33 @@ pub enum RedeemError {
     DoubleSpend,
 }
 
+/// Where a VP lives: its minute bucket and append position within it.
+#[derive(Clone, Copy, Debug)]
+struct VpSlot {
+    minute: MinuteId,
+    pos: u32,
+}
+
+#[derive(Default)]
+struct DbShard {
+    by_minute: HashMap<MinuteId, Vec<Arc<StoredVp>>>,
+}
+
+fn minute_stripe(minute: MinuteId) -> usize {
+    // Fibonacci mixing: consecutive minutes land on different stripes.
+    (minute.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (DB_SHARDS - 1)
+}
+
+fn id_stripe(id: &VpId) -> usize {
+    id.0.as_bytes()[0] as usize & (DB_SHARDS - 1)
+}
+
 /// The ViewMap public-service system.
 pub struct ViewMapServer {
-    db: RwLock<HashMap<MinuteId, Vec<StoredVp>>>,
-    known_ids: RwLock<HashSet<VpId>>,
+    /// Minute-keyed VP store, striped by minute hash.
+    db: Vec<RwLock<DbShard>>,
+    /// `VpId → VpSlot` index, striped by id byte; also the dedup set.
+    id_index: Vec<RwLock<HashMap<VpId, VpSlot>>>,
     solicited: RwLock<HashSet<VpId>>,
     /// VP id → award amount in cash units, set after human review.
     reward_board: RwLock<HashMap<VpId, usize>>,
@@ -62,8 +113,12 @@ impl ViewMapServer {
     /// Stand up a server with a fresh signing key of `key_bits`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, key_bits: usize, cfg: ViewmapConfig) -> Self {
         ViewMapServer {
-            db: RwLock::new(HashMap::new()),
-            known_ids: RwLock::new(HashSet::new()),
+            db: (0..DB_SHARDS)
+                .map(|_| RwLock::new(DbShard::default()))
+                .collect(),
+            id_index: (0..DB_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             solicited: RwLock::new(HashSet::new()),
             reward_board: RwLock::new(HashMap::new()),
             ledger: RwLock::new(HashSet::new()),
@@ -95,30 +150,59 @@ impl ViewMapServer {
         if vp.bloom.is_suspicious(MAX_NEIGHBORS) {
             return Err(SubmitError::SuspiciousBloom);
         }
-        let mut ids = self.known_ids.write();
-        if !ids.insert(vp.id) {
+        let id = vp.id;
+        let minute = vp.minute();
+        // Lock order: id stripe, then minute shard. The index entry and
+        // the shard append commit together so readers through the index
+        // never observe a dangling slot.
+        let mut ids = self.id_index[id_stripe(&id)].write();
+        if ids.contains_key(&id) {
             return Err(SubmitError::Duplicate);
         }
-        self.db.write().entry(vp.minute()).or_default().push(vp);
+        let mut shard = self.db[minute_stripe(minute)].write();
+        let bucket = shard.by_minute.entry(minute).or_default();
+        let pos = bucket.len() as u32;
+        bucket.push(Arc::new(vp));
+        ids.insert(id, VpSlot { minute, pos });
         Ok(())
+    }
+
+    /// Fetch a VP by identifier: one id-stripe probe for the slot, one
+    /// minute-shard probe for the record. O(1) regardless of database
+    /// size — this is the lookup `upload_video` rides on.
+    pub fn lookup_vp(&self, id: VpId) -> Option<Arc<StoredVp>> {
+        let slot = *self.id_index[id_stripe(&id)].read().get(&id)?;
+        let shard = self.db[minute_stripe(slot.minute)].read();
+        let vp = shard.by_minute.get(&slot.minute)?.get(slot.pos as usize)?;
+        debug_assert_eq!(vp.id, id, "id index points at the wrong record");
+        Some(Arc::clone(vp))
     }
 
     /// Number of VPs stored for a minute.
     pub fn vp_count(&self, minute: MinuteId) -> usize {
-        self.db.read().get(&minute).map_or(0, |v| v.len())
+        self.db[minute_stripe(minute)]
+            .read()
+            .by_minute
+            .get(&minute)
+            .map_or(0, |v| v.len())
     }
 
     /// Total VPs stored.
     pub fn total_vps(&self) -> usize {
-        self.db.read().values().map(|v| v.len()).sum()
+        self.db
+            .iter()
+            .map(|s| s.read().by_minute.values().map(|v| v.len()).sum::<usize>())
+            .sum()
     }
 
     /// Build the viewmap for a minute around an incident site.
+    ///
+    /// Snapshots the minute's `Arc`s (pointer copies) and releases the
+    /// shard lock before construction, so a long build never blocks
+    /// ingest; viewmap members share the database allocations.
     pub fn build_viewmap(&self, minute: MinuteId, site: Site) -> Viewmap {
-        let db = self.db.read();
-        let empty = Vec::new();
-        let candidates = db.get(&minute).unwrap_or(&empty);
-        Viewmap::build(candidates, site, minute, &self.cfg)
+        let candidates = self.minute_vps(minute);
+        Viewmap::build(&candidates, site, minute, &self.cfg)
     }
 
     /// Full investigation pipeline for one minute: build the viewmap, run
@@ -134,6 +218,25 @@ impl ViewMapServer {
         ids
     }
 
+    /// Post a solicitation directly (investigator action: request the
+    /// video behind a specific VP id, e.g. after manual review of a
+    /// verification outcome).
+    pub fn solicit(&self, id: VpId) {
+        self.solicited.write().insert(id);
+    }
+
+    /// Snapshot of one minute's stored VPs (`Arc`-shared with the DB, so
+    /// the snapshot is pointer copies; the shard lock is held only for
+    /// the copy).
+    pub fn minute_vps(&self, minute: MinuteId) -> Vec<Arc<StoredVp>> {
+        self.db[minute_stripe(minute)]
+            .read()
+            .by_minute
+            .get(&minute)
+            .cloned()
+            .unwrap_or_default()
+    }
+
     /// The current solicitation board ("request for video" postings).
     pub fn solicitation_board(&self) -> Vec<VpId> {
         let mut v: Vec<VpId> = self.solicited.read().iter().copied().collect();
@@ -147,13 +250,8 @@ impl ViewMapServer {
         if !self.solicited.read().contains(&upload.vp_id) {
             return Err(UploadError::NotSolicited);
         }
-        let db = self.db.read();
-        let stored = db
-            .values()
-            .flatten()
-            .find(|vp| vp.id == upload.vp_id)
-            .ok_or(UploadError::UnknownVp)?;
-        validate_upload(stored, upload)?;
+        let stored = self.lookup_vp(upload.vp_id).ok_or(UploadError::UnknownVp)?;
+        validate_upload(&stored, upload)?;
         Ok(())
     }
 
@@ -230,9 +328,9 @@ mod tests {
         ViewMapServer::new(&mut rng, 512, ViewmapConfig::default())
     }
 
-    fn record(seed: u64, y: f64) -> (crate::vp::FinalizedMinute, Vec<Vec<u8>>) {
+    fn record_at(seed: u64, y: f64, start_time: u64) -> (crate::vp::FinalizedMinute, Vec<Vec<u8>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, y), VpKind::Actual);
+        let mut b = VpBuilder::new(&mut rng, start_time, GeoPos::new(0.0, y), VpKind::Actual);
         let chunks: Vec<Vec<u8>> = (0..SECONDS_PER_VP)
             .map(|i| (0..64).map(|j| ((seed + i * 3 + j) % 251) as u8).collect())
             .collect();
@@ -240,6 +338,39 @@ mod tests {
             b.record_second(c, GeoPos::new(i as f64 * 8.0, y));
         }
         (b.finalize(), chunks)
+    }
+
+    fn record(seed: u64, y: f64) -> (crate::vp::FinalizedMinute, Vec<Vec<u8>>) {
+        record_at(seed, y, 0)
+    }
+
+    /// Fabricated minimal VP for volume tests: 60 VDs with synthetic
+    /// digests (no real hashing), empty Bloom filter.
+    fn synthetic_vp(tag: u64, minute: u64) -> StoredVp {
+        use crate::vd::ViewDigest;
+        let mut id_bytes = [0u8; 16];
+        id_bytes[..8].copy_from_slice(&tag.to_le_bytes());
+        id_bytes[8..].copy_from_slice(&minute.to_le_bytes());
+        let id = VpId(vm_crypto::Digest16(id_bytes));
+        let start = minute * SECONDS_PER_VP;
+        let vds: Vec<ViewDigest> = (1..=SECONDS_PER_VP as u16)
+            .map(|seq| ViewDigest {
+                seq,
+                flags: 0,
+                time: start + seq as u64,
+                loc: GeoPos::new(tag as f64, seq as f64),
+                file_size: seq as u64 * 64,
+                initial_loc: GeoPos::new(tag as f64, 0.0),
+                vp_id: id,
+                hash: vm_crypto::Digest16(id_bytes),
+            })
+            .collect();
+        StoredVp {
+            id,
+            vds,
+            bloom: crate::bloom::BloomFilter::default(),
+            trusted: false,
+        }
     }
 
     #[test]
@@ -281,10 +412,7 @@ mod tests {
         let (fin, chunks) = record(9, 0.0);
         let id = fin.profile.id();
         srv.store(fin.profile.into_stored()).unwrap();
-        let upload = VideoUpload {
-            vp_id: id,
-            chunks,
-        };
+        let upload = VideoUpload { vp_id: id, chunks };
         assert_eq!(srv.upload_video(&upload), Err(UploadError::NotSolicited));
     }
 
@@ -312,7 +440,9 @@ mod tests {
         assert_eq!(units, 3);
         let mut wallet = Wallet::new();
         let (pending, blinded) = wallet.prepare(&mut rng, srv.public_key(), units);
-        let signed = srv.issue_blind_signatures(vp_id, &secret, &blinded).unwrap();
+        let signed = srv
+            .issue_blind_signatures(vp_id, &secret, &blinded)
+            .unwrap();
         assert_eq!(wallet.accept_signed(srv.public_key(), pending, &signed), 3);
 
         // Board entry consumed: no double issuance.
@@ -351,5 +481,112 @@ mod tests {
             },
         );
         assert_eq!(vm.trusted.len(), 1);
+    }
+
+    // ── VpId → MinuteId index ────────────────────────────────────────
+
+    #[test]
+    fn upload_after_submit_across_many_minutes() {
+        // VPs spread over 24 minutes; the id index must route each upload
+        // to the right minute bucket.
+        let srv = server(16);
+        let mut uploads = Vec::new();
+        for m in 0..24u64 {
+            let (fin, chunks) = record_at(100 + m, m as f64, m * SECONDS_PER_VP);
+            let id = fin.profile.id();
+            assert_eq!(fin.profile.clone().into_stored().minute(), MinuteId(m));
+            srv.store(fin.profile.into_stored()).unwrap();
+            uploads.push(VideoUpload { vp_id: id, chunks });
+        }
+        assert_eq!(srv.total_vps(), 24);
+        for m in 0..24u64 {
+            assert_eq!(srv.vp_count(MinuteId(m)), 1, "minute {m}");
+        }
+        // Solicit all, then upload each in reverse order.
+        {
+            let mut board = srv.solicited.write();
+            for u in &uploads {
+                board.insert(u.vp_id);
+            }
+        }
+        for u in uploads.iter().rev() {
+            assert_eq!(srv.upload_video(u), Ok(()), "upload for {:?}", u.vp_id);
+        }
+    }
+
+    #[test]
+    fn duplicate_rejection_keeps_index_consistent() {
+        let srv = server(17);
+        let (fin, chunks) = record(18, 0.0);
+        let id = fin.profile.id();
+        let first = fin.profile.clone().into_stored();
+        srv.store(first).unwrap();
+
+        // A forged resubmission under the same id (different content) is
+        // rejected and must not disturb the index entry.
+        let mut forged = fin.profile.into_stored();
+        forged.vds[0].loc.x += 999.0;
+        assert_eq!(srv.store(forged), Err(SubmitError::Duplicate));
+        assert_eq!(srv.total_vps(), 1);
+
+        let stored = srv.lookup_vp(id).expect("still indexed");
+        assert_eq!(stored.id, id);
+        assert!(
+            stored.vds[0].loc.x < 999.0,
+            "index must still point at the original record"
+        );
+        // And the original upload still validates.
+        srv.solicited.write().insert(id);
+        assert_eq!(srv.upload_video(&VideoUpload { vp_id: id, chunks }), Ok(()));
+    }
+
+    #[test]
+    fn lookup_stays_correct_with_ten_thousand_vps() {
+        // Regression test for the O(n) full-database scan: with 10k+ VPs
+        // across hundreds of minutes, id lookups must keep resolving to
+        // exactly the right record (the pre-index implementation walked
+        // every minute bucket per upload).
+        let srv = server(19);
+        let n: u64 = 10_500;
+        for tag in 0..n {
+            let minute = tag % 350;
+            srv.store(synthetic_vp(tag, minute)).unwrap();
+        }
+        assert_eq!(srv.total_vps(), n as usize);
+        assert_eq!(srv.vp_count(MinuteId(0)), 30);
+        for tag in (0..n).step_by(997) {
+            let minute = tag % 350;
+            let id = synthetic_vp(tag, minute).id;
+            let vp = srv.lookup_vp(id).expect("indexed");
+            assert_eq!(vp.id, id);
+            assert_eq!(vp.minute(), MinuteId(minute));
+            assert_eq!(vp.vds[0].loc.x, tag as f64);
+        }
+        assert!(srv
+            .lookup_vp(VpId(vm_crypto::Digest16([0xAB; 16])))
+            .is_none());
+    }
+
+    #[test]
+    fn viewmap_members_share_database_arcs() {
+        // The zero-copy acceptance criterion, measured at the server API:
+        // viewmap members are the same allocations the DB holds.
+        let srv = server(20);
+        let (fin, _) = record(21, 0.0);
+        let id = fin.profile.id();
+        srv.store(fin.profile.into_stored()).unwrap();
+        let vm = srv.build_viewmap(
+            MinuteId(0),
+            Site {
+                center: GeoPos::new(0.0, 0.0),
+                radius_m: 1000.0,
+            },
+        );
+        assert_eq!(vm.len(), 1);
+        let db_copy = srv.lookup_vp(id).unwrap();
+        assert!(
+            Arc::ptr_eq(&vm.vps[0], &db_copy),
+            "viewmap member and DB record must be the same allocation"
+        );
     }
 }

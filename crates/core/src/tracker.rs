@@ -129,9 +129,7 @@ impl Tracker {
         } else if !new_beliefs.is_empty() {
             // Complete loss: fall back to uniform uncertainty.
             let u = 1.0 / new_beliefs.len() as f64;
-            for b in &mut new_beliefs {
-                *b = u;
-            }
+            new_beliefs.fill(u);
         }
         self.beliefs = new_beliefs;
         self.ends = next.ends.clone();
@@ -163,7 +161,9 @@ impl Tracker {
 mod tests {
     use super::*;
 
-    fn minute(pairs: &[((f64, f64), (f64, f64))]) -> MinuteVps {
+    type PairSpec = ((f64, f64), (f64, f64));
+
+    fn minute(pairs: &[PairSpec]) -> MinuteVps {
         MinuteVps {
             starts: pairs.iter().map(|(s, _)| GeoPos::new(s.0, s.1)).collect(),
             ends: pairs.iter().map(|(_, e)| GeoPos::new(e.0, e.1)).collect(),
@@ -190,8 +190,8 @@ mod tests {
         // Next minute: the real continuation and one guard, both starting
         // exactly at the predicted point.
         let next = minute(&[
-            ((100.0, 0.0), (200.0, 0.0)),    // real
-            ((100.0, 0.0), (150.0, 400.0)),  // guard (diverges)
+            ((100.0, 0.0), (200.0, 0.0)),   // real
+            ((100.0, 0.0), (150.0, 400.0)), // guard (diverges)
         ]);
         tr.advance(&next);
         assert!((tr.success(0) - 0.5).abs() < 1e-12);
@@ -206,15 +206,15 @@ mod tests {
         let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
         let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
         let mut x = 100.0;
-        let mut phantom_lanes = 0usize; // lanes carrying lost branches
         for t in 1..=6 {
             let mut vps: Vec<((f64, f64), (f64, f64))> = vec![
-                ((x, 0.0), (x + 100.0, 0.0)),        // real continuation
-                ((x, 0.0), (x, 500.0 + x)),          // fresh guard diverging
+                ((x, 0.0), (x + 100.0, 0.0)), // real continuation
+                ((x, 0.0), (x, 500.0 + x)),   // fresh guard diverging
             ];
             // Continuations for every previously diverged branch, far from
             // the real lane so they never recapture it.
-            for lane in 0..phantom_lanes {
+            // t-1 lanes carry previously lost branches.
+            for lane in 0..(t - 1) as usize {
                 let y = 500.0 + 100.0 * lane as f64 + (x - 100.0);
                 vps.push(((x - 100.0, y), (x, y + 100.0)));
             }
@@ -225,7 +225,6 @@ mod tests {
                 "t={t}: {}",
                 tr.success(0)
             );
-            phantom_lanes += 1;
             x += 100.0;
         }
     }
@@ -248,7 +247,7 @@ mod tests {
         let m0 = minute(&[((0.0, 0.0), (100.0, 0.0))]);
         let mut tr = Tracker::lock_on(TrackerParams::default(), &m0, 0);
         let next = minute(&[
-            ((105.0, 0.0), (200.0, 0.0)),  // 5 m deviation
+            ((105.0, 0.0), (200.0, 0.0)),   // 5 m deviation
             ((100.0, 60.0), (200.0, 60.0)), // 60 m deviation
         ]);
         tr.advance(&next);

@@ -9,9 +9,121 @@
 //! the attackers' few legitimate VPs — so within the investigation site the
 //! highest-scored VP is (almost always) legitimate, and everything
 //! reachable from it *through the site* is marked legitimate with it.
+//!
+//! # Engine
+//!
+//! City-scale viewmaps iterate this fixed point over graphs with 10⁵+
+//! nodes, so the power iteration runs on a [`CsrGraph`] — a compressed
+//! sparse row layout (flat `offsets`/`edges` arrays plus precomputed
+//! inverse out-degrees) built once per graph. Each iteration is a
+//! *gather*: node `u` sums `p[v]/deg(v)` over its incident edges from one
+//! contiguous edge slice, which streams sequentially through memory
+//! instead of scattering writes across the score vector the way the
+//! textbook formulation does. Iteration stops early once the L1 change
+//! drops under `eps`. Above [`PARALLEL_EDGE_THRESHOLD`] directed edges the
+//! edge pass fans out across threads (scoped std threads — the build
+//! environment has no rayon), chunked by node range so each thread owns a
+//! disjoint slice of the output vector; per-node summation order is
+//! identical to the serial pass, so parallel scores are bit-for-bit equal.
+//!
+//! The pre-CSR adjacency-list implementation is retained as
+//! [`trust_scores_reference`] — it is the oracle for the property tests
+//! and the naive baseline the `vm-bench` investigation benchmark measures
+//! speedups against.
 
 /// Damping factor δ (the paper sets 0.8 empirically).
 pub const DAMPING: f64 = 0.8;
+
+/// Directed-edge count above which the gather pass runs multi-threaded.
+///
+/// Below this the per-iteration work is a few hundred microseconds and
+/// thread spawn/join overhead dominates.
+pub const PARALLEL_EDGE_THRESHOLD: usize = 100_000;
+
+/// A graph in compressed-sparse-row form: node `v`'s neighbors are
+/// `edges[offsets[v]..offsets[v+1]]`.
+///
+/// Node ids are `u32` — half the memory traffic of `usize` indices during
+/// the gather pass, and 4 × 10⁹ nodes is comfortably beyond any viewmap.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    /// `1/deg(v)`, or `0.0` for isolated nodes (they distribute nothing).
+    inv_deg: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Flatten adjacency lists into CSR. Edge order within each node is
+    /// preserved, so results of algorithms that sum per-node are
+    /// reproducible against the list form.
+    pub fn from_adj(adj: &[Vec<usize>]) -> CsrGraph {
+        let n = adj.len();
+        assert!(n < u32::MAX as usize, "graph too large for u32 node ids");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let total: usize = adj.iter().map(|nbrs| nbrs.len()).sum();
+        assert!(
+            total < u32::MAX as usize,
+            "edge count overflows u32 offsets"
+        );
+        let mut edges = Vec::with_capacity(total);
+        let mut inv_deg = Vec::with_capacity(n);
+        offsets.push(0u32);
+        for nbrs in adj {
+            for &u in nbrs {
+                debug_assert!(u < n, "edge target out of range");
+                edges.push(u as u32);
+            }
+            offsets.push(edges.len() as u32);
+            inv_deg.push(if nbrs.is_empty() {
+                0.0
+            } else {
+                1.0 / nbrs.len() as f64
+            });
+        }
+        CsrGraph {
+            offsets,
+            edges,
+            inv_deg,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inv_deg.len()
+    }
+
+    /// True iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inv_deg.is_empty()
+    }
+
+    /// Number of directed edge entries (twice the undirected edge count
+    /// for a symmetric graph).
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbors of node `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+fn seed_distribution(n: usize, seeds: &[usize]) -> Vec<f64> {
+    assert!(!seeds.is_empty(), "need at least one trusted VP");
+    let mut d = vec![0.0; n];
+    for &s in seeds {
+        assert!(s < n, "seed index out of range");
+        d[s] = 1.0 / seeds.len() as f64;
+    }
+    d
+}
 
 /// Compute trust scores over an undirected graph.
 ///
@@ -27,6 +139,10 @@ pub fn trust_scores(adj: &[Vec<usize>], seeds: &[usize], damping: f64, eps: f64)
 }
 
 /// As [`trust_scores`], also returning the iteration count (for benches).
+///
+/// Compatibility wrapper: flattens `adj` to CSR once and runs the gather
+/// engine. Callers iterating many sites over one graph should build the
+/// [`CsrGraph`] themselves and call [`trust_scores_csr`] directly.
 pub fn trust_scores_iter(
     adj: &[Vec<usize>],
     seeds: &[usize],
@@ -34,14 +150,166 @@ pub fn trust_scores_iter(
     eps: f64,
     max_iter: usize,
 ) -> (Vec<f64>, usize) {
-    let n = adj.len();
-    assert!(!seeds.is_empty(), "need at least one trusted VP");
+    trust_scores_csr(&CsrGraph::from_adj(adj), seeds, damping, eps, max_iter)
+}
+
+/// Gather-style power iteration on CSR; picks serial or parallel execution
+/// by edge count.
+pub fn trust_scores_csr(
+    g: &CsrGraph,
+    seeds: &[usize],
+    damping: f64,
+    eps: f64,
+    max_iter: usize,
+) -> (Vec<f64>, usize) {
+    let threads = if g.directed_edge_count() >= PARALLEL_EDGE_THRESHOLD {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(16))
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    trust_scores_csr_threads(g, seeds, damping, eps, max_iter, threads)
+}
+
+/// As [`trust_scores_csr`] with an explicit thread count (exposed so tests
+/// can force the parallel path on small graphs).
+pub fn trust_scores_csr_threads(
+    g: &CsrGraph,
+    seeds: &[usize],
+    damping: f64,
+    eps: f64,
+    max_iter: usize,
+    threads: usize,
+) -> (Vec<f64>, usize) {
+    let n = g.len();
     assert!((0.0..1.0).contains(&damping), "damping in [0,1)");
-    let mut d = vec![0.0; n];
-    for &s in seeds {
-        assert!(s < n, "seed index out of range");
-        d[s] = 1.0 / seeds.len() as f64;
+    let d = seed_distribution(n, seeds);
+    let mut p = d.clone();
+    let mut next = vec![0.0; n];
+    // w[v] = p[v] / deg(v): computed once per iteration so the edge pass
+    // does a single indexed load per edge.
+    let mut w = vec![0.0; n];
+    let threads = threads.max(1).min(n.max(1));
+    // Chunk cuts depend only on the graph and thread count: compute them
+    // once, not per iteration.
+    let cuts = if threads > 1 {
+        chunk_cuts(g, threads)
+    } else {
+        Vec::new()
+    };
+    for it in 0..max_iter {
+        for v in 0..n {
+            w[v] = p[v] * g.inv_deg[v];
+        }
+        let delta = if threads == 1 {
+            gather_range(g, &w, &d, &p, &mut next, 0, damping)
+        } else {
+            gather_parallel(g, &w, &d, &p, &mut next, damping, &cuts)
+        };
+        std::mem::swap(&mut p, &mut next);
+        if delta < eps {
+            return (p, it + 1);
+        }
     }
+    (p, max_iter)
+}
+
+/// Node-range cut points (`threads + 1` entries) balancing directed edges
+/// across chunks.
+fn chunk_cuts(g: &CsrGraph, threads: usize) -> Vec<usize> {
+    let n = g.len();
+    let total_edges = g.directed_edge_count().max(1);
+    let per_chunk = total_edges.div_ceil(threads);
+    let mut cuts = vec![0usize];
+    for t in 1..threads {
+        let target = (t * per_chunk).min(total_edges) as u32;
+        let cut = g.offsets.partition_point(|&o| o < target).min(n);
+        let cut = cut.max(*cuts.last().unwrap());
+        cuts.push(cut);
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// One gather pass over `next[start..start+len]`; returns the L1 delta of
+/// that range. `next` is the chunk's disjoint output slice; `p` is the full
+/// previous score vector (for the delta).
+fn gather_range(
+    g: &CsrGraph,
+    w: &[f64],
+    d: &[f64],
+    p: &[f64],
+    next: &mut [f64],
+    start: usize,
+    damping: f64,
+) -> f64 {
+    let base = 1.0 - damping;
+    let mut delta = 0.0;
+    for (i, out) in next.iter_mut().enumerate() {
+        let u = start + i;
+        let lo = g.offsets[u] as usize;
+        let hi = g.offsets[u + 1] as usize;
+        let mut acc = 0.0;
+        for &e in &g.edges[lo..hi] {
+            acc += w[e as usize];
+        }
+        let nv = damping * acc + base * d[u];
+        delta += (nv - p[u]).abs();
+        *out = nv;
+    }
+    delta
+}
+
+/// Parallel edge pass: node ranges balanced by edge count, each thread
+/// writing a disjoint chunk of `next`. Per-node summation order matches
+/// the serial pass, so scores are bit-for-bit identical; only the L1 delta
+/// is reassembled (in chunk order, deterministically) from partials.
+fn gather_parallel(
+    g: &CsrGraph,
+    w: &[f64],
+    d: &[f64],
+    p: &[f64],
+    next: &mut [f64],
+    damping: f64,
+    cuts: &[usize],
+) -> f64 {
+    let threads = cuts.len() - 1;
+    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(threads);
+    let mut rest = next;
+    for t in 0..threads {
+        let len = cuts[t + 1] - cuts[t];
+        let (head, tail) = rest.split_at_mut(len);
+        chunks.push(head);
+        rest = tail;
+    }
+
+    let mut deltas = vec![0.0; threads];
+    std::thread::scope(|scope| {
+        for ((t, chunk), delta) in chunks.drain(..).enumerate().zip(deltas.iter_mut()) {
+            let start = cuts[t];
+            scope.spawn(move || {
+                *delta = gather_range(g, w, d, p, chunk, start, damping);
+            });
+        }
+    });
+    deltas.into_iter().sum()
+}
+
+/// The pre-CSR scatter implementation over adjacency lists, retained
+/// verbatim as the correctness oracle for property tests and the naive
+/// baseline for the investigation benchmarks. Semantically identical to
+/// [`trust_scores_iter`] up to floating-point summation order.
+pub fn trust_scores_reference(
+    adj: &[Vec<usize>],
+    seeds: &[usize],
+    damping: f64,
+    eps: f64,
+    max_iter: usize,
+) -> (Vec<f64>, usize) {
+    let n = adj.len();
+    assert!((0.0..1.0).contains(&damping), "damping in [0,1)");
+    let d = seed_distribution(n, seeds);
     let mut p = d.clone();
     let mut next = vec![0.0; n];
     for it in 0..max_iter {
@@ -90,15 +358,23 @@ pub fn verify_site(
     site: &[usize],
     damping: f64,
 ) -> Verification {
-    let scores = trust_scores(adj, seeds, damping, 1e-10);
-    let top = site
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+    verify_site_csr(&CsrGraph::from_adj(adj), seeds, site, damping)
+}
+
+/// Algorithm 1 over a prebuilt [`CsrGraph`] (build the graph once, verify
+/// many sites).
+pub fn verify_site_csr(
+    g: &CsrGraph,
+    seeds: &[usize],
+    site: &[usize],
+    damping: f64,
+) -> Verification {
+    let (scores, _) = trust_scores_csr(g, seeds, damping, 1e-10, 1000);
+    let top = site.iter().copied().max_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut legitimate = Vec::new();
     if let Some(u) = top {
         // BFS from u using only edges between site members.
@@ -109,7 +385,8 @@ pub fn verify_site(
         queue.push_back(u);
         while let Some(v) = queue.pop_front() {
             legitimate.push(v);
-            for &w in &adj[v] {
+            for &w in g.neighbors(v) {
+                let w = w as usize;
                 if in_site.contains(&w) && seen.insert(w) {
                     queue.push_back(w);
                 }
@@ -127,6 +404,8 @@ pub fn verify_site(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     /// Path graph 0-1-2-3-4.
     fn path(n: usize) -> Vec<Vec<usize>> {
@@ -146,11 +425,7 @@ mod tests {
         let adj = path(6);
         let s = trust_scores(&adj, &[0], DAMPING, 1e-12);
         for i in 2..6 {
-            assert!(
-                s[i] < s[i - 1],
-                "score must decay along the path: {:?}",
-                s
-            );
+            assert!(s[i] < s[i - 1], "score must decay along the path: {:?}", s);
         }
         assert!(s[0] > s[2], "seed outranks everything beyond its neighbor");
     }
@@ -253,5 +528,129 @@ mod tests {
         let (_, iters) = trust_scores_iter(&adj, &[0], DAMPING, 1e-9, 1000);
         assert!(iters < 1000, "should converge, took {iters}");
         assert!(iters > 3, "non-trivial iteration count: {iters}");
+    }
+
+    // ── CSR engine ───────────────────────────────────────────────────
+
+    #[test]
+    fn csr_layout_matches_adjacency() {
+        let adj = vec![vec![1, 2], vec![0], vec![0], vec![]];
+        let g = CsrGraph::from_adj(&adj);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.directed_edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    /// Random symmetric graph with expected degree `mean_deg`, possibly
+    /// split into disconnected halves.
+    fn random_graph(
+        rng: &mut StdRng,
+        n: usize,
+        mean_deg: f64,
+        disconnect: bool,
+    ) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        let p = (mean_deg / n as f64).min(1.0);
+        let cut = if disconnect { n / 2 } else { n };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let crosses = a < cut && b >= cut;
+                if !crosses && rng.gen_bool(p) {
+                    adj[a].push(b);
+                    adj[b].push(a);
+                }
+            }
+        }
+        adj
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn csr_matches_reference_on_random_graphs() {
+        // Property: the CSR gather engine agrees with the retained
+        // scatter reference to 1e-12 across densities, seed sets, and
+        // disconnected components.
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let n = rng.gen_range(2usize..120);
+            let mean_deg = rng.gen_range(0.5f64..12.0);
+            let disconnect = rng.gen_bool(0.3);
+            let adj = random_graph(&mut rng, n, mean_deg, disconnect);
+            let n_seeds = rng.gen_range(1usize..4.min(n + 1).max(2));
+            let seeds: Vec<usize> = (0..n_seeds).map(|_| rng.gen_range(0..n)).collect();
+            let damping = rng.gen_range(0.5f64..0.95);
+
+            let (reference, it_ref) = trust_scores_reference(&adj, &seeds, damping, 1e-13, 1000);
+            let (csr, it_csr) = trust_scores_iter(&adj, &seeds, damping, 1e-13, 1000);
+            assert_eq!(reference.len(), csr.len());
+            let diff = max_abs_diff(&reference, &csr);
+            assert!(
+                diff < 1e-12,
+                "seed {seed}: CSR diverged from reference by {diff} \
+                 (n={n}, iters {it_ref}/{it_csr})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let n = rng.gen_range(10usize..300);
+            let adj = random_graph(&mut rng, n, 6.0, seed % 2 == 0);
+            let g = CsrGraph::from_adj(&adj);
+            let seeds = [0usize];
+            let (serial, _) = trust_scores_csr_threads(&g, &seeds, DAMPING, 1e-13, 1000, 1);
+            for threads in [2, 3, 4, 7] {
+                let (par, _) = trust_scores_csr_threads(&g, &seeds, DAMPING, 1e-13, 1000, threads);
+                // Per-node gather order is identical, so scores must agree
+                // exactly; only the early-exit delta is reassembled from
+                // partials, which can shift the stop iteration within eps.
+                let diff = max_abs_diff(&serial, &par);
+                assert!(
+                    diff <= 1e-13,
+                    "threads={threads}: parallel diverged by {diff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_more_threads_than_nodes() {
+        let adj = path(3);
+        let g = CsrGraph::from_adj(&adj);
+        let (s, _) = trust_scores_csr_threads(&g, &[0], DAMPING, 1e-12, 1000, 64);
+        let expect = trust_scores(&adj, &[0], DAMPING, 1e-12);
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn csr_single_node_graphs() {
+        let adj = vec![Vec::new()];
+        let g = CsrGraph::from_adj(&adj);
+        let (s, iters) = trust_scores_csr(&g, &[0], DAMPING, 1e-12, 1000);
+        // Isolated seed: keeps only its base inflow (1-δ)·1.
+        assert!((s[0] - (1.0 - DAMPING)).abs() < 1e-9, "score {}", s[0]);
+        assert!(iters <= 3);
+    }
+
+    #[test]
+    fn verify_site_csr_reuses_graph() {
+        let adj = path(6);
+        let g = CsrGraph::from_adj(&adj);
+        let v1 = verify_site_csr(&g, &[0], &[4, 5], DAMPING);
+        let v2 = verify_site(&adj, &[0], &[4, 5], DAMPING);
+        assert_eq!(v1.top, v2.top);
+        assert_eq!(v1.legitimate, v2.legitimate);
     }
 }

@@ -44,8 +44,27 @@ impl ViewDigest {
     ///
     /// Neighbors insert received VDs into their VP's filter `N_u`; keying
     /// by the full content binds linkage to the exact exchanged digests.
+    ///
+    /// The fields are streamed straight into one SHA-256 pass in wire
+    /// order — byte-identical to hashing [`encode`](Self::encode)'s
+    /// output (asserted in tests) without materializing the 72-byte
+    /// buffer. This runs once per received VD on vehicles and per element
+    /// VD during viewmap construction.
     pub fn bloom_key(&self) -> Digest16 {
-        Digest16::hash(&self.encode())
+        let mut h = Sha256::new();
+        h.update(&self.seq.to_le_bytes());
+        h.update(&self.flags.to_le_bytes());
+        h.update(&0u32.to_le_bytes()); // reserved
+        h.update(&self.time.to_le_bytes());
+        h.update(&self.loc.encode());
+        h.update(&self.file_size.to_le_bytes());
+        h.update(&self.initial_loc.encode());
+        h.update(self.vp_id.0.as_bytes());
+        h.update(self.hash.as_bytes());
+        let d = h.finalize();
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&d.0[..16]);
+        Digest16(out)
     }
 
     /// Encode to the 72-byte wire format.
@@ -243,7 +262,9 @@ mod tests {
     use crate::types::SECONDS_PER_VP;
 
     fn chunk(i: u64, len: usize) -> Vec<u8> {
-        (0..len).map(|j| ((i * 31 + j as u64) % 251) as u8).collect()
+        (0..len)
+            .map(|j| ((i * 31 + j as u64) % 251) as u8)
+            .collect()
     }
 
     #[test]
@@ -366,6 +387,17 @@ mod tests {
         c2.extend(&b, GeoPos::new(0.0, 0.0));
         let h2 = c2.extend(&a, GeoPos::new(0.0, 0.0)).hash;
         assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn bloom_key_equals_hash_of_wire_encoding() {
+        // The streamed single-pass bloom_key must match hashing the
+        // materialized 72-byte wire frame field for field.
+        let mut chain = VdChain::new([12u8; 8], 300, GeoPos::new(-5.5, 42.25));
+        for i in 0..10 {
+            let vd = chain.extend(&chunk(i, 33), GeoPos::new(i as f64, -3.0));
+            assert_eq!(vd.bloom_key(), vm_crypto::Digest16::hash(&vd.encode()));
+        }
     }
 
     #[test]

@@ -6,10 +6,28 @@
 //! trajectory enters `C`, and create a *viewlink* edge between two member
 //! VPs iff (a) their time-aligned claimed locations come within DSRC radio
 //! range and (b) the two-way Bloom-filter membership test passes.
+//!
+//! # Construction engine
+//!
+//! Members are held as `Arc<StoredVp>` shared with the server's VP
+//! database — admitting a VP into a viewmap is a pointer copy, never a
+//! deep clone of its 60 VDs and 256-byte Bloom filter.
+//!
+//! Candidate viewlink pairs come from a per-VD spatial grid bucketed by
+//! second index: every VD is dropped into a `(second, cell)` bucket, and a
+//! pair is considered only when two VPs were actually within DSRC range at
+//! the *same second*. That replaces the earlier trajectory-midpoint grid,
+//! whose worst-case query radius (DSRC range + a full minute of travel on
+//! both sides) pulled in quadratically many phantom pairs in dense
+//! traffic. Each surviving pair is validated with precomputed per-member
+//! Bloom keys (60 SHA-256 digests hashed once per member instead of once
+//! per pair) after cheap bounding-box and Bloom-occupancy prefilters.
 
 use crate::trustrank::{self, Verification};
-use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M};
+use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
 use crate::vp::StoredVp;
+use std::collections::HashSet;
+use std::sync::Arc;
 use vm_geo::GridIndex;
 
 /// Construction parameters.
@@ -54,8 +72,8 @@ impl Site {
 /// A constructed viewmap for one minute.
 #[derive(Clone, Debug)]
 pub struct Viewmap {
-    /// Member VPs (indices are node ids).
-    pub vps: Vec<StoredVp>,
+    /// Member VPs (indices are node ids), shared with the server DB.
+    pub vps: Vec<Arc<StoredVp>>,
     /// Symmetric adjacency lists (viewlinks).
     pub adj: Vec<Vec<usize>>,
     /// Indices of trusted member VPs.
@@ -70,20 +88,21 @@ impl Viewmap {
     /// `candidates` must all belong to the same minute; VPs from other
     /// minutes are ignored. Trusted VPs are admitted wherever they are
     /// (they anchor the coverage area); normal VPs are admitted if their
-    /// trajectory enters the coverage area.
+    /// trajectory enters the coverage area. Admitted members share the
+    /// caller's `Arc`s — no `StoredVp` is cloned.
     pub fn build(
-        candidates: &[StoredVp],
+        candidates: &[Arc<StoredVp>],
         site: Site,
         minute: MinuteId,
         cfg: &ViewmapConfig,
     ) -> Viewmap {
-        let in_minute: Vec<&StoredVp> = candidates
+        let in_minute: Vec<&Arc<StoredVp>> = candidates
             .iter()
             .filter(|vp| vp.minute() == minute && !vp.vds.is_empty())
             .collect();
 
         // Trusted VP(s) closest to the investigation site.
-        let mut trusted_refs: Vec<&StoredVp> =
+        let mut trusted_refs: Vec<&Arc<StoredVp>> =
             in_minute.iter().copied().filter(|vp| vp.trusted).collect();
         trusted_refs.sort_by(|a, b| {
             let da = nearest_approach(a, &site.center);
@@ -99,7 +118,7 @@ impl Viewmap {
             .max(site.radius_m)
             + cfg.coverage_margin_m;
 
-        let mut vps: Vec<StoredVp> = Vec::new();
+        let mut vps: Vec<Arc<StoredVp>> = Vec::new();
         for vp in &in_minute {
             let admit = vp.trusted
                 || vp
@@ -107,43 +126,11 @@ impl Viewmap {
                     .iter()
                     .any(|vd| vd.loc.distance(&site.center) <= coverage_radius);
             if admit {
-                vps.push((*vp).clone());
+                vps.push(Arc::clone(vp));
             }
         }
 
-        // Candidate pairs via a spatial grid over trajectory midpoints; a
-        // 1-min trajectory spans at most ~1.4 km at highway speed, so a
-        // conservative query radius covers all genuine proximity pairs.
-        let mid = |vp: &StoredVp| {
-            let a = vp.start_loc();
-            let b = vp.end_loc();
-            vm_geo::Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
-        };
-        let grid = GridIndex::build(
-            500.0,
-            vps.iter().enumerate().map(|(i, vp)| (i, mid(vp))),
-        );
-        let max_half_span = vps
-            .iter()
-            .map(|vp| vp.start_loc().distance(&vp.end_loc()) / 2.0)
-            .fold(0.0f64, f64::max);
-        let query_r = cfg.dsrc_radius_m + 2.0 * max_half_span + 1.0;
-
-        let mut adj = vec![Vec::new(); vps.len()];
-        for i in 0..vps.len() {
-            for j in grid.query_radius(&mid(&vps[i]), query_r) {
-                if j <= i {
-                    continue;
-                }
-                let close = vps[i]
-                    .min_aligned_distance(&vps[j])
-                    .is_some_and(|d| d <= cfg.dsrc_radius_m);
-                if close && vps[i].mutually_linked(&vps[j]) {
-                    adj[i].push(j);
-                    adj[j].push(i);
-                }
-            }
-        }
+        let adj = build_viewlinks(&vps, minute, cfg);
 
         let trusted = vps
             .iter()
@@ -157,6 +144,20 @@ impl Viewmap {
             trusted,
             minute,
         }
+    }
+
+    /// As [`build`](Self::build), taking owned VPs (wraps each in an
+    /// `Arc`; moving into the `Arc` is not a clone). Convenience for
+    /// tests, examples, and experiment code that assembles candidate
+    /// vectors locally.
+    pub fn build_owned(
+        candidates: Vec<StoredVp>,
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+    ) -> Viewmap {
+        let arcs: Vec<Arc<StoredVp>> = candidates.into_iter().map(Arc::new).collect();
+        Self::build(&arcs, site, minute, cfg)
     }
 
     /// Number of member VPs.
@@ -211,6 +212,109 @@ impl Viewmap {
     }
 }
 
+/// Viewlink edges for a member set: per-second spatial candidate
+/// generation, then two-way Bloom validation with precomputed keys.
+fn build_viewlinks(
+    vps: &[Arc<StoredVp>],
+    minute: MinuteId,
+    cfg: &ViewmapConfig,
+) -> Vec<Vec<usize>> {
+    let n = vps.len();
+    let mut adj = vec![Vec::new(); n];
+    if n < 2 {
+        return adj;
+    }
+    let radius = cfg.dsrc_radius_m;
+    let start = minute.start_second();
+
+    // Bucket every VD by its second within the minute. VD times are
+    // 1-based offsets from the VP's start second; a VP that starts
+    // recording mid-minute still belongs to this minute, so the window
+    // spans two minutes' worth of offsets.
+    let slots = 2 * SECONDS_PER_VP as usize + 1;
+    let mut slices: Vec<Vec<(usize, vm_geo::Point)>> = vec![Vec::new(); slots];
+    for (i, vp) in vps.iter().enumerate() {
+        for vd in &vp.vds {
+            let off = vd.time.saturating_sub(start);
+            if (1..slots as u64).contains(&off) {
+                slices[off as usize].push((i, vd.loc.into()));
+            }
+        }
+    }
+
+    // Candidate pairs: same second, within DSRC range. A pair that rides
+    // together the whole minute is rediscovered every second; the set
+    // dedupes (packed u64 keys: i < j; Fx hashing — this set sees tens of
+    // inserts per genuine pair).
+    let mut candidates: HashSet<u64, vm_geo::FxBuildHasher> = HashSet::default();
+    let mut grid = GridIndex::new(radius.max(1.0));
+    for slice in &slices {
+        if slice.len() < 2 {
+            continue;
+        }
+        grid.clear();
+        for &(i, p) in slice {
+            grid.insert(i, p);
+        }
+        for &(i, p) in slice {
+            grid.for_each_in_radius(&p, radius, |j, _| {
+                if j > i {
+                    candidates.insert(((i as u64) << 32) | j as u64);
+                }
+            });
+        }
+    }
+    if candidates.is_empty() {
+        return adj;
+    }
+    // Deterministic edge order regardless of hash-set iteration.
+    let mut candidates: Vec<u64> = candidates.into_iter().collect();
+    candidates.sort_unstable();
+
+    // Per-member link context, computed once: a Bloom occupancy
+    // prefilter — a filter with fewer than k set bits cannot pass any
+    // membership query, so such members can never link — and element-VD
+    // Bloom keys (the dominant pre-optimization cost was re-hashing
+    // these per pair). Keys are hashed only for members that appear in
+    // at least one candidate pair surviving the occupancy prefilter;
+    // everyone else never needs them.
+    let can_link: Vec<bool> = vps
+        .iter()
+        .map(|vp| vp.bloom.count_ones() >= vp.bloom.k())
+        .collect();
+    let mut keys: Vec<Vec<vm_crypto::Digest16>> = vec![Vec::new(); n];
+    for &packed in &candidates {
+        let i = (packed >> 32) as usize;
+        let j = (packed & 0xffff_ffff) as usize;
+        if can_link[i] && can_link[j] {
+            for m in [i, j] {
+                if keys[m].is_empty() {
+                    keys[m] = vps[m].bloom_keys();
+                }
+            }
+        }
+    }
+
+    for packed in candidates {
+        let i = (packed >> 32) as usize;
+        let j = (packed & 0xffff_ffff) as usize;
+        if !(can_link[i] && can_link[j]) {
+            continue;
+        }
+        // The grid guarantees a shared in-range second; the bounded
+        // aligned-distance check revalidates it exactly (and cheaply —
+        // bbox prefilter plus first-hit exit).
+        if !vps[i].within_aligned_distance(&vps[j], radius) {
+            continue;
+        }
+        if vps[i].links_to_keys(&keys[j]) && vps[j].links_to_keys(&keys[i]) {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+    }
+    adj
+}
+
 fn nearest_approach(vp: &StoredVp, p: &GeoPos) -> f64 {
     vp.vds
         .iter()
@@ -232,7 +336,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut builders: Vec<VpBuilder> = (0..n)
             .map(|i| {
-                let kind = if i == 0 { VpKind::Trusted } else { VpKind::Actual };
+                let kind = if i == 0 {
+                    VpKind::Trusted
+                } else {
+                    VpKind::Actual
+                };
                 VpBuilder::new(&mut rng, 0, GeoPos::new(i as f64 * spacing, 0.0), kind)
             })
             .collect();
@@ -244,7 +352,7 @@ mod tests {
             let vds: Vec<_> = builders
                 .iter_mut()
                 .enumerate()
-                .map(|(i, b)| b.record_second(&(s * 97) .to_le_bytes(), locs[i]))
+                .map(|(i, b)| b.record_second(&(s * 97).to_le_bytes(), locs[i]))
                 .collect();
             for i in 0..n {
                 for j in 0..n {
@@ -271,7 +379,7 @@ mod tests {
     fn chain_viewmap_is_connected_single_layer() {
         let vps = build_chain(8, 150.0, 1);
         let site = site_at(7.0 * 150.0, 200.0);
-        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &ViewmapConfig::default());
         assert_eq!(vm.len(), 8);
         assert_eq!(vm.trusted, vec![0]);
         // Each interior node links to both neighbors.
@@ -284,7 +392,7 @@ mod tests {
         let vps = build_chain(8, 150.0, 2);
         let site = site_at(7.0 * 150.0, 160.0);
         let cfg = ViewmapConfig::default();
-        let vm = Viewmap::build(&vps, site, MinuteId(0), &cfg);
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &cfg);
         let (v, ids) = vm.verify(&site, &cfg);
         assert!(v.top.is_some());
         assert!(!ids.is_empty());
@@ -305,8 +413,12 @@ mod tests {
         }
         vps.push(b.finalize().profile.into_stored());
         let site = site_at(600.0, 200.0);
-        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
-        let solo = vm.vps.iter().position(|vp| vp.start_loc().y == 10.0).unwrap();
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &ViewmapConfig::default());
+        let solo = vm
+            .vps
+            .iter()
+            .position(|vp| vp.start_loc().y == 10.0)
+            .unwrap();
         assert!(vm.adj[solo].is_empty(), "stranger must have no viewlinks");
         assert!(vm.member_connectivity() < 1.0);
     }
@@ -321,7 +433,12 @@ mod tests {
         }
         vps.push(b.finalize().profile.into_stored());
         // Site radius large enough that coverage admits the whole chain.
-        let vm = Viewmap::build(&vps, site_at(0.0, 400.0), MinuteId(0), &ViewmapConfig::default());
+        let vm = Viewmap::build_owned(
+            vps,
+            site_at(0.0, 400.0),
+            MinuteId(0),
+            &ViewmapConfig::default(),
+        );
         assert_eq!(vm.len(), 4, "minute-1 VP must not join minute-0 viewmap");
     }
 
@@ -338,7 +455,7 @@ mod tests {
             vps.push(vp);
         }
         let site = site_at(300.0, 150.0);
-        let vm = Viewmap::build(&vps, site, MinuteId(0), &ViewmapConfig::default());
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &ViewmapConfig::default());
         assert_eq!(vm.len(), 4, "distant VPs excluded from coverage");
     }
 
@@ -348,7 +465,7 @@ mod tests {
         vps[0].trusted = false;
         let site = site_at(450.0, 200.0);
         let cfg = ViewmapConfig::default();
-        let vm = Viewmap::build(&vps, site, MinuteId(0), &cfg);
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &cfg);
         let (v, ids) = vm.verify(&site, &cfg);
         assert_eq!(v.top, None);
         assert!(ids.is_empty());
@@ -357,10 +474,62 @@ mod tests {
     #[test]
     fn adjacency_is_symmetric() {
         let vps = build_chain(10, 120.0, 10);
-        let vm = Viewmap::build(&vps, site_at(500.0, 300.0), MinuteId(0), &ViewmapConfig::default());
+        let vm = Viewmap::build_owned(
+            vps,
+            site_at(500.0, 300.0),
+            MinuteId(0),
+            &ViewmapConfig::default(),
+        );
         for (i, nbrs) in vm.adj.iter().enumerate() {
             for &j in nbrs {
                 assert!(vm.adj[j].contains(&i), "edge {i}-{j} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn build_shares_arcs_with_caller() {
+        // Zero-copy admission: the viewmap's members are the same
+        // allocations the caller (in production, the server DB) holds.
+        let vps: Vec<Arc<StoredVp>> = build_chain(4, 150.0, 11)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let vm = Viewmap::build(
+            &vps,
+            site_at(0.0, 400.0),
+            MinuteId(0),
+            &ViewmapConfig::default(),
+        );
+        assert_eq!(vm.len(), 4);
+        for member in &vm.vps {
+            let original = vps.iter().find(|vp| vp.id == member.id).unwrap();
+            assert!(
+                Arc::ptr_eq(member, original),
+                "member must share the caller's allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn per_second_grid_matches_exhaustive_edges() {
+        // The per-second candidate generation must find exactly the edges
+        // an O(n²) scan over min_aligned_distance + mutually_linked finds.
+        for seed in [20u64, 21, 22] {
+            let vps = build_chain(12, 140.0, seed);
+            let cfg = ViewmapConfig::default();
+            let vm = Viewmap::build_owned(vps.clone(), site_at(800.0, 900.0), MinuteId(0), &cfg);
+            assert_eq!(vm.len(), vps.len());
+            // Map viewmap index -> original index via VP id.
+            for i in 0..vm.len() {
+                for j in (i + 1)..vm.len() {
+                    let close = vm.vps[i]
+                        .min_aligned_distance(&vm.vps[j])
+                        .is_some_and(|d| d <= cfg.dsrc_radius_m);
+                    let expect = close && vm.vps[i].mutually_linked(&vm.vps[j]);
+                    let got = vm.adj[i].contains(&j);
+                    assert_eq!(got, expect, "seed {seed}: edge {i}-{j} mismatch");
+                }
             }
         }
     }

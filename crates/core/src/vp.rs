@@ -40,7 +40,10 @@ pub struct ViewProfile {
 impl ViewProfile {
     /// The VP identifier `R_u`.
     pub fn id(&self) -> VpId {
-        self.vds.first().map(|vd| vd.vp_id).unwrap_or(VpId(vm_crypto::Digest16::ZERO))
+        self.vds
+            .first()
+            .map(|vd| vd.vp_id)
+            .unwrap_or(VpId(vm_crypto::Digest16::ZERO))
     }
 
     /// User-side storage bytes for this VP (+8-byte secret for actual VPs):
@@ -83,7 +86,10 @@ pub struct StoredVp {
 impl StoredVp {
     /// Absolute start second of the minute this VP covers.
     pub fn start_time(&self) -> u64 {
-        self.vds.first().map(|vd| vd.time.saturating_sub(1)).unwrap_or(0)
+        self.vds
+            .first()
+            .map(|vd| vd.time.saturating_sub(1))
+            .unwrap_or(0)
     }
 
     /// The minute this VP belongs to.
@@ -93,25 +99,66 @@ impl StoredVp {
 
     /// Claimed position at 1-based second `i` of the minute, if present.
     pub fn loc_at(&self, seq: u16) -> Option<GeoPos> {
-        self.vds
-            .iter()
-            .find(|vd| vd.seq == seq)
-            .map(|vd| vd.loc)
+        self.vds.iter().find(|vd| vd.seq == seq).map(|vd| vd.loc)
     }
 
     /// First claimed position.
     pub fn start_loc(&self) -> GeoPos {
-        self.vds.first().map(|vd| vd.loc).unwrap_or(GeoPos::new(0.0, 0.0))
+        self.vds
+            .first()
+            .map(|vd| vd.loc)
+            .unwrap_or(GeoPos::new(0.0, 0.0))
     }
 
     /// Last claimed position.
     pub fn end_loc(&self) -> GeoPos {
-        self.vds.last().map(|vd| vd.loc).unwrap_or(GeoPos::new(0.0, 0.0))
+        self.vds
+            .last()
+            .map(|vd| vd.loc)
+            .unwrap_or(GeoPos::new(0.0, 0.0))
+    }
+
+    /// Axis-aligned bounding box of the claimed trajectory:
+    /// `(min_x, min_y, max_x, max_y)`. Used as an O(1) prefilter before
+    /// the O(60) aligned-distance scans.
+    pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for vd in &self.vds {
+            bb.0 = bb.0.min(vd.loc.x);
+            bb.1 = bb.1.min(vd.loc.y);
+            bb.2 = bb.2.max(vd.loc.x);
+            bb.3 = bb.3.max(vd.loc.y);
+        }
+        bb
+    }
+
+    /// Do the recorded time ranges of the two VPs overlap at all? O(1);
+    /// false means [`min_aligned_distance`](Self::min_aligned_distance)
+    /// is `None`.
+    pub fn time_ranges_overlap(&self, other: &StoredVp) -> bool {
+        match (
+            self.vds.first(),
+            self.vds.last(),
+            other.vds.first(),
+            other.vds.last(),
+        ) {
+            (Some(sf), Some(sl), Some(of), Some(ol)) => sf.time <= ol.time && of.time <= sl.time,
+            _ => false,
+        }
     }
 
     /// Minimum time-aligned distance between two VPs' trajectories
-    /// (`None` if they share no common seconds).
+    /// (`None` if they share no common seconds). Short-circuits on
+    /// disjoint time ranges before touching the per-second data.
     pub fn min_aligned_distance(&self, other: &StoredVp) -> Option<f64> {
+        if !self.time_ranges_overlap(other) {
+            return None;
+        }
         let mut best: Option<f64> = None;
         let mut j = 0usize;
         for vd in &self.vds {
@@ -126,10 +173,57 @@ impl StoredVp {
         best
     }
 
+    /// Did the two trajectories come within `radius` of each other at any
+    /// shared second? Equivalent to `min_aligned_distance(other) <= radius`
+    /// but cheap in the common cases: disjoint time ranges and separated
+    /// bounding boxes return immediately, and the aligned scan exits at
+    /// the first second inside `radius` instead of finishing the minute.
+    pub fn within_aligned_distance(&self, other: &StoredVp, radius: f64) -> bool {
+        if !self.time_ranges_overlap(other) {
+            return false;
+        }
+        let a = self.bounding_box();
+        let b = other.bounding_box();
+        let dx = (b.0 - a.2).max(a.0 - b.2).max(0.0);
+        let dy = (b.1 - a.3).max(a.1 - b.3).max(0.0);
+        if dx * dx + dy * dy > radius * radius {
+            return false;
+        }
+        let mut j = 0usize;
+        for vd in &self.vds {
+            while j < other.vds.len() && other.vds[j].time < vd.time {
+                j += 1;
+            }
+            if j < other.vds.len()
+                && other.vds[j].time == vd.time
+                && vd.loc.distance(&other.vds[j].loc) <= radius
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The Bloom keys of this VP's element VDs, computed once. Viewmap
+    /// construction caches these per member so the pairwise two-way
+    /// linkage checks stop re-hashing 60 VDs per candidate pair.
+    pub fn bloom_keys(&self) -> Vec<vm_crypto::Digest16> {
+        self.vds.iter().map(|vd| vd.bloom_key()).collect()
+    }
+
+    /// One-way linkage test against precomputed element keys (see
+    /// [`bloom_keys`](Self::bloom_keys)).
+    pub fn links_to_keys(&self, other_keys: &[vm_crypto::Digest16]) -> bool {
+        other_keys.iter().any(|k| self.bloom.contains(k))
+    }
+
     /// One-way linkage test: does any of `other`'s element VDs pass this
     /// VP's Bloom filter?
     pub fn links_to(&self, other: &StoredVp) -> bool {
-        other.vds.iter().any(|vd| self.bloom.contains(&vd.bloom_key()))
+        other
+            .vds
+            .iter()
+            .any(|vd| self.bloom.contains(&vd.bloom_key()))
     }
 
     /// The paper's two-way viewlink validation (Section 5.2.1).
@@ -341,12 +435,18 @@ mod tests {
     #[test]
     fn min_aligned_distance_none_for_different_minutes() {
         let mut rng = StdRng::seed_from_u64(7);
-        let (fa, _) = exchange_minute(&mut rng, 0, |s| GeoPos::new(s as f64, 0.0), |s| {
-            GeoPos::new(s as f64, 10.0)
-        });
-        let (fb, _) = exchange_minute(&mut rng, 60, |s| GeoPos::new(s as f64, 0.0), |s| {
-            GeoPos::new(s as f64, 10.0)
-        });
+        let (fa, _) = exchange_minute(
+            &mut rng,
+            0,
+            |s| GeoPos::new(s as f64, 0.0),
+            |s| GeoPos::new(s as f64, 10.0),
+        );
+        let (fb, _) = exchange_minute(
+            &mut rng,
+            60,
+            |s| GeoPos::new(s as f64, 0.0),
+            |s| GeoPos::new(s as f64, 10.0),
+        );
         let a = fa.profile.into_stored();
         let b = fb.profile.into_stored();
         assert_eq!(a.min_aligned_distance(&b), None);
@@ -357,9 +457,12 @@ mod tests {
     #[test]
     fn finalize_counts_neighbors() {
         let mut rng = StdRng::seed_from_u64(8);
-        let (fa, fb) = exchange_minute(&mut rng, 0, |s| GeoPos::new(s as f64, 0.0), |s| {
-            GeoPos::new(s as f64, 10.0)
-        });
+        let (fa, fb) = exchange_minute(
+            &mut rng,
+            0,
+            |s| GeoPos::new(s as f64, 0.0),
+            |s| GeoPos::new(s as f64, 10.0),
+        );
         assert_eq!(fa.neighbors.len(), 1);
         assert_eq!(fb.neighbors.len(), 1);
         assert_eq!(fa.neighbors[0].vp_id, fb.profile.id());
@@ -370,9 +473,12 @@ mod tests {
     #[test]
     fn vp_id_consistent_with_secret() {
         let mut rng = StdRng::seed_from_u64(9);
-        let (fa, _) = exchange_minute(&mut rng, 0, |s| GeoPos::new(s as f64, 0.0), |s| {
-            GeoPos::new(s as f64, 10.0)
-        });
+        let (fa, _) = exchange_minute(
+            &mut rng,
+            0,
+            |s| GeoPos::new(s as f64, 0.0),
+            |s| GeoPos::new(s as f64, 10.0),
+        );
         assert_eq!(VpId::from_secret(&fa.secret), fa.profile.id());
     }
 

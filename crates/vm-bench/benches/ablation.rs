@@ -46,11 +46,9 @@ fn damping_convergence(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("damping_sweep");
     for damping in [0.5f64, 0.8, 0.95] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(damping),
-            &damping,
-            |b, &d| b.iter(|| trustrank::trust_scores(&adj, &[0], d, 1e-10)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(damping), &damping, |b, &d| {
+            b.iter(|| trustrank::trust_scores(&adj, &[0], d, 1e-10))
+        });
     }
     g.finish();
 }
@@ -62,7 +60,11 @@ fn viewmap_build(c: &mut Criterion) {
     let n = 60usize;
     let mut builders: Vec<VpBuilder> = (0..n)
         .map(|i| {
-            let kind = if i == 0 { VpKind::Trusted } else { VpKind::Actual };
+            let kind = if i == 0 {
+                VpKind::Trusted
+            } else {
+                VpKind::Actual
+            };
             VpBuilder::new(&mut rng, 0, GeoPos::new(i as f64 * 120.0, 0.0), kind)
         })
         .collect();
@@ -85,7 +87,7 @@ fn viewmap_build(c: &mut Criterion) {
     }
     let vps: Vec<_> = builders
         .into_iter()
-        .map(|b| b.finalize().profile.into_stored())
+        .map(|b| std::sync::Arc::new(b.finalize().profile.into_stored()))
         .collect();
     let site = Site {
         center: GeoPos::new(3600.0, 0.0),

@@ -30,7 +30,9 @@ fn bench_digest(c: &mut Criterion) {
         )
     });
     let prefix_30s = vec![0xa5u8; 875 * 1024 * 30];
-    g.bench_function("flat_rehash_at_30s", |b| b.iter(|| flat_digest(&prefix_30s)));
+    g.bench_function("flat_rehash_at_30s", |b| {
+        b.iter(|| flat_digest(&prefix_30s))
+    });
     g.finish();
 }
 

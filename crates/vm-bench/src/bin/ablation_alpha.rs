@@ -6,7 +6,12 @@ fn main() {
     let minutes = scaled(10, 5) as u64;
     csv_header(
         "Ablation: guard rate alpha vs tracking success, entropy, and upload volume",
-        &["alpha", "final_tracking_success", "final_entropy_bits", "vps_per_vehicle_minute"],
+        &[
+            "alpha",
+            "final_tracking_success",
+            "final_entropy_bits",
+            "vps_per_vehicle_minute",
+        ],
     );
     for row in privacy_exp::alpha_ablation(&[0.0, 0.05, 0.1, 0.2, 0.5], vehicles, minutes) {
         println!(

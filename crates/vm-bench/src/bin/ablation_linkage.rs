@@ -6,7 +6,11 @@ fn main() {
     let runs = scaled(40, 8);
     csv_header(
         "Ablation: verification accuracy with two-way vs one-way linkage checks",
-        &["fake_ratio_pct", "two_way_accuracy_pct", "one_way_accuracy_pct"],
+        &[
+            "fake_ratio_pct",
+            "two_way_accuracy_pct",
+            "one_way_accuracy_pct",
+        ],
     );
     for ratio in [1.0, 2.0, 3.0] {
         let (two, one) = verification::ablation_one_way(&GeometricParams::default(), runs, ratio);

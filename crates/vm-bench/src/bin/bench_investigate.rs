@@ -1,0 +1,222 @@
+//! City-scale investigation benchmark: times the end-to-end hot path —
+//! submit → viewmap build → TrustRank verify → video-upload lookup — on
+//! synthetic populations of 1k / 10k / 100k VPs, compares the optimized
+//! engines against verbatim replicas of the pre-optimization algorithms,
+//! and writes the results to `BENCH_investigate.json` so successive PRs
+//! can track the performance trajectory.
+//!
+//! Environment knobs:
+//! * `VM_BENCH_TIERS` — comma-separated VP counts (default
+//!   `1000,10000,100000`); the naive baseline runs only at tiers ≤ 10k
+//!   (it is quadratic-ish by construction).
+//! * `VM_BENCH_OUT` — output path (default `BENCH_investigate.json`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::solicit::VideoUpload;
+use viewmap_core::types::{GeoPos, SECONDS_PER_VP};
+use viewmap_core::viewmap::{Viewmap, ViewmapConfig};
+use viewmap_core::vp::{VpBuilder, VpKind};
+use vm_bench::investigate::{naive_build, naive_verify, SynthWorld};
+
+const NAIVE_MAX_TIER: usize = 10_000;
+
+struct TierResult {
+    n_vps: usize,
+    members: usize,
+    edges: usize,
+    submit_ms: f64,
+    build_ms: f64,
+    verify_ms: f64,
+    upload_us: f64,
+    naive_build_ms: Option<f64>,
+    naive_verify_ms: Option<f64>,
+}
+
+impl TierResult {
+    fn speedup_verify_path(&self) -> Option<f64> {
+        match (self.naive_build_ms, self.naive_verify_ms) {
+            (Some(nb), Some(nv)) => Some((nb + nv) / (self.build_ms + self.verify_ms)),
+            _ => None,
+        }
+    }
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}"))
+        .unwrap_or_else(|| "null".into())
+}
+
+fn run_tier(n: usize, seed: u64) -> TierResult {
+    eprintln!("tier {n}: generating world...");
+    let world = SynthWorld::generate(n, seed);
+    let site = world.site;
+    let minute = world.minute;
+    let cfg = ViewmapConfig::default();
+
+    // One genuine VP (real cascade) to drive the upload path end to end.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+    let mut builder = VpBuilder::new(
+        &mut rng,
+        0,
+        GeoPos::new(world.side_m / 2.0, world.side_m / 2.0),
+        VpKind::Actual,
+    );
+    let chunks: Vec<Vec<u8>> = (0..SECONDS_PER_VP)
+        .map(|i| (0..64u64).map(|j| ((i * 7 + j) % 251) as u8).collect())
+        .collect();
+    for (i, c) in chunks.iter().enumerate() {
+        builder.record_second(c, GeoPos::new(world.side_m / 2.0 + i as f64 * 8.0, 0.0));
+    }
+    let genuine = builder.finalize();
+    let genuine_id = genuine.profile.id();
+
+    // Small key: RSA is not under test here.
+    let srv = ViewMapServer::new(&mut rng, 512, cfg);
+
+    // ── Submit path ─────────────────────────────────────────────────
+    let mut vps = world.vps;
+    let trusted_vp = vps.remove(0);
+    let submit_ms = time_ms(|| {
+        srv.submit_trusted(trusted_vp).expect("trusted stored");
+        for vp in vps.drain(..) {
+            srv.submit(viewmap_core::upload::AnonymousSubmission { session_id: 0, vp })
+                .expect("stored");
+        }
+        srv.submit(viewmap_core::upload::AnonymousSubmission {
+            session_id: 0,
+            vp: genuine.profile.clone().into_stored(),
+        })
+        .expect("genuine stored");
+    });
+    assert_eq!(srv.total_vps(), n + 1);
+
+    // ── Build path (zero-copy from the sharded store) ───────────────
+    let mut vm: Option<Viewmap> = None;
+    let build_ms = time_ms(|| {
+        vm = Some(srv.build_viewmap(minute, site));
+    });
+    let vm = vm.unwrap();
+    let members = vm.len();
+    let edges = vm.edge_count();
+
+    // ── Verify path (CSR TrustRank + site BFS) ──────────────────────
+    let mut marked = 0usize;
+    let verify_ms = time_ms(|| {
+        let (v, _) = vm.verify(&site, &cfg);
+        marked = v.legitimate.len();
+    });
+    eprintln!("tier {n}: {members} members, {edges} viewlinks, {marked} marked legitimate");
+
+    // ── Upload path (id-indexed lookup + cascade validation) ────────
+    srv.solicit(genuine_id);
+    let upload = VideoUpload {
+        vp_id: genuine_id,
+        chunks,
+    };
+    let reps = 200;
+    let start = Instant::now();
+    for _ in 0..reps {
+        srv.upload_video(&upload).expect("upload validates");
+    }
+    let upload_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    // ── Naive baseline ──────────────────────────────────────────────
+    let (mut naive_build_ms, mut naive_verify_ms) = (None, None);
+    if n <= NAIVE_MAX_TIER {
+        let candidates = srv.minute_vps(minute);
+        let mut nvm: Option<Viewmap> = None;
+        naive_build_ms = Some(time_ms(|| {
+            nvm = Some(naive_build(&candidates, site, minute, &cfg));
+        }));
+        let nvm = nvm.unwrap();
+        assert_eq!(
+            nvm.edge_count(),
+            edges,
+            "naive and optimized construction disagree"
+        );
+        naive_verify_ms = Some(time_ms(|| {
+            let v = naive_verify(&nvm, &site, &cfg);
+            assert_eq!(v.legitimate.len(), marked, "verification outcomes differ");
+        }));
+    }
+
+    TierResult {
+        n_vps: n,
+        members,
+        edges,
+        submit_ms,
+        build_ms,
+        verify_ms,
+        upload_us,
+        naive_build_ms,
+        naive_verify_ms,
+    }
+}
+
+fn main() {
+    let tiers: Vec<usize> = std::env::var("VM_BENCH_TIERS")
+        .unwrap_or_else(|_| "1000,10000,100000".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("VM_BENCH_OUT").unwrap_or_else(|_| "BENCH_investigate.json".into());
+
+    let mut results = Vec::new();
+    for &n in &tiers {
+        let r = run_tier(n, 42);
+        eprintln!(
+            "tier {n}: submit {:.1} ms | build {:.1} ms | verify {:.1} ms | upload {:.1} µs{}",
+            r.submit_ms,
+            r.build_ms,
+            r.verify_ms,
+            r.upload_us,
+            r.speedup_verify_path()
+                .map(|s| format!(" | verify-path speedup {s:.1}×"))
+                .unwrap_or_default(),
+        );
+        results.push(r);
+    }
+
+    let tier_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
+                    "\"submit_ms\": {:.3}, \"build_ms\": {:.3}, \"verify_ms\": {:.3}, ",
+                    "\"upload_us\": {:.3}, \"naive_build_ms\": {}, ",
+                    "\"naive_verify_ms\": {}, \"verify_path_speedup\": {}}}"
+                ),
+                r.n_vps,
+                r.members,
+                r.edges,
+                r.submit_ms,
+                r.build_ms,
+                r.verify_ms,
+                r.upload_us,
+                json_opt(r.naive_build_ms),
+                json_opt(r.naive_verify_ms),
+                json_opt(r.speedup_verify_path()),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"investigate\",\n  \"unit_note\": \"times in ms (upload in us); \
+         naive_* are the pre-optimization algorithms on the same population\",\n  \
+         \"tiers\": [\n{}\n  ]\n}}\n",
+        tier_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

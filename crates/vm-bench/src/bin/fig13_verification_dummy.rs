@@ -12,7 +12,12 @@ fn main() {
     );
     csv_header(
         "Fig. 13: accuracy (%) vs dummy VPs per attacker x fake-VP ratio",
-        &["dummies_per_attacker", "fake_ratio_pct", "accuracy_pct", "runs"],
+        &[
+            "dummies_per_attacker",
+            "fake_ratio_pct",
+            "accuracy_pct",
+            "runs",
+        ],
     );
     for c in cells {
         println!(

@@ -8,7 +8,13 @@ fn main() {
     let envs = Environment::fig15_set();
     csv_header(
         "Fig. 15: VP linkage ratio (VLR) vs distance (m) per environment",
-        &["distance_m", "open_road", "highway", "residential", "downtown"],
+        &[
+            "distance_m",
+            "open_road",
+            "highway",
+            "residential",
+            "downtown",
+        ],
     );
     for d in (25..=400).step_by(25) {
         print!("{d}");

@@ -6,7 +6,10 @@ use vm_sim::linkage::rssi_pdr_point;
 fn main() {
     let ch = Channel::default();
     let points = scaled(300, 60);
-    csv_header("Fig. 16: PDR vs RSSI scatter (one point per 50-beacon batch)", &["rssi_dbm", "pdr"]);
+    csv_header(
+        "Fig. 16: PDR vs RSSI scatter (one point per 50-beacon batch)",
+        &["rssi_dbm", "pdr"],
+    );
     let mut seed = 1600u64;
     for i in 0..points {
         let d = 30.0 + (i % 75) as f64 * 5.0;

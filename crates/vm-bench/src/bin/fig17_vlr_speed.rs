@@ -7,18 +7,47 @@ fn main() {
     let trials = scaled(400, 50);
     csv_header(
         "Fig. 17: VLR vs distance; Hwy1 = light traffic, Hwy2 = heavy traffic, 50/80 km/h",
-        &["distance_m", "hwy1_80kmh", "hwy1_50kmh", "hwy2_80kmh", "hwy2_50kmh"],
+        &[
+            "distance_m",
+            "hwy1_80kmh",
+            "hwy1_50kmh",
+            "hwy2_80kmh",
+            "hwy2_50kmh",
+        ],
     );
     // Speed has no channel effect in our model — exactly the paper's
     // field finding ("VLRs are insensitive to velocity"); the two speed
     // rows differ only by sampling noise. Traffic volume is the real
     // factor.
     for d in (25..=400).step_by(25) {
-        let l80 = vlr_experiment(&Environment::highway_light(), d as f64, trials, 1700 + d as u64);
-        let l50 = vlr_experiment(&Environment::highway_light(), d as f64, trials, 1800 + d as u64);
-        let h80 = vlr_experiment(&Environment::highway_heavy(), d as f64, trials, 1900 + d as u64);
-        let h50 = vlr_experiment(&Environment::highway_heavy(), d as f64, trials, 2000 + d as u64);
-        println!("{d},{:.3},{:.3},{:.3},{:.3}", l80.vlr, l50.vlr, h80.vlr, h50.vlr);
+        let l80 = vlr_experiment(
+            &Environment::highway_light(),
+            d as f64,
+            trials,
+            1700 + d as u64,
+        );
+        let l50 = vlr_experiment(
+            &Environment::highway_light(),
+            d as f64,
+            trials,
+            1800 + d as u64,
+        );
+        let h80 = vlr_experiment(
+            &Environment::highway_heavy(),
+            d as f64,
+            trials,
+            1900 + d as u64,
+        );
+        let h50 = vlr_experiment(
+            &Environment::highway_heavy(),
+            d as f64,
+            trials,
+            2000 + d as u64,
+        );
+        println!(
+            "{d},{:.3},{:.3},{:.3},{:.3}",
+            l80.vlr, l50.vlr, h80.vlr, h50.vlr
+        );
     }
     println!("# paper: insensitive to speed; heavy-traffic highway links markedly less");
 }

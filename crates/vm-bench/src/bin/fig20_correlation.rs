@@ -11,9 +11,22 @@ fn main() {
     );
     for d in (50..=400).step_by(50) {
         let down = vlr_experiment(&Environment::downtown(), d as f64, trials, 2100 + d as u64);
-        let res = vlr_experiment(&Environment::residential(), d as f64, trials, 2200 + d as u64);
-        let hwy = vlr_experiment(&Environment::highway_heavy(), d as f64, trials, 2300 + d as u64);
-        println!("{d},{:.3},{:.3},{:.3}", down.correlation, res.correlation, hwy.correlation);
+        let res = vlr_experiment(
+            &Environment::residential(),
+            d as f64,
+            trials,
+            2200 + d as u64,
+        );
+        let hwy = vlr_experiment(
+            &Environment::highway_heavy(),
+            d as f64,
+            trials,
+            2300 + d as u64,
+        );
+        println!(
+            "{d},{:.3},{:.3},{:.3}",
+            down.correlation, res.correlation, hwy.correlation
+        );
     }
     println!("# paper: correlation 0.7-0.9 across distances");
 }

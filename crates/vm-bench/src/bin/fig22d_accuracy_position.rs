@@ -21,7 +21,13 @@ fn main() {
                 dummies_per_attacker: 0,
             };
             let acc = traffic::traffic_accuracy(&vm, &cfg, runs, 2200 + bucket.0 as u64);
-            println!("{},{:.0},{:.1},{}", bucket.0, ratio * 100.0, acc * 100.0, runs);
+            println!(
+                "{},{:.0},{:.1},{}",
+                bucket.0,
+                ratio * 100.0,
+                acc * 100.0,
+                runs
+            );
         }
     }
     println!("# paper: 100% in most cases, 82% worst when attackers neighbor the trusted VP");

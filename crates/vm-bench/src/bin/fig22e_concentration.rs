@@ -10,7 +10,12 @@ fn main() {
     let vm = traffic::traffic_viewmap(&out, 1);
     csv_header(
         "Fig. 22e: accuracy (%) vs dummy VPs per attacker x fake ratio (traffic-derived)",
-        &["dummies_per_attacker", "fake_ratio_pct", "accuracy_pct", "runs"],
+        &[
+            "dummies_per_attacker",
+            "fake_ratio_pct",
+            "accuracy_pct",
+            "runs",
+        ],
     );
     for dummies in [25usize, 50, 75, 100, 125] {
         for ratio in verification::FAKE_RATIOS {

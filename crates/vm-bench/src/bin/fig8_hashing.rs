@@ -6,7 +6,13 @@ fn main() {
     let rows = misc::hash_generation_times(50, repeats);
     csv_header(
         "Fig. 8: per-second hash generation times for a 50 MB 1-min video (ms)",
-        &["second", "cascade_avg_ms", "cascade_worst_ms", "normal_avg_ms", "normal_worst_ms"],
+        &[
+            "second",
+            "cascade_avg_ms",
+            "cascade_worst_ms",
+            "normal_avg_ms",
+            "normal_worst_ms",
+        ],
     );
     for r in rows {
         println!(

@@ -15,6 +15,9 @@ fn main() {
     println!("# guard coverage rule P_t = [1-(1-(1-a)^m)^m]^t:");
     println!("alpha,m,t_minutes,P_t");
     for (alpha, m, t) in [(0.1, 50, 5u32), (0.1, 50, 10), (0.1, 30, 5), (0.5, 30, 5)] {
-        println!("{alpha},{m},{t},{:.5}", analysis::uncovered_prob(alpha, m, t));
+        println!(
+            "{alpha},{m},{t},{:.5}",
+            analysis::uncovered_prob(alpha, m, t)
+        );
     }
 }

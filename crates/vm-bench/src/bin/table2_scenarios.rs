@@ -10,12 +10,30 @@ fn main() {
     let cam = CameraModel::default();
     csv_header(
         "Table 2: VP linkage and on-video ratios per scenario (paper values in trailing columns)",
-        &["scenario", "condition", "vp_linkage_pct", "on_video_pct", "paper_linkage_pct", "paper_video_pct"],
+        &[
+            "scenario",
+            "condition",
+            "vp_linkage_pct",
+            "on_video_pct",
+            "paper_linkage_pct",
+            "paper_video_pct",
+        ],
     );
     let paper: [(f64, f64); 14] = [
-        (100.0, 100.0), (0.0, 0.0), (100.0, 93.0), (9.0, 0.0), (84.0, 77.0),
-        (0.0, 0.0), (61.0, 52.0), (13.0, 0.0), (100.0, 100.0), (0.0, 0.0),
-        (39.0, 18.0), (0.0, 0.0), (56.0, 51.0), (3.0, 0.0),
+        (100.0, 100.0),
+        (0.0, 0.0),
+        (100.0, 93.0),
+        (9.0, 0.0),
+        (84.0, 77.0),
+        (0.0, 0.0),
+        (61.0, 52.0),
+        (13.0, 0.0),
+        (100.0, 100.0),
+        (0.0, 0.0),
+        (39.0, 18.0),
+        (0.0, 0.0),
+        (56.0, 51.0),
+        (3.0, 0.0),
     ];
     let mut rng = StdRng::seed_from_u64(2);
     for (s, (pl, pv)) in SCENARIOS.iter().zip(paper) {

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod investigate;
 pub mod misc;
 pub mod privacy_exp;
 pub mod traffic;

@@ -36,7 +36,14 @@ pub fn small_scale_sweep(minutes: u64, targets: usize) -> Vec<(String, PrivacyCu
     for &n in &[50usize, 100, 150, 200] {
         out.push((
             format!("n={n}"),
-            privacy_run(n, minutes, 0.1, CityParams::small_area(), 10 + n as u64, targets),
+            privacy_run(
+                n,
+                minutes,
+                0.1,
+                CityParams::small_area(),
+                10 + n as u64,
+                targets,
+            ),
         ));
     }
     out.push((
@@ -52,11 +59,25 @@ pub fn large_scale(minutes: u64, vehicles: usize, targets: usize) -> Vec<(String
     vec![
         (
             format!("n={vehicles}"),
-            privacy_run(vehicles, minutes, 0.1, CityParams::seoul_like(), 22, targets),
+            privacy_run(
+                vehicles,
+                minutes,
+                0.1,
+                CityParams::seoul_like(),
+                22,
+                targets,
+            ),
         ),
         (
             format!("n={vehicles} no-guard"),
-            privacy_run(vehicles, minutes, 0.0, CityParams::seoul_like(), 22, targets),
+            privacy_run(
+                vehicles,
+                minutes,
+                0.0,
+                CityParams::seoul_like(),
+                22,
+                targets,
+            ),
         ),
     ]
 }

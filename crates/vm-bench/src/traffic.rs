@@ -63,7 +63,12 @@ pub fn traffic_viewmap(out: &SimOutput, minute: usize) -> Viewmap {
         center: GeoPos::new(4000.0, 4000.0),
         radius_m: 40_000.0, // cover everything: study the whole graph
     };
-    Viewmap::build(&vps, site, MinuteId(minute as u64), &ViewmapConfig::default())
+    Viewmap::build_owned(
+        vps,
+        site,
+        MinuteId(minute as u64),
+        &ViewmapConfig::default(),
+    )
 }
 
 /// Fig. 22f: percentage of viewmap member VPs with at least one viewlink,
@@ -104,12 +109,7 @@ pub fn to_attack_map(vm: &Viewmap, site_radius_m: f64, rng: &mut StdRng) -> Synt
 }
 
 /// Figs. 22d/22e: verification accuracy on traffic-derived viewmaps.
-pub fn traffic_accuracy(
-    vm: &Viewmap,
-    attack: &AttackConfig,
-    runs: usize,
-    seed: u64,
-) -> f64 {
+pub fn traffic_accuracy(vm: &Viewmap, attack: &AttackConfig, runs: usize, seed: u64) -> f64 {
     let mut ok = 0usize;
     let mut done = 0usize;
     let mut r = 0u64;

@@ -38,12 +38,7 @@ pub fn generate_populated(params: &GeometricParams, rng: &mut StdRng) -> Synthet
 
 /// Accuracy of verification for one attack setting over `runs` random
 /// viewmaps.
-pub fn accuracy(
-    params: &GeometricParams,
-    attack: &AttackConfig,
-    runs: usize,
-    seed: u64,
-) -> f64 {
+pub fn accuracy(params: &GeometricParams, attack: &AttackConfig, runs: usize, seed: u64) -> f64 {
     let mut ok = 0usize;
     for r in 0..runs {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
@@ -176,7 +171,11 @@ pub fn forge_one_way_edges(map: &mut SyntheticViewmap) {
 
 /// Ablation: verification accuracy as a function of the damping factor δ
 /// (the paper picks 0.8 empirically).
-pub fn ablation_damping(params: &GeometricParams, runs: usize, dampings: &[f64]) -> Vec<(f64, f64)> {
+pub fn ablation_damping(
+    params: &GeometricParams,
+    runs: usize,
+    dampings: &[f64],
+) -> Vec<(f64, f64)> {
     use viewmap_core::trustrank;
     let cfg = AttackConfig {
         n_attackers: 10,
@@ -234,10 +233,7 @@ mod tests {
     #[test]
     fn one_way_linkage_is_much_worse() {
         let (two, one) = ablation_one_way(&quick_params(), 10, 2.0);
-        assert!(
-            two > one,
-            "two-way accuracy {two} must beat one-way {one}"
-        );
+        assert!(two > one, "two-way accuracy {two} must beat one-way {one}");
         assert!(one < 0.5, "one-way forgery should usually win: {one}");
     }
 

@@ -107,7 +107,7 @@ impl BigUint {
 
     /// True iff the value is even (0 is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -142,9 +142,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -419,7 +419,11 @@ impl BigUint {
             return None;
         }
         let (mag, neg) = t0;
-        Some(if neg { m.sub(&mag.rem(m)).rem(m) } else { mag.rem(m) })
+        Some(if neg {
+            m.sub(&mag.rem(m)).rem(m)
+        } else {
+            mag.rem(m)
+        })
     }
 
     /// Uniformly random integer in `[0, bound)`. Panics if bound is zero.
@@ -467,8 +471,8 @@ impl BigUint {
     /// (plus trial division by small primes).
     pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
         const SMALL_PRIMES: [u64; 25] = [
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89, 97,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97,
         ];
         if self.limbs.len() == 1 {
             let v = self.limbs[0];
@@ -536,8 +540,8 @@ impl BigUint {
 /// Signed subtraction for (magnitude, is_negative) pairs: `a - b`.
 fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        (false, true) => (a.0.add(&b.0), false),  // a - (-b) = a + b
-        (true, false) => (a.0.add(&b.0), true),   // -a - b = -(a+b)
+        (false, true) => (a.0.add(&b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b = -(a+b)
         (false, false) => {
             if a.0 >= b.0 {
                 (a.0.sub(&b.0), false)
@@ -598,7 +602,14 @@ mod tests {
 
     #[test]
     fn roundtrip_bytes() {
-        for hex in ["0", "1", "ff", "100", "deadbeefcafebabe", "0123456789abcdef0123456789abcdef01"] {
+        for hex in [
+            "0",
+            "1",
+            "ff",
+            "100",
+            "deadbeefcafebabe",
+            "0123456789abcdef0123456789abcdef01",
+        ] {
             let n = big(hex);
             let back = BigUint::from_bytes_be(&n.to_bytes_be());
             assert_eq!(n, back);
@@ -616,7 +627,9 @@ mod tests {
 
     #[test]
     fn checked_sub_underflow() {
-        assert!(BigUint::from_u64(1).checked_sub(&BigUint::from_u64(2)).is_none());
+        assert!(BigUint::from_u64(1)
+            .checked_sub(&BigUint::from_u64(2))
+            .is_none());
         assert_eq!(
             BigUint::from_u64(2).checked_sub(&BigUint::from_u64(2)),
             Some(BigUint::zero())
@@ -731,7 +744,10 @@ mod tests {
             BigUint::from_u64(48).gcd(&BigUint::from_u64(36)),
             BigUint::from_u64(12)
         );
-        assert_eq!(BigUint::from_u64(17).gcd(&BigUint::zero()), BigUint::from_u64(17));
+        assert_eq!(
+            BigUint::from_u64(17).gcd(&BigUint::zero()),
+            BigUint::from_u64(17)
+        );
     }
 
     #[test]
@@ -744,7 +760,7 @@ mod tests {
             (3, true),
             (4, false),
             (97, true),
-            (561, false),   // Carmichael
+            (561, false), // Carmichael
             (7919, true),
             (7921, false),
         ] {

@@ -227,7 +227,9 @@ mod tests {
         let kp = keypair(3);
         let hashed = kp.public().fdh(b"m");
         let (blinded, secret) = kp.public().blind(&hashed, &mut rng).unwrap();
-        let via_blind = kp.public().unblind(&kp.sign_blinded(&blinded).unwrap(), &secret);
+        let via_blind = kp
+            .public()
+            .unblind(&kp.sign_blinded(&blinded).unwrap(), &secret);
         let direct = kp.sign_raw(&hashed).unwrap();
         assert_eq!(via_blind, direct);
     }

@@ -217,7 +217,11 @@ mod tests {
     #[test]
     fn known_answer_vectors() {
         for (input, expected) in VECTORS {
-            assert_eq!(&sha256(input.as_bytes()).to_hex(), expected, "input {input:?}");
+            assert_eq!(
+                &sha256(input.as_bytes()).to_hex(),
+                expected,
+                "input {input:?}"
+            );
         }
     }
 

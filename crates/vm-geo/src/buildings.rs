@@ -76,8 +76,14 @@ impl BuildingIndex {
         let cell = 200.0;
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for (i, r) in buildings.iter().enumerate() {
-            let (x0, y0) = ((r.min.x / cell).floor() as i64, (r.min.y / cell).floor() as i64);
-            let (x1, y1) = ((r.max.x / cell).floor() as i64, (r.max.y / cell).floor() as i64);
+            let (x0, y0) = (
+                (r.min.x / cell).floor() as i64,
+                (r.min.y / cell).floor() as i64,
+            );
+            let (x1, y1) = (
+                (r.max.x / cell).floor() as i64,
+                (r.max.y / cell).floor() as i64,
+            );
             for cx in x0..=x1 {
                 for cy in y0..=y1 {
                     cells.entry((cx, cy)).or_default().push(i as u32);

@@ -6,12 +6,74 @@
 
 use crate::geometry::Point;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast non-cryptographic hasher (FxHash-style multiply-xor), used for
+/// the grid's cell map and exported for other hot hash tables in the
+/// workspace (candidate-pair sets, per-tick neighbor maps). Hash-flooding
+/// resistance is irrelevant for these internal keys; SipHash overhead is
+/// not.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps and sets.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A spatial hash grid mapping cell coordinates to item ids.
 #[derive(Clone, Debug)]
 pub struct GridIndex {
     cell: f64,
-    cells: HashMap<(i64, i64), Vec<(usize, Point)>>,
+    cells: HashMap<(i64, i64), Vec<(usize, Point)>, FxBuildHasher>,
     len: usize,
 }
 
@@ -23,7 +85,7 @@ impl GridIndex {
         assert!(cell > 0.0, "cell size must be positive");
         GridIndex {
             cell,
-            cells: HashMap::new(),
+            cells: HashMap::default(),
             len: 0,
         }
     }
@@ -73,8 +135,16 @@ impl GridIndex {
     /// every stored item in range, including one at distance 0).
     pub fn query_radius(&self, p: &Point, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
-        self.for_each_in_radius(p, radius, |id, _| out.push(id));
+        self.query_radius_into(p, radius, &mut out);
         out
+    }
+
+    /// As [`query_radius`](Self::query_radius), appending into a
+    /// caller-owned buffer so tight query loops (one query per item per
+    /// tick) reuse one allocation. The buffer is cleared first.
+    pub fn query_radius_into(&self, p: &Point, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        self.for_each_in_radius(p, radius, |id, _| out.push(id));
     }
 
     /// Visit `(id, position)` for each item within `radius` of `p`.
@@ -150,6 +220,20 @@ mod tests {
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_size_panics() {
         let _ = GridIndex::new(0.0);
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let g = GridIndex::build(
+            10.0,
+            vec![(0, Point::new(0.0, 0.0)), (1, Point::new(3.0, 0.0))],
+        );
+        let mut buf = vec![99, 98, 97];
+        g.query_radius_into(&Point::new(0.0, 0.0), 5.0, &mut buf);
+        buf.sort_unstable();
+        assert_eq!(buf, vec![0, 1]);
+        g.query_radius_into(&Point::new(100.0, 100.0), 5.0, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

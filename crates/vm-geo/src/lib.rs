@@ -20,6 +20,6 @@ pub mod route;
 
 pub use buildings::{BuildingIndex, BuildingParams};
 pub use geometry::{segments_intersect, Point, Rect, Segment};
-pub use grid::GridIndex;
+pub use grid::{FxBuildHasher, FxHasher, GridIndex};
 pub use roadnet::{CityParams, EdgeId, NodeId, RoadNetwork};
 pub use route::{Route, Router};

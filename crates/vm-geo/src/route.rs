@@ -33,7 +33,11 @@ impl Route {
         for w in self.points.windows(2) {
             let seg_len = w[0].distance(&w[1]);
             if remaining <= seg_len {
-                let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+                let t = if seg_len > 0.0 {
+                    remaining / seg_len
+                } else {
+                    0.0
+                };
                 return w[0].lerp(&w[1], t);
             }
             remaining -= seg_len;

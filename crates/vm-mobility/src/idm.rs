@@ -109,6 +109,9 @@ mod tests {
         }
         assert!((v - v_leader).abs() < 0.3, "speed matched: {v}");
         let s_star = idm.s0 + v_leader * idm.headway;
-        assert!((gap - s_star).abs() < 3.0, "gap {gap} near equilibrium {s_star}");
+        assert!(
+            (gap - s_star).abs() < 3.0,
+            "gap {gap} near equilibrium {s_star}"
+        );
     }
 }

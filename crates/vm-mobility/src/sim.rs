@@ -77,10 +77,10 @@ pub struct VehicleState {
 
 struct Vehicle {
     route: Vec<NodeId>,
-    leg: usize,    // traveling route[leg] -> route[leg+1]
-    offset: f64,   // meters from route[leg]
-    speed: f64,    // m/s
-    desired: f64,  // m/s
+    leg: usize,   // traveling route[leg] -> route[leg+1]
+    offset: f64,  // meters from route[leg]
+    speed: f64,   // m/s
+    desired: f64, // m/s
 }
 
 impl Vehicle {
@@ -190,6 +190,7 @@ impl<'a> TrafficSim<'a> {
             }
         }
         let router = Router::new(self.net);
+        #[allow(clippy::needless_range_loop)] // i indexes two vecs with mutation
         for i in 0..self.vehicles.len() {
             let (accel, desired, speed) = {
                 let v = &self.vehicles[i];

@@ -245,7 +245,9 @@ mod tests {
 
     fn minute_linkage_rate(ch: &Channel, d: f64, b: Blockage, trials: usize, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let ok = (0..trials).filter(|_| ch.minute_linkage(&mut rng, d, b)).count();
+        let ok = (0..trials)
+            .filter(|_| ch.minute_linkage(&mut rng, d, b))
+            .count();
         ok as f64 / trials as f64
     }
 

@@ -325,10 +325,16 @@ mod tests {
     #[test]
     fn mixed_scenarios_sit_between() {
         let (vlr_traffic, video_traffic) = measure(ScenarioKind::Traffic, 4);
-        assert!(vlr_traffic > 0.4 && vlr_traffic < 0.9, "traffic VLR {vlr_traffic}");
+        assert!(
+            vlr_traffic > 0.4 && vlr_traffic < 0.9,
+            "traffic VLR {vlr_traffic}"
+        );
         assert!(video_traffic <= vlr_traffic + 0.1);
         let (vlr_house, _) = measure(ScenarioKind::House, 5);
-        assert!(vlr_house > 0.35 && vlr_house < 0.85, "house VLR {vlr_house}");
+        assert!(
+            vlr_house > 0.35 && vlr_house < 0.85,
+            "house VLR {vlr_house}"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
         );
         // Without guards in a modest-density world the tracker stays
         // fairly confident.
-        assert!(pc_n.success[last] > 0.5, "no-guard success {}", pc_n.success[last]);
+        assert!(
+            pc_n.success[last] > 0.5,
+            "no-guard success {}",
+            pc_n.success[last]
+        );
     }
 
     #[test]

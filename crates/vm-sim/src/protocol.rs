@@ -111,12 +111,8 @@ pub fn run_protocol_sim(cfg: &SimConfig, seed: u64) -> SimOutput {
     let net = RoadNetwork::synthetic_city(&cfg.city, &mut rng);
     let (min_b, max_b) = net.bounds();
     let area = Rect::new(min_b, max_b);
-    let buildings = BuildingIndex::generate(
-        area,
-        cfg.city.block_m,
-        &cfg.environment.buildings,
-        &mut rng,
-    );
+    let buildings =
+        BuildingIndex::generate(area, cfg.city.block_m, &cfg.environment.buildings, &mut rng);
     let channel = Channel::default();
     let mobility = MobilityConfig {
         vehicles: cfg.vehicles,
@@ -163,10 +159,8 @@ pub fn run_protocol_sim(cfg: &SimConfig, seed: u64) -> SimOutput {
                 vds.push(builders[i].record_second(&chunk, pos[i].into()));
             }
             // Pairwise delivery within radio range.
-            let grid = vm_geo::GridIndex::build(
-                max_range,
-                pos.iter().enumerate().map(|(i, p)| (i, *p)),
-            );
+            let grid =
+                vm_geo::GridIndex::build(max_range, pos.iter().enumerate().map(|(i, p)| (i, *p)));
             let mut in_contact: Vec<(usize, usize)> = Vec::new();
             for i in 0..n {
                 for j in grid.query_radius(&pos[i], max_range) {

@@ -95,8 +95,7 @@ mod tests {
         box_blur_region(&mut blurred, &region, 4);
         for y in 0..240 {
             for x in 0..320 {
-                let inside =
-                    x >= p.x && x < p.x + p.w && y >= p.y && y < p.y + p.h;
+                let inside = x >= p.x && x < p.x + p.w && y >= p.y && y < p.y + p.h;
                 if !inside {
                     assert_eq!(
                         scene.frame.get(x, y),
@@ -133,7 +132,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let scene = SyntheticScene::generate(&mut rng, 100, 100, 0);
         let mut copy = scene.frame.clone();
-        box_blur_region(&mut copy, &Region { x: 10, y: 10, w: 50, h: 20 }, 0);
+        box_blur_region(
+            &mut copy,
+            &Region {
+                x: 10,
+                y: 10,
+                w: 50,
+                h: 20,
+            },
+            0,
+        );
         assert_eq!(copy, scene.frame);
     }
 
@@ -143,8 +151,26 @@ mod tests {
         for i in 0..64 * 64 {
             frame.data[i] = (i % 251) as u8;
         }
-        box_blur_region(&mut frame, &Region { x: 60, y: 60, w: 10, h: 10 }, 3);
-        box_blur_region(&mut frame, &Region { x: 0, y: 0, w: 5, h: 5 }, 3);
+        box_blur_region(
+            &mut frame,
+            &Region {
+                x: 60,
+                y: 60,
+                w: 10,
+                h: 10,
+            },
+            3,
+        );
+        box_blur_region(
+            &mut frame,
+            &Region {
+                x: 0,
+                y: 0,
+                w: 5,
+                h: 5,
+            },
+            3,
+        );
         // No panic and data intact length-wise.
         assert_eq!(frame.data.len(), 64 * 64);
     }

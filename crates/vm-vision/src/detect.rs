@@ -173,7 +173,10 @@ mod tests {
         }
         let _ = rng;
         let recall = found_total as f64 / plates_total as f64;
-        assert!(recall > 0.9, "recall {recall} ({found_total}/{plates_total})");
+        assert!(
+            recall > 0.9,
+            "recall {recall} ({found_total}/{plates_total})"
+        );
     }
 
     #[test]
@@ -211,10 +214,28 @@ mod tests {
 
     #[test]
     fn iou_and_expand() {
-        let a = Region { x: 0, y: 0, w: 10, h: 10 };
-        let b = Region { x: 5, y: 0, w: 10, h: 10 };
+        let a = Region {
+            x: 0,
+            y: 0,
+            w: 10,
+            h: 10,
+        };
+        let b = Region {
+            x: 5,
+            y: 0,
+            w: 10,
+            h: 10,
+        };
         assert!((a.iou(&b) - 50.0 / 150.0).abs() < 1e-12);
-        assert_eq!(a.iou(&Region { x: 50, y: 50, w: 5, h: 5 }), 0.0);
+        assert_eq!(
+            a.iou(&Region {
+                x: 50,
+                y: 50,
+                w: 5,
+                h: 5
+            }),
+            0.0
+        );
         let e = a.expanded(3, 100, 100);
         assert_eq!((e.x, e.y, e.w, e.h), (0, 0, 13, 13));
     }

@@ -97,7 +97,12 @@ impl BlurPipeline {
     /// Process one frame: read from the camera buffer, localize + blur,
     /// write to the file buffer. Returns the anonymized frame and the
     /// stage timings.
-    pub fn process(&mut self, camera_buffer: &[u8], width: usize, height: usize) -> (Frame, StageTimings) {
+    pub fn process(
+        &mut self,
+        camera_buffer: &[u8],
+        width: usize,
+        height: usize,
+    ) -> (Frame, StageTimings) {
         assert_eq!(camera_buffer.len(), width * height, "frame size mismatch");
         // (i) I/O in: take the realtime frame from the camera module.
         let t0 = Instant::now();

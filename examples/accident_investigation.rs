@@ -74,7 +74,7 @@ fn main() {
     );
 
     let cfg_vm = ViewmapConfig::default();
-    let vm = Viewmap::build(&vps, site, MinuteId(minute as u64), &cfg_vm);
+    let vm = Viewmap::build_owned(vps, site, MinuteId(minute as u64), &cfg_vm);
     println!(
         "viewmap for minute {}: {} members, {} viewlinks, connectivity {:.0}%",
         minute,
@@ -96,7 +96,10 @@ fn main() {
         ),
         None => println!("no VP inside the site this minute"),
     }
-    println!("\nsolicitation board would post {} VP id(s):", solicited.len());
+    println!(
+        "\nsolicitation board would post {} VP id(s):",
+        solicited.len()
+    );
     for id in solicited.iter().take(8) {
         println!("  request-for-video {id}");
     }

@@ -75,7 +75,12 @@ fn main() {
         let scene = SyntheticScene::generate(&mut rng, 160, 120, 1);
         for s in 0..SECONDS_PER_VP {
             let t = minute * SECONDS_PER_VP + s;
-            cam.record_second(&mut rng, &scene.frame.data, GeoPos::new(t as f64 * 11.0, 0.0), t);
+            cam.record_second(
+                &mut rng,
+                &scene.frame.data,
+                GeoPos::new(t as f64 * 11.0, 0.0),
+                t,
+            );
         }
         cam.end_minute(&mut rng, &StraightLine);
     }

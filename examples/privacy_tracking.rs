@@ -41,10 +41,7 @@ fn main() {
         "with guards:  {} actual + {} guard VPs",
         with_guards.actual_vps, with_guards.guard_vps
     );
-    println!(
-        "without:      {} actual VPs\n",
-        no_guards.actual_vps
-    );
+    println!("without:      {} actual VPs\n", no_guards.actual_vps);
 
     let params = TrackerParams::default();
     let targets = 30;

@@ -54,7 +54,10 @@ fn main() {
     let signed = server
         .issue_blind_signatures(vp_id, &secret, &blinded)
         .expect("signatures issued");
-    println!("step iii — system signs {} blinded messages with K_S⁻", signed.len());
+    println!(
+        "step iii — system signs {} blinded messages with K_S⁻",
+        signed.len()
+    );
 
     // Step (iv): unblind into self-verifiable cash.
     let added = wallet.accept_signed(server.public_key(), pending, &signed);

@@ -49,10 +49,7 @@ fn convoy(n: usize, spacing: f64, seed: u64) -> (Vec<FinalizedMinute>, Vec<Vec<V
             }
         }
     }
-    (
-        builders.into_iter().map(|b| b.finalize()).collect(),
-        videos,
-    )
+    (builders.into_iter().map(|b| b.finalize()).collect(), videos)
 }
 
 #[test]
@@ -106,7 +103,10 @@ fn full_pipeline_drive_to_reward() {
     let signed = server
         .issue_blind_signatures(witness_id, &witness_secret, &blinded)
         .unwrap();
-    assert_eq!(wallet.accept_signed(server.public_key(), pending, &signed), 2);
+    assert_eq!(
+        wallet.accept_signed(server.public_key(), pending, &signed),
+        2
+    );
     for cash in &wallet.cash {
         assert_eq!(server.redeem(cash), Ok(()));
     }
@@ -169,7 +169,10 @@ fn reward_requires_ownership_and_board_entry() {
         .unwrap();
 
     // Not on the board yet.
-    assert_eq!(server.claim_reward(id, &secret), Err(RewardError::NotOnBoard));
+    assert_eq!(
+        server.claim_reward(id, &secret),
+        Err(RewardError::NotOnBoard)
+    );
     server.post_reward(id, 1);
     // Thief with the wrong secret.
     assert_eq!(
