@@ -18,6 +18,23 @@ pub const DEFAULT_M_BITS: usize = 2048;
 /// positive rate ≈ 10⁻⁴ at 50 neighbors (100 inserted VDs).
 pub const DEFAULT_K: usize = 8;
 
+/// The double-hashing halves of a key: `h1` and the odd-forced stride
+/// `h2` (odd so the stride visits every slot of the power-of-two-free
+/// modulus). **The single source of the probe derivation** — shared by
+/// [`BloomFilter::insert`]/[`BloomFilter::contains`] and by viewmap
+/// construction's flat-table probes, so the membership math cannot
+/// diverge between the wire filter and the viewlink engine.
+#[inline]
+pub fn probe_halves(key: &Digest16) -> (u64, u64) {
+    (key.low_u64(), key.high_u64() | 1)
+}
+
+/// Probe slot `i` of the double-hashing sequence `h1 + i·h2 mod m`.
+#[inline]
+pub fn probe_slot(h1: u64, h2: u64, m: u64, i: u64) -> u64 {
+    h1.wrapping_add(i.wrapping_mul(h2)) % m
+}
+
 /// A fixed-size Bloom filter keyed by [`Digest16`] values.
 #[derive(Clone, PartialEq, Eq)]
 pub struct BloomFilter {
@@ -88,21 +105,19 @@ impl BloomFilter {
     /// Slot indices for a key: double hashing `h1 + i*h2 mod m` over the
     /// two 64-bit halves of the digest.
     fn slots(&self, key: &Digest16) -> impl Iterator<Item = usize> + '_ {
-        let h1 = key.low_u64();
-        let h2 = key.high_u64() | 1; // force odd so the stride covers slots
+        let (h1, h2) = probe_halves(key);
         let m = self.m_bits as u64;
-        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+        (0..self.k as u64).map(move |i| probe_slot(h1, h2, m, i) as usize)
     }
 
     /// Insert a key (allocation-free: slot indices are recomputed inline
     /// rather than collected, since insertion is on the per-second VD
     /// receive path).
     pub fn insert(&mut self, key: &Digest16) {
-        let h1 = key.low_u64();
-        let h2 = key.high_u64() | 1;
+        let (h1, h2) = probe_halves(key);
         let m = self.m_bits as u64;
         for i in 0..self.k as u64 {
-            let s = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
+            let s = probe_slot(h1, h2, m, i) as usize;
             self.bits[s / 8] |= 1 << (s % 8);
         }
     }

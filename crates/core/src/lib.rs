@@ -25,14 +25,24 @@
 //! # Scale engineering
 //!
 //! The investigation hot path is built for city-scale populations
-//! (10⁵+ VPs per minute): TrustRank runs as a gather-style power
+//! (10⁵+ VPs per minute). TrustRank runs as a gather-style power
 //! iteration over a flat [`trustrank::CsrGraph`] (thread-parallel above
-//! [`trustrank::PARALLEL_EDGE_THRESHOLD`] edges), viewmap construction
-//! generates candidate viewlinks from a per-second spatial grid with
-//! precomputed Bloom keys, and the server's VP store is striped across
-//! [`server::DB_SHARDS`] locks with an O(1) `VpId → minute` index. The
-//! `vm-bench` crate's `bench_investigate` binary tracks these paths at
-//! 1k/10k/100k VPs against the retained naive baselines.
+//! [`trustrank::PARALLEL_EDGE_THRESHOLD`] edges). Viewmap construction
+//! is a four-phase parallel engine ([`viewmap`] module docs): compact
+//! trajectory tables, one bounding-circle candidate grid with temporal
+//! segment prefilters, SHA-NI-accelerated Bloom-key hashing cached on
+//! the stored VP, and the two-way linkage test over flat probe tables —
+//! every phase fans out through [`par`] with chunk-order merges, so any
+//! thread count builds a bit-for-bit identical viewmap. The server's VP
+//! store is striped across [`server::DB_SHARDS`] locks with an O(1)
+//! `VpId → minute` index; [`server::ViewMapServer::submit_batch`]
+//! amortizes stripe locking, Bloom screening, and link-key precompute
+//! across whole-minute batches while staying state-indistinguishable
+//! from sequential submission. The `vm-bench` crate's
+//! `bench_investigate` binary tracks these paths at 1k/10k/100k VPs
+//! against the retained naive baselines, and its `parallel_equivalence`
+//! suite is the determinism harness holding parallel/batch paths equal
+//! to their sequential counterparts.
 //!
 //! # Quick start
 //!
@@ -60,6 +70,7 @@ pub mod attack;
 pub mod bloom;
 pub mod guard;
 pub mod neighbor;
+pub mod par;
 pub mod reward;
 pub mod server;
 pub mod solicit;

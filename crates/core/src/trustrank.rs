@@ -262,9 +262,10 @@ fn gather_range(
 }
 
 /// Parallel edge pass: node ranges balanced by edge count, each thread
-/// writing a disjoint chunk of `next`. Per-node summation order matches
-/// the serial pass, so scores are bit-for-bit identical; only the L1 delta
-/// is reassembled (in chunk order, deterministically) from partials.
+/// writing a disjoint chunk of `next` via [`crate::par::map_disjoint_mut`].
+/// Per-node summation order matches the serial pass, so scores are
+/// bit-for-bit identical; only the L1 delta is reassembled (in chunk
+/// order, deterministically) from partials.
 fn gather_parallel(
     g: &CsrGraph,
     w: &[f64],
@@ -274,24 +275,8 @@ fn gather_parallel(
     damping: f64,
     cuts: &[usize],
 ) -> f64 {
-    let threads = cuts.len() - 1;
-    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(threads);
-    let mut rest = next;
-    for t in 0..threads {
-        let len = cuts[t + 1] - cuts[t];
-        let (head, tail) = rest.split_at_mut(len);
-        chunks.push(head);
-        rest = tail;
-    }
-
-    let mut deltas = vec![0.0; threads];
-    std::thread::scope(|scope| {
-        for ((t, chunk), delta) in chunks.drain(..).enumerate().zip(deltas.iter_mut()) {
-            let start = cuts[t];
-            scope.spawn(move || {
-                *delta = gather_range(g, w, d, p, chunk, start, damping);
-            });
-        }
+    let deltas = crate::par::map_disjoint_mut(next, cuts, |t, chunk| {
+        gather_range(g, w, d, p, chunk, cuts[t], damping)
     });
     deltas.into_iter().sum()
 }

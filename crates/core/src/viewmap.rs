@@ -13,22 +13,39 @@
 //! database — admitting a VP into a viewmap is a pointer copy, never a
 //! deep clone of its 60 VDs and 256-byte Bloom filter.
 //!
-//! Candidate viewlink pairs come from a per-VD spatial grid bucketed by
-//! second index: every VD is dropped into a `(second, cell)` bucket, and a
-//! pair is considered only when two VPs were actually within DSRC range at
-//! the *same second*. That replaces the earlier trajectory-midpoint grid,
-//! whose worst-case query radius (DSRC range + a full minute of travel on
-//! both sides) pulled in quadratically many phantom pairs in dense
-//! traffic. Each surviving pair is validated with precomputed per-member
-//! Bloom keys (60 SHA-256 digests hashed once per member instead of once
-//! per pair) after cheap bounding-box and Bloom-occupancy prefilters.
+//! Viewlink generation runs in four phases, each parallelized over
+//! contiguous chunks via [`crate::par`] with results merged in chunk
+//! order, so the constructed viewmap is **bit-for-bit identical for every
+//! thread count** (the equivalence property tests in `vm-bench` hold the
+//! engine to that):
+//!
+//! 1. **Trajectory tables** — per member, the minute-window VD positions
+//!    are unpacked into flat offset-indexed arrays (`NaN` marks missing
+//!    seconds), plus a bounding box and a bounding circle. The flat
+//!    arrays turn the per-pair aligned-distance scan into a branch-light
+//!    walk over contiguous memory instead of a merge-join across two
+//!    88-byte-stride VD vectors.
+//! 2. **Candidate pairs** — a single spatial grid over trajectory
+//!    bounding-circle centers. Two members can share an in-range second
+//!    only if their centers lie within `dsrc + r_i + r_j`, so each grid
+//!    query (radius `dsrc + r_i + r_max`) yields a strict superset of the
+//!    true pairs with *no per-second grid rebuilds and no candidate
+//!    dedup set* — the per-second bucket grid this replaces rediscovered
+//!    every riding-together pair ~60× and spent most of the build
+//!    hash-deduplicating those rediscoveries. Each candidate is settled
+//!    immediately: Bloom-occupancy gate, bounding-box gap prefilter, then
+//!    the exact shared-second scan over the flat tables.
+//! 3. **Bloom keys** — members appearing in a surviving pair get their 60
+//!    element-VD keys hashed (SHA-NI-accelerated `vm_crypto`), cached on
+//!    the `StoredVp` so repeat investigations of the minute skip the pass.
+//! 4. **Two-way linkage** — the paper's mutual Bloom test over the
+//!    precomputed keys, in globally sorted pair order.
 
 use crate::trustrank::{self, Verification};
 use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
 use crate::vp::StoredVp;
-use std::collections::HashSet;
 use std::sync::Arc;
-use vm_geo::GridIndex;
+use vm_geo::{GridIndex, Point};
 
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +113,24 @@ impl Viewmap {
         minute: MinuteId,
         cfg: &ViewmapConfig,
     ) -> Viewmap {
+        Self::build_threads(candidates, site, minute, cfg, 0)
+    }
+
+    /// As [`build`](Self::build) with an explicit worker-thread count for
+    /// the construction phases. `0` (the [`build`](Self::build) default)
+    /// picks automatically: single-threaded below
+    /// [`PARALLEL_MEMBER_THRESHOLD`] members, one thread per core (capped)
+    /// above it. Any thread count produces a bit-for-bit identical
+    /// viewmap; the explicit knob exists so benchmarks can pin the
+    /// sequential baseline and tests can force the fan-out on small
+    /// inputs.
+    pub fn build_threads(
+        candidates: &[Arc<StoredVp>],
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+        threads: usize,
+    ) -> Viewmap {
         let in_minute: Vec<&Arc<StoredVp>> = candidates
             .iter()
             .filter(|vp| vp.minute() == minute && !vp.vds.is_empty())
@@ -130,7 +165,12 @@ impl Viewmap {
             }
         }
 
-        let adj = build_viewlinks(&vps, minute, cfg);
+        let threads = if threads == 0 {
+            crate::par::auto_threads(vps.len(), PARALLEL_MEMBER_THRESHOLD)
+        } else {
+            threads.clamp(1, crate::par::MAX_THREADS)
+        };
+        let adj = build_viewlinks(&vps, minute, cfg, threads);
 
         let trusted = vps
             .iter()
@@ -212,12 +252,245 @@ impl Viewmap {
     }
 }
 
-/// Viewlink edges for a member set: per-second spatial candidate
-/// generation, then two-way Bloom validation with precomputed keys.
+/// Worker threads kick in above this many admitted members (below it,
+/// spawn/join overhead outweighs the fan-out).
+pub const PARALLEL_MEMBER_THRESHOLD: usize = 4096;
+
+/// Time-partitioned bounding-circle count per trajectory (see [`Traj`]):
+/// 10-second granularity for a full minute. Finer segments reject more
+/// temporally-misaligned near-crossings; coarser ones cost fewer circle
+/// checks — 6 measured best at the 100k tier.
+const TRAJ_SEGMENTS: usize = 6;
+
+/// A member's minute-window trajectory in scan-friendly form: positions
+/// indexed by second offset (flat, `NaN` for missing seconds), plus the
+/// bounding box and bounding circle used by the candidate prefilters.
+struct Traj {
+    /// First in-window offset (1-based); 0 when no in-window VDs exist.
+    first: u32,
+    /// `xs[t - first]` / `ys[t - first]` = claimed position at offset `t`.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// `(min_x, min_y, max_x, max_y)` over in-window VDs.
+    bbox: (f64, f64, f64, f64),
+    /// Bounding-circle center (bbox midpoint) and radius (half-diagonal):
+    /// every in-window position lies within `r` of `(cx, cy)`.
+    cx: f64,
+    cy: f64,
+    r: f64,
+    /// Per-time-segment bounding circles `(cx, cy, r)`: segment `s`
+    /// covers slot range `[s·len/SEGS, (s+1)·len/SEGS)`, i.e. absolute
+    /// offsets `[first + s·len/SEGS, …)`. A pair can share an in-range
+    /// second only if some pair of segments with *overlapping offset
+    /// windows* comes within `dsrc + r_a + r_b` — a handful of multiplies
+    /// that spare the per-second scan for trajectories that pass near
+    /// each other at different times (the dominant false-candidate class
+    /// in city traffic). Empty segments carry `NaN` and never match.
+    segs: [(f64, f64, f64); TRAJ_SEGMENTS],
+    /// Absolute offset window `[lo, hi)` of each segment, precomputed —
+    /// the pair filter compares these tens of millions of times.
+    seg_win: [(u32, u32); TRAJ_SEGMENTS],
+    /// Bloom-occupancy gate: fewer than `k` set bits can never pass a
+    /// membership query, so this member can never hold up a viewlink.
+    can_link: bool,
+}
+
+impl Traj {
+    /// Build the table for one member. VD times are 1-based offsets from
+    /// the VP's start second; a VP that starts recording mid-minute still
+    /// belongs to this minute, so the window spans two minutes' worth of
+    /// offsets (`1..=2·SECONDS_PER_VP`). Out-of-window VDs are ignored;
+    /// when two VDs claim the same second the first one wins (the server
+    /// rejects such VPs at ingest — this only matters for hand-built
+    /// populations fed to `build` directly).
+    fn new(vp: &StoredVp, start: u64) -> Traj {
+        const WINDOW: usize = 2 * SECONDS_PER_VP as usize;
+        // Fast path — every real VP: VD times strictly consecutive and
+        // fully inside the window, so the compact arrays are a straight
+        // per-field copy with no scratch table.
+        let contiguous = !vp.vds.is_empty()
+            && vp.vds.first().expect("nonempty").time > start
+            && vp.vds.last().expect("nonempty").time <= start + WINDOW as u64
+            && vp.vds.windows(2).all(|w| w[1].time == w[0].time + 1);
+        let (lo, xs, ys) = if contiguous {
+            let lo = (vp.vds[0].time - start) as usize - 1;
+            let xs: Vec<f64> = vp.vds.iter().map(|vd| vd.loc.x).collect();
+            let ys: Vec<f64> = vp.vds.iter().map(|vd| vd.loc.y).collect();
+            (lo, xs, ys)
+        } else {
+            // General path: one pass over the VDs into a stack scratch
+            // table (slot = offset − 1) tracking the occupied range, then
+            // carve the compact arrays out of the scratch.
+            let mut sx = [f64::NAN; WINDOW];
+            let mut sy = [f64::NAN; WINDOW];
+            let (mut lo, mut hi) = (usize::MAX, 0usize);
+            for vd in &vp.vds {
+                let off = vd.time.saturating_sub(start);
+                if !(1..=WINDOW as u64).contains(&off) {
+                    continue;
+                }
+                let slot = off as usize - 1;
+                if !sx[slot].is_nan() {
+                    continue;
+                }
+                sx[slot] = vd.loc.x;
+                sy[slot] = vd.loc.y;
+                lo = lo.min(slot);
+                hi = hi.max(slot);
+            }
+            if lo == usize::MAX {
+                return Traj {
+                    first: 0,
+                    xs: Vec::new(),
+                    ys: Vec::new(),
+                    bbox: (0.0, 0.0, 0.0, 0.0),
+                    cx: 0.0,
+                    cy: 0.0,
+                    r: 0.0,
+                    segs: [(f64::NAN, f64::NAN, f64::NAN); TRAJ_SEGMENTS],
+                    seg_win: [(0, 0); TRAJ_SEGMENTS],
+                    can_link: false,
+                };
+            }
+            (lo, sx[lo..=hi].to_vec(), sy[lo..=hi].to_vec())
+        };
+        let len = xs.len();
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        let mut seg_bb = [(
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        ); TRAJ_SEGMENTS];
+        // The segment windows are derived from the *same* slot→segment
+        // assignment that feeds each segment's bounding box (occupied
+        // slot range per segment, recorded while accumulating), so a
+        // position can never sit in one segment's circle while its
+        // offset falls in another segment's window — the partition and
+        // the windows cannot disagree, whatever `len` is. Empty segments
+        // keep the never-overlapping (0, 0) window.
+        let first = lo as u32 + 1;
+        let mut seg_slots = [(u32::MAX, 0u32); TRAJ_SEGMENTS];
+        for (slot, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            if x.is_nan() {
+                continue;
+            }
+            bb.0 = bb.0.min(x);
+            bb.1 = bb.1.min(y);
+            bb.2 = bb.2.max(x);
+            bb.3 = bb.3.max(y);
+            let s = (slot * TRAJ_SEGMENTS / len).min(TRAJ_SEGMENTS - 1);
+            let sb = &mut seg_bb[s];
+            sb.0 = sb.0.min(x);
+            sb.1 = sb.1.min(y);
+            sb.2 = sb.2.max(x);
+            sb.3 = sb.3.max(y);
+            seg_slots[s].0 = seg_slots[s].0.min(slot as u32);
+            seg_slots[s].1 = seg_slots[s].1.max(slot as u32);
+        }
+        let circle = |b: (f64, f64, f64, f64)| {
+            (
+                (b.0 + b.2) / 2.0,
+                (b.1 + b.3) / 2.0,
+                (b.2 - b.0).hypot(b.3 - b.1) / 2.0,
+            )
+        };
+        let (cx, cy, r) = circle(bb);
+        let seg_win = seg_slots.map(|(min, max)| {
+            if min == u32::MAX {
+                (0, 0)
+            } else {
+                (first + min, first + max + 1)
+            }
+        });
+        Traj {
+            first,
+            xs,
+            ys,
+            bbox: bb,
+            cx,
+            cy,
+            r,
+            segs: seg_bb.map(circle),
+            seg_win,
+            can_link: vp.bloom.count_ones() >= vp.bloom.k(),
+        }
+    }
+
+    /// Usable for candidate generation (has in-window VDs and passes the
+    /// occupancy gate)?
+    fn active(&self) -> bool {
+        self.first != 0 && self.can_link
+    }
+
+    /// Axis-gap between the two bounding boxes exceeds `radius`? O(1)
+    /// reject before the per-second scan.
+    fn bbox_gap_beyond(&self, other: &Traj, r2: f64) -> bool {
+        let (a, b) = (&self.bbox, &other.bbox);
+        let dx = (b.0 - a.2).max(a.0 - b.2).max(0.0);
+        let dy = (b.1 - a.3).max(a.1 - b.3).max(0.0);
+        dx * dx + dy * dy > r2
+    }
+
+    /// Could any segment pair bring the two trajectories within `radius`
+    /// *at a shared second*? Sound reject: a shared in-range second lies
+    /// in one segment of each side, so those two segments' offset windows
+    /// overlap and their circles come within `radius + r_a + r_b`.
+    /// Time-disjoint segment pairs are skipped outright — that temporal
+    /// cut is what rejects trajectories that cross the same spot at
+    /// different times. Empty segments are `NaN` and compare false.
+    fn segments_may_touch(&self, other: &Traj, radius: f64) -> bool {
+        for (a, &(ax, ay, ar)) in self.segs.iter().enumerate() {
+            let (alo, ahi) = self.seg_win[a];
+            for (b, &(bx, by, br)) in other.segs.iter().enumerate() {
+                let (blo, bhi) = other.seg_win[b];
+                if bhi <= alo || ahi <= blo {
+                    continue;
+                }
+                let lim = radius + ar + br;
+                let (dx, dy) = (ax - bx, ay - by);
+                if dx * dx + dy * dy <= lim * lim {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Did the two trajectories come within `sqrt(r2)` of each other at
+    /// any shared in-window second? `NaN` slots (missing seconds) compare
+    /// false and drop out on their own.
+    fn shares_in_range_second(&self, other: &Traj, r2: f64) -> bool {
+        let lo = self.first.max(other.first);
+        let hi = (self.first + self.xs.len() as u32).min(other.first + other.xs.len() as u32);
+        let mut t = lo;
+        while t < hi {
+            let ia = (t - self.first) as usize;
+            let ib = (t - other.first) as usize;
+            let dx = self.xs[ia] - other.xs[ib];
+            let dy = self.ys[ia] - other.ys[ib];
+            if dx * dx + dy * dy <= r2 {
+                return true;
+            }
+            t += 1;
+        }
+        false
+    }
+}
+
+/// Viewlink edges for a member set — the four-phase engine described in
+/// the module docs. Every phase fans out over contiguous chunks and
+/// merges in chunk order, so the result is identical for any `threads`.
 fn build_viewlinks(
     vps: &[Arc<StoredVp>],
     minute: MinuteId,
     cfg: &ViewmapConfig,
+    threads: usize,
 ) -> Vec<Vec<usize>> {
     let n = vps.len();
     let mut adj = vec![Vec::new(); n];
@@ -225,92 +498,223 @@ fn build_viewlinks(
         return adj;
     }
     let radius = cfg.dsrc_radius_m;
+    let r2 = radius * radius;
     let start = minute.start_second();
+    let member_cuts = crate::par::even_cuts(n, threads);
 
-    // Bucket every VD by its second within the minute. VD times are
-    // 1-based offsets from the VP's start second; a VP that starts
-    // recording mid-minute still belongs to this minute, so the window
-    // spans two minutes' worth of offsets.
-    let slots = 2 * SECONDS_PER_VP as usize + 1;
-    let mut slices: Vec<Vec<(usize, vm_geo::Point)>> = vec![Vec::new(); slots];
-    for (i, vp) in vps.iter().enumerate() {
-        for vd in &vp.vds {
-            let off = vd.time.saturating_sub(start);
-            if (1..slots as u64).contains(&off) {
-                slices[off as usize].push((i, vd.loc.into()));
+    // ── Phase 1: trajectory tables ──────────────────────────────────────
+    let trajs: Vec<Traj> = crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
+        vps[lo..hi]
+            .iter()
+            .map(|vp| Traj::new(vp, start))
+            .collect::<Vec<Traj>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // ── Phase 2: candidate pairs, settled to exact in-range pairs ───────
+    // Grid over bounding-circle centers. Two members can share an
+    // in-range second only if their centers are within
+    // `radius + r_i + r_j`, so querying member `i` at
+    // `radius + r_i + r_max` yields a strict superset of its true pairs.
+    //
+    // The grid geometry derives from the population's *typical*
+    // trajectory extent, not its most spread-out member: `screen()` only
+    // checks VD count and time order, so a single city-spanning (or
+    // teleporting) trajectory is admissible — and if it set `r_max`, it
+    // would inflate every member's query reach to city scale and turn
+    // candidate generation quadratic (a build-time DoS). Members whose
+    // radius exceeds `r_cap` (4× the 95th-percentile radius, floored by
+    // the radio range) are instead handled off-grid below: each is paired
+    // against every member through the same filter pipeline — exact,
+    // deterministic, and linear per outlier.
+    let mut active_radii: Vec<f64> = trajs.iter().filter(|t| t.active()).map(|t| t.r).collect();
+    active_radii.sort_unstable_by(f64::total_cmp);
+    let r_cap = active_radii
+        .get(active_radii.len().saturating_mul(95) / 100)
+        .or(active_radii.last())
+        .map_or(0.0, |&p95| (4.0 * p95).max(radius));
+    let gridded = |t: &Traj| t.active() && t.r <= r_cap;
+    let r_max = trajs
+        .iter()
+        .filter(|t| gridded(t))
+        .map(|t| t.r)
+        .fold(0.0f64, f64::max);
+    let cell = ((radius + 2.0 * r_max) / 4.0).max(1.0);
+    let grid = GridIndex::build(
+        cell,
+        trajs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| gridded(t))
+            .map(|(i, t)| (i, Point::new(t.cx, t.cy))),
+    );
+    // Bounding-circle radii in a dense side table: the grid scan reads
+    // `radii[j]` for every point it visits, and a 8-byte-stride array
+    // stays cache-resident where the ~350-byte `Traj` records do not.
+    let radii: Vec<f64> = trajs.iter().map(|t| t.r).collect();
+    // Pairs are emitted as packed `i << 32 | j` with `i < j`, each exactly
+    // once (from `i`'s query), in ascending `(i, j)` order per chunk;
+    // chunk-order concat keeps the global list sorted — the edge order
+    // the two-way validation and adjacency assembly then follow.
+    let mut in_range: Vec<u64> = crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
+        let mut out: Vec<u64> = Vec::new();
+        let mut hits: Vec<usize> = Vec::new();
+        for (i, ti) in trajs.iter().enumerate().take(hi).skip(lo) {
+            if !gridded(ti) {
+                continue;
             }
-        }
-    }
-
-    // Candidate pairs: same second, within DSRC range. A pair that rides
-    // together the whole minute is rediscovered every second; the set
-    // dedupes (packed u64 keys: i < j; Fx hashing — this set sees tens of
-    // inserts per genuine pair).
-    let mut candidates: HashSet<u64, vm_geo::FxBuildHasher> = HashSet::default();
-    let mut grid = GridIndex::new(radius.max(1.0));
-    for slice in &slices {
-        if slice.len() < 2 {
-            continue;
-        }
-        grid.clear();
-        for &(i, p) in slice {
-            grid.insert(i, p);
-        }
-        for &(i, p) in slice {
-            grid.for_each_in_radius(&p, radius, |j, _| {
+            let p = Point::new(ti.cx, ti.cy);
+            let reach = radius + ti.r + r_max;
+            hits.clear();
+            grid.for_each_in_radius(&p, reach, |j, q| {
                 if j > i {
-                    candidates.insert(((i as u64) << 32) | j as u64);
+                    let lim = radius + ti.r + radii[j];
+                    if p.distance_sq(&q) <= lim * lim {
+                        hits.push(j);
+                    }
                 }
             });
-        }
-    }
-    if candidates.is_empty() {
-        return adj;
-    }
-    // Deterministic edge order regardless of hash-set iteration.
-    let mut candidates: Vec<u64> = candidates.into_iter().collect();
-    candidates.sort_unstable();
-
-    // Per-member link context, computed once: a Bloom occupancy
-    // prefilter — a filter with fewer than k set bits cannot pass any
-    // membership query, so such members can never link — and element-VD
-    // Bloom keys (the dominant pre-optimization cost was re-hashing
-    // these per pair). Keys are hashed only for members that appear in
-    // at least one candidate pair surviving the occupancy prefilter;
-    // everyone else never needs them.
-    let can_link: Vec<bool> = vps
-        .iter()
-        .map(|vp| vp.bloom.count_ones() >= vp.bloom.k())
-        .collect();
-    let mut keys: Vec<Vec<vm_crypto::Digest16>> = vec![Vec::new(); n];
-    for &packed in &candidates {
-        let i = (packed >> 32) as usize;
-        let j = (packed & 0xffff_ffff) as usize;
-        if can_link[i] && can_link[j] {
-            for m in [i, j] {
-                if keys[m].is_empty() {
-                    keys[m] = vps[m].bloom_keys();
+            hits.sort_unstable();
+            for &j in &hits {
+                let tj = &trajs[j];
+                if ti.bbox_gap_beyond(tj, r2) || !ti.segments_may_touch(tj, radius) {
+                    continue;
+                }
+                if ti.shares_in_range_second(tj, r2) {
+                    out.push(((i as u64) << 32) | j as u64);
                 }
             }
         }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Off-grid pass for the capped outliers: pair each against every
+    // member (wild–wild pairs once, from the lower index). Honest
+    // populations have no outliers and skip this entirely; the final
+    // sort restores the global ascending pair order the grid pass emits
+    // by construction.
+    let wild: Vec<usize> = (0..n)
+        .filter(|&i| trajs[i].active() && trajs[i].r > r_cap)
+        .collect();
+    if !wild.is_empty() {
+        for &w in &wild {
+            for j in (0..n).filter(|&j| j != w && trajs[j].active()) {
+                if trajs[j].r > r_cap && j < w {
+                    continue;
+                }
+                let (a, b) = (w.min(j), w.max(j));
+                let (ta, tb) = (&trajs[a], &trajs[b]);
+                if ta.bbox_gap_beyond(tb, r2) || !ta.segments_may_touch(tb, radius) {
+                    continue;
+                }
+                if ta.shares_in_range_second(tb, r2) {
+                    in_range.push(((a as u64) << 32) | b as u64);
+                }
+            }
+        }
+        in_range.sort_unstable();
+    }
+    if in_range.is_empty() {
+        return adj;
     }
 
-    for packed in candidates {
+    // ── Phase 3: Bloom keys for members that still matter ────────────────
+    let mut needs_keys = vec![false; n];
+    for &packed in &in_range {
+        needs_keys[(packed >> 32) as usize] = true;
+        needs_keys[(packed & 0xffff_ffff) as usize] = true;
+    }
+    let needed: Vec<usize> = (0..n).filter(|&i| needs_keys[i]).collect();
+    let key_cuts = crate::par::even_cuts(needed.len(), threads);
+    crate::par::map_ranges(&key_cuts, |_t, lo, hi| {
+        for &m in &needed[lo..hi] {
+            vps[m].link_keys();
+        }
+    });
+
+    // Flat probe tables, so the pair loop touches two dense arenas
+    // instead of chasing `Arc`s into scattered multi-KB VP records:
+    // Bloom bits as `u64` words and keys reduced to the `(h1, h2|1)`
+    // double-hashing halves that `BloomFilter::insert`/`contains` derive
+    // from a digest. Both arenas cover only `needed` members — every
+    // phase-4 probe has a surviving pair's endpoint as both holder and
+    // element owner, so nobody else's filter or keys are ever read.
+    let mut bloom_words: Vec<u64> = Vec::new();
+    let mut bloom_meta: Vec<(u32, u32, u32)> = vec![(0, 0, 0); n]; // (base, m_bits, k)
+    for &m in &needed {
+        let vp = &vps[m];
+        let base = bloom_words.len() as u32;
+        let bytes = vp.bloom.as_bytes();
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            bloom_words.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut b = [0u8; 8];
+            b[..rem.len()].copy_from_slice(rem);
+            bloom_words.push(u64::from_le_bytes(b));
+        }
+        bloom_meta[m] = (base, vp.bloom.m_bits() as u32, vp.bloom.k() as u32);
+    }
+    let mut key_spans = vec![(0u32, 0u32); n];
+    let mut key_halves: Vec<(u64, u64)> = Vec::new();
+    for &m in &needed {
+        let cached = vps[m].link_keys();
+        key_spans[m] = (key_halves.len() as u32, cached.len() as u32);
+        for key in cached {
+            key_halves.push(crate::bloom::probe_halves(key));
+        }
+    }
+    // `holder.bloom.contains(key)` for any of `element_owner`'s keys,
+    // over the flat tables — the probe sequence comes from the shared
+    // `bloom::probe_halves`/`probe_slot` helpers (the same code
+    // `BloomFilter::insert`/`contains` run), with the holder's words and
+    // parameters loaded once per direction instead of once per key.
+    let links_to = |holder: usize, element_owner: usize| -> bool {
+        let (base, m, k) = bloom_meta[holder];
+        let words = &bloom_words[base as usize..];
+        let m = m as u64;
+        let (start, len) = key_spans[element_owner];
+        key_halves[start as usize..(start + len) as usize]
+            .iter()
+            .any(|&(h1, h2)| {
+                for i in 0..k as u64 {
+                    let s = crate::bloom::probe_slot(h1, h2, m, i);
+                    if words[(s / 64) as usize] & (1u64 << (s % 64)) == 0 {
+                        return false;
+                    }
+                }
+                true
+            })
+    };
+
+    // ── Phase 4: the paper's two-way Bloom linkage test ─────────────────
+    let pair_cuts = crate::par::even_cuts(in_range.len(), threads);
+    let edges: Vec<u64> = crate::par::map_ranges(&pair_cuts, |_t, lo, hi| {
+        in_range[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&packed| {
+                let i = (packed >> 32) as usize;
+                let j = (packed & 0xffff_ffff) as usize;
+                links_to(i, j) && links_to(j, i)
+            })
+            .collect::<Vec<u64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    for packed in edges {
         let i = (packed >> 32) as usize;
         let j = (packed & 0xffff_ffff) as usize;
-        if !(can_link[i] && can_link[j]) {
-            continue;
-        }
-        // The grid guarantees a shared in-range second; the bounded
-        // aligned-distance check revalidates it exactly (and cheaply —
-        // bbox prefilter plus first-hit exit).
-        if !vps[i].within_aligned_distance(&vps[j], radius) {
-            continue;
-        }
-        if vps[i].links_to_keys(&keys[j]) && vps[j].links_to_keys(&keys[i]) {
-            adj[i].push(j);
-            adj[j].push(i);
-        }
+        adj[i].push(j);
+        adj[j].push(i);
     }
     adj
 }

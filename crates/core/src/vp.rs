@@ -12,6 +12,7 @@ use crate::neighbor::{Accept, NeighborRecord, NeighborTable};
 use crate::types::{GeoPos, MinuteId, VpId, SECONDS_PER_VP};
 use crate::vd::{VdChain, ViewDigest, VD_WIRE_BYTES};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// What kind of VP this is — known only on the vehicle (and, for trusted
 /// VPs, to the authority that produced them). From the server's viewpoint
@@ -60,12 +61,9 @@ impl ViewProfile {
 
     /// Convert into the server-side stored form.
     pub fn into_stored(self) -> StoredVp {
-        StoredVp {
-            id: self.id(),
-            trusted: self.kind == VpKind::Trusted,
-            vds: self.vds,
-            bloom: self.bloom,
-        }
+        let id = self.id();
+        let trusted = self.kind == VpKind::Trusted;
+        StoredVp::new(id, self.vds, self.bloom, trusted)
     }
 }
 
@@ -81,9 +79,25 @@ pub struct StoredVp {
     pub bloom: BloomFilter,
     /// Authority trust seed?
     pub trusted: bool,
+    /// Lazily materialized element-VD Bloom keys (see
+    /// [`link_keys`](Self::link_keys)): 60 SHA-256 digests that every
+    /// viewmap build of this VP's minute would otherwise recompute.
+    link_keys: OnceLock<Box<[vm_crypto::Digest16]>>,
 }
 
 impl StoredVp {
+    /// Assemble a stored VP. (`link_keys` starts empty; it fills on first
+    /// [`link_keys`](Self::link_keys) call.)
+    pub fn new(id: VpId, vds: Vec<ViewDigest>, bloom: BloomFilter, trusted: bool) -> Self {
+        StoredVp {
+            id,
+            vds,
+            bloom,
+            trusted,
+            link_keys: OnceLock::new(),
+        }
+    }
+
     /// Absolute start second of the minute this VP covers.
     pub fn start_time(&self) -> u64 {
         self.vds
@@ -209,6 +223,17 @@ impl StoredVp {
     /// linkage checks stop re-hashing 60 VDs per candidate pair.
     pub fn bloom_keys(&self) -> Vec<vm_crypto::Digest16> {
         self.vds.iter().map(|vd| vd.bloom_key()).collect()
+    }
+
+    /// The element-VD Bloom keys, hashed on first call and cached for the
+    /// VP's lifetime: investigations of the same minute (and the
+    /// sequential/parallel build pair in the equivalence tests) share one
+    /// hashing pass per VP. Safe to race — [`OnceLock`] keeps the first
+    /// result. Callers that mutate `vds` after a build (test-only surgery)
+    /// must construct a fresh `StoredVp` to avoid serving stale keys.
+    pub fn link_keys(&self) -> &[vm_crypto::Digest16] {
+        self.link_keys
+            .get_or_init(|| self.bloom_keys().into_boxed_slice())
     }
 
     /// One-way linkage test against precomputed element keys (see

@@ -5,6 +5,20 @@
 //! and writes the results to `BENCH_investigate.json` so successive PRs
 //! can track the performance trajectory.
 //!
+//! Two servers ingest identical populations so the two ingest paths and
+//! the two build paths are measured end to end **and** proven equivalent:
+//!
+//! * server A takes one `submit` per VP (`submit_ms`) and builds its
+//!   viewmap single-threaded with a cold key cache (`build_ms`);
+//! * server B takes one `submit_batch_warm` (`batch_submit_ms`, which
+//!   includes that path's ingest-side link-key precompute) and builds
+//!   with the auto-parallel engine (`parallel_build_ms`).
+//!
+//! The run asserts the two viewmaps are identical member-for-member and
+//! edge-for-edge — the same property the `vm-bench` equivalence tests
+//! pin — so the speedup columns can never drift from a correctness
+//! regression silently.
+//!
 //! Environment knobs:
 //! * `VM_BENCH_TIERS` — comma-separated VP counts (default
 //!   `1000,10000,100000`); the naive baseline runs only at tiers ≤ 10k
@@ -28,7 +42,9 @@ struct TierResult {
     members: usize,
     edges: usize,
     submit_ms: f64,
+    batch_submit_ms: f64,
     build_ms: f64,
+    parallel_build_ms: f64,
     verify_ms: f64,
     upload_us: f64,
     naive_build_ms: Option<f64>,
@@ -79,12 +95,17 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
     let genuine = builder.finalize();
     let genuine_id = genuine.profile.id();
 
-    // Small key: RSA is not under test here.
+    // Small keys: RSA is not under test here. Two servers so the
+    // single/batch ingest paths and sequential/parallel build paths run
+    // on identical populations without sharing key caches.
     let srv = ViewMapServer::new(&mut rng, 512, cfg);
+    let srv_batch = ViewMapServer::new(&mut rng, 512, cfg);
 
-    // ── Submit path ─────────────────────────────────────────────────
+    // ── Submit path A: one call per VP ──────────────────────────────
     let mut vps = world.vps;
     let trusted_vp = vps.remove(0);
+    let batch_vps = vps.clone();
+    let trusted_batch_vp = trusted_vp.clone();
     let submit_ms = time_ms(|| {
         srv.submit_trusted(trusted_vp).expect("trusted stored");
         for vp in vps.drain(..) {
@@ -99,14 +120,44 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
     });
     assert_eq!(srv.total_vps(), n + 1);
 
-    // ── Build path (zero-copy from the sharded store) ───────────────
+    // ── Submit path B: one batch (stripe locking + Bloom screening +
+    //    link-key precompute amortized across the whole minute) ───────
+    let genuine_batch_vp = genuine.profile.clone().into_stored();
+    let batch_submit_ms = time_ms(|| {
+        let r = srv_batch.submit_trusted_batch(vec![trusted_batch_vp]);
+        assert!(r.iter().all(|x| x.is_ok()), "trusted batch stored");
+        let subs = batch_vps
+            .into_iter()
+            .chain(std::iter::once(genuine_batch_vp))
+            .map(|vp| viewmap_core::upload::AnonymousSubmission { session_id: 0, vp });
+        let results = srv_batch.submit_batch_warm(subs);
+        assert!(results.iter().all(|x| x.is_ok()), "batch stored");
+    });
+    assert_eq!(srv_batch.total_vps(), n + 1);
+
+    // ── Build path A: sequential, cold key cache ────────────────────
     let mut vm: Option<Viewmap> = None;
     let build_ms = time_ms(|| {
-        vm = Some(srv.build_viewmap(minute, site));
+        let candidates = srv.minute_vps(minute);
+        vm = Some(Viewmap::build_threads(&candidates, site, minute, &cfg, 1));
     });
     let vm = vm.unwrap();
     let members = vm.len();
     let edges = vm.edge_count();
+
+    // ── Build path B: auto-parallel engine on the batch-ingested
+    //    (key-warm) store — the production investigation path ─────────
+    let mut pvm: Option<Viewmap> = None;
+    let parallel_build_ms = time_ms(|| {
+        pvm = Some(srv_batch.build_viewmap(minute, site));
+    });
+    let pvm = pvm.unwrap();
+    assert_eq!(pvm.len(), members, "parallel/sequential member mismatch");
+    assert_eq!(pvm.edge_count(), edges, "parallel/sequential edge mismatch");
+    for i in 0..members {
+        assert_eq!(pvm.vps[i].id, vm.vps[i].id, "member order differs at {i}");
+        assert_eq!(pvm.adj[i], vm.adj[i], "adjacency differs at node {i}");
+    }
 
     // ── Verify path (CSR TrustRank + site BFS) ──────────────────────
     let mut marked = 0usize;
@@ -154,7 +205,9 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         members,
         edges,
         submit_ms,
+        batch_submit_ms,
         build_ms,
+        parallel_build_ms,
         verify_ms,
         upload_us,
         naive_build_ms,
@@ -175,9 +228,12 @@ fn main() {
     for &n in &tiers {
         let r = run_tier(n, 42);
         eprintln!(
-            "tier {n}: submit {:.1} ms | build {:.1} ms | verify {:.1} ms | upload {:.1} µs{}",
+            "tier {n}: submit {:.1} ms (batch {:.1} ms) | build {:.1} ms (parallel {:.1} ms) | \
+             verify {:.1} ms | upload {:.1} µs{}",
             r.submit_ms,
+            r.batch_submit_ms,
             r.build_ms,
+            r.parallel_build_ms,
             r.verify_ms,
             r.upload_us,
             r.speedup_verify_path()
@@ -193,7 +249,9 @@ fn main() {
             format!(
                 concat!(
                     "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
-                    "\"submit_ms\": {:.3}, \"build_ms\": {:.3}, \"verify_ms\": {:.3}, ",
+                    "\"submit_ms\": {:.3}, \"batch_submit_ms\": {:.3}, ",
+                    "\"build_ms\": {:.3}, \"parallel_build_ms\": {:.3}, ",
+                    "\"verify_ms\": {:.3}, ",
                     "\"upload_us\": {:.3}, \"naive_build_ms\": {}, ",
                     "\"naive_verify_ms\": {}, \"verify_path_speedup\": {}}}"
                 ),
@@ -201,7 +259,9 @@ fn main() {
                 r.members,
                 r.edges,
                 r.submit_ms,
+                r.batch_submit_ms,
                 r.build_ms,
+                r.parallel_build_ms,
                 r.verify_ms,
                 r.upload_us,
                 json_opt(r.naive_build_ms),
@@ -212,7 +272,10 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"investigate\",\n  \"unit_note\": \"times in ms (upload in us); \
-         naive_* are the pre-optimization algorithms on the same population\",\n  \
+         naive_* are the pre-optimization algorithms on the same population; \
+         batch_submit_ms is one submit_batch call (includes ingest-side link-key precompute); \
+         parallel_build_ms is the auto-parallel engine on the batch-ingested (key-warm) store, \
+         asserted member- and edge-identical to the sequential cold build_ms\",\n  \
          \"tiers\": [\n{}\n  ]\n}}\n",
         tier_json.join(",\n")
     );

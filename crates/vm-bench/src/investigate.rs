@@ -70,12 +70,7 @@ fn synth_vp(tag: u64, start: GeoPos, vel: (f64, f64), trusted: bool) -> StoredVp
             }
         })
         .collect();
-    StoredVp {
-        id,
-        vds,
-        bloom: BloomFilter::default(),
-        trusted,
-    }
+    StoredVp::new(id, vds, BloomFilter::default(), trusted)
 }
 
 impl SynthWorld {
