@@ -204,10 +204,13 @@ impl ViewMapServer {
 
     /// As [`submit_batch`](Self::submit_batch), additionally precomputing
     /// each accepted VP's element-VD link keys (in parallel for large
-    /// batches) while the VPs are still exclusively owned. Investigations
-    /// of the ingested minutes then skip their Bloom-key hashing phase —
-    /// the right trade when a minute is investigation-bound (an incident
-    /// was just reported) and worth ~1 KB of cached digests per VP. The
+    /// batches) while the VPs are still exclusively owned. Each VP's 60
+    /// digests are hashed through `vm_crypto`'s multi-buffer engine
+    /// (`sha256_many` — interleaved independent streams), the same path
+    /// viewmap construction's key phase uses. Investigations of the
+    /// ingested minutes then skip their Bloom-key hashing phase — the
+    /// right trade when a minute is investigation-bound (an incident was
+    /// just reported) and worth ~1 KB of cached digests per VP. The
     /// stored state is identical either way.
     pub fn submit_batch_warm(
         &self,

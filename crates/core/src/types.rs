@@ -72,7 +72,16 @@ impl GeoPos {
 
     /// Distance in meters.
     pub fn distance(&self, other: &GeoPos) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared distance in meters². For comparisons and minima this is
+    /// the form to use — `sqrt` is monotone, so ordering is preserved and
+    /// the caller converts once at the end instead of once per candidate
+    /// (`distance` is exactly `distance_sq(..).sqrt()`, so
+    /// `min(d).sqrt() == min(sqrt(d))` bit for bit).
+    pub fn distance_sq(&self, other: &GeoPos) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
     }
 
     /// Encode as 8 wire bytes (two little-endian `f32`s).

@@ -108,6 +108,22 @@ impl ViewDigest {
     }
 }
 
+/// The Bloom keys of many VDs in one multi-buffer hashing pass:
+/// equivalent to `vds.iter().map(|vd| vd.bloom_key())`, but the 72-byte
+/// wire images are encoded into one flat buffer and hashed through
+/// [`vm_crypto::sha256_many`]'s interleaved lanes — this is the kernel
+/// behind `StoredVp::link_keys` and the ingest-side key precompute of
+/// `submit_batch_warm`, where every VP brings 60 independent messages at
+/// once.
+pub fn bloom_keys_many(vds: &[ViewDigest]) -> Vec<Digest16> {
+    let mut flat = vec![0u8; vds.len() * VD_WIRE_BYTES];
+    for (vd, chunk) in vds.iter().zip(flat.chunks_exact_mut(VD_WIRE_BYTES)) {
+        chunk.copy_from_slice(&vd.encode());
+    }
+    let msgs: Vec<&[u8]> = flat.chunks_exact(VD_WIRE_BYTES).collect();
+    Digest16::hash_many(&msgs)
+}
+
 /// Compute one cascade step:
 /// `H_i = H(T_i | L_i | F_i | H_{i-1} | chunk)`.
 pub fn cascade_step(
@@ -384,6 +400,22 @@ mod tests {
         for i in 0..10 {
             let vd = chain.extend(&chunk(i, 33), GeoPos::new(i as f64, -3.0));
             assert_eq!(vd.bloom_key(), vm_crypto::Digest16::hash(&vd.encode()));
+        }
+    }
+
+    #[test]
+    fn bloom_keys_many_matches_per_vd_keys() {
+        // The multi-buffer batch must be digest-for-digest the same as
+        // hashing each VD alone (including odd counts that leave lanes
+        // partially filled).
+        let mut chain = VdChain::new([13u8; 8], 120, GeoPos::new(7.0, -2.0));
+        let vds: Vec<ViewDigest> = (0..13)
+            .map(|i| chain.extend(&chunk(i, 40), GeoPos::new(i as f64, 2.0)))
+            .collect();
+        for take in [0usize, 1, 2, 3, 5, 13] {
+            let batch = bloom_keys_many(&vds[..take]);
+            let single: Vec<_> = vds[..take].iter().map(|vd| vd.bloom_key()).collect();
+            assert_eq!(batch, single, "take {take}");
         }
     }
 

@@ -15,37 +15,60 @@
 //!
 //! Viewlink generation runs in four phases, each parallelized over
 //! contiguous chunks via [`crate::par`] with results merged in chunk
-//! order, so the constructed viewmap is **bit-for-bit identical for every
-//! thread count** (the equivalence property tests in `vm-bench` hold the
-//! engine to that):
+//! order (and order-restoring sorts where a phase reorders work for
+//! locality), so the constructed viewmap is **bit-for-bit identical for
+//! every thread count** (the equivalence property tests in `vm-bench`
+//! hold the engine to that). All four phases run on flat, cache-native
+//! data — structure-of-arrays tables laid out in a spatial (Morton)
+//! member order — instead of per-member heap records:
 //!
-//! 1. **Trajectory tables** — per member, the minute-window VD positions
-//!    are unpacked into flat offset-indexed arrays (`NaN` marks missing
-//!    seconds), plus a bounding box and a bounding circle. The flat
-//!    arrays turn the per-pair aligned-distance scan into a branch-light
-//!    walk over contiguous memory instead of a merge-join across two
-//!    88-byte-stride VD vectors.
-//! 2. **Candidate pairs** — a single spatial grid over trajectory
-//!    bounding-circle centers. Two members can share an in-range second
-//!    only if their centers lie within `dsrc + r_i + r_j`, so each grid
-//!    query (radius `dsrc + r_i + r_max`) yields a strict superset of the
-//!    true pairs with *no per-second grid rebuilds and no candidate
-//!    dedup set* — the per-second bucket grid this replaces rediscovered
-//!    every riding-together pair ~60× and spent most of the build
-//!    hash-deduplicating those rediscoveries. Each candidate is settled
-//!    immediately: Bloom-occupancy gate, bounding-box gap prefilter, then
-//!    the exact shared-second scan over the flat tables.
+//! 1. **Trajectory tables** — per member, one scan of the minute-window
+//!    VDs producing (a) the compact window of claimed positions,
+//!    interleaved `(x, y)` `f64` pairs with `NaN` gap slots, appended to
+//!    a shared coordinate arena, and (b) the prefilter geometry — bounding
+//!    box, bounding circle, and six time-segment circles — quantized to
+//!    conservative fixed-point `i32` meters (mins floored, maxes/radii
+//!    ceiled, centers rounded with slack added at the comparisons, so a
+//!    fixed-point check can only ever *pass more* than its `f64`
+//!    counterpart). Members are then permuted into Morton order of their
+//!    bounding-circle grid cell and every per-member field is gathered
+//!    into dense per-field arrays indexed by that rank: spatial neighbors
+//!    become memory neighbors.
+//! 2. **Candidate pairs** — grid cells are counting-sorted runs of the
+//!    Morton permutation (cell code → contiguous rank range), so a query
+//!    streams whole runs of neighbors whose prefilter fields sit in
+//!    adjacent array slots — no hash-bucket `Vec`s, no per-`Traj` pointer
+//!    chasing. Two members can share an in-range second only if their
+//!    circle centers lie within `dsrc + r_i + r_j`, so scanning the cells
+//!    within `dsrc + r_i + r_max` of each member yields a strict superset
+//!    of the true pairs, each generated exactly once (from its
+//!    lower-indexed member). Candidates are settled immediately — integer
+//!    center/bbox-gap/segment prefilters, then the exact shared-second
+//!    scan over the `f64` arena, bit-identical to the reference
+//!    definition — and the surviving pair list is sorted back into
+//!    ascending `(i, j)` order, erasing the Morton detour from the
+//!    result.
 //! 3. **Bloom keys** — members appearing in a surviving pair get their 60
-//!    element-VD keys hashed (SHA-NI-accelerated `vm_crypto`), cached on
-//!    the `StoredVp` so repeat investigations of the minute skip the pass.
-//! 4. **Two-way linkage** — the paper's mutual Bloom test over the
-//!    precomputed keys, in globally sorted pair order.
+//!    element-VD keys hashed and cached on the `StoredVp`
+//!    ([`StoredVp::link_keys`]), so repeat investigations of the minute
+//!    skip the pass. The 60 digests per member are independent messages
+//!    and run through `vm_crypto`'s multi-buffer engine
+//!    (`sha256_many`: interleaved SHA-NI streams, or interleaved message
+//!    schedules on the scalar fallback) rather than one serial hash
+//!    chain at a time.
+//! 4. **Two-way linkage** — the paper's mutual Bloom test over flat
+//!    probe arenas (Bloom words and key halves), laid out in the same
+//!    Morton member order and *evaluated* in holder-rank order: all pairs
+//!    holding the same member are consecutive, so its filter words and
+//!    key halves are touched once per tile while hot in L1/L2, and the
+//!    partner side of each probe is a spatial neighbor sitting nearby in
+//!    the arena. Survivors are sorted back to ascending pair order before
+//!    the adjacency lists are assembled.
 
 use crate::trustrank::{self, Verification};
 use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
 use crate::vp::StoredVp;
 use std::sync::Arc;
-use vm_geo::{GridIndex, Point};
 
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -131,24 +154,43 @@ impl Viewmap {
         cfg: &ViewmapConfig,
         threads: usize,
     ) -> Viewmap {
+        Self::build_profiled(candidates, site, minute, cfg, threads).0
+    }
+
+    /// As [`build_threads`](Self::build_threads), additionally returning
+    /// the wall-clock cost of each construction phase. The
+    /// instrumentation is four timestamp reads — the profiled build *is*
+    /// the production build — so benchmarks and capacity planning read
+    /// the real phase split instead of hand-instrumented one-offs.
+    pub fn build_profiled(
+        candidates: &[Arc<StoredVp>],
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+        threads: usize,
+    ) -> (Viewmap, BuildProfile) {
         let in_minute: Vec<&Arc<StoredVp>> = candidates
             .iter()
             .filter(|vp| vp.minute() == minute && !vp.vds.is_empty())
             .collect();
 
-        // Trusted VP(s) closest to the investigation site.
+        // Trusted VP(s) closest to the investigation site. Squared
+        // distances order identically (sqrt is monotone), so the sort
+        // never pays a square root per VD.
         let mut trusted_refs: Vec<&Arc<StoredVp>> =
             in_minute.iter().copied().filter(|vp| vp.trusted).collect();
         trusted_refs.sort_by(|a, b| {
-            let da = nearest_approach(a, &site.center);
-            let db = nearest_approach(b, &site.center);
+            let da = nearest_approach_sq(a, &site.center);
+            let db = nearest_approach_sq(b, &site.center);
             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
         });
 
-        // Coverage radius: encompass the site and the nearest trusted VP.
+        // Coverage radius: encompass the site and the nearest trusted VP
+        // (one sqrt here, at the caller — `GeoPos::distance` is
+        // `distance_sq().sqrt()`, so the value is bit-identical).
         let coverage_radius = trusted_refs
             .first()
-            .map(|vp| nearest_approach(vp, &site.center))
+            .map(|vp| nearest_approach_sq(vp, &site.center).sqrt())
             .unwrap_or(0.0)
             .max(site.radius_m)
             + cfg.coverage_margin_m;
@@ -170,7 +212,8 @@ impl Viewmap {
         } else {
             threads.clamp(1, crate::par::MAX_THREADS)
         };
-        let adj = build_viewlinks(&vps, minute, cfg, threads);
+        let mut profile = BuildProfile::default();
+        let adj = build_viewlinks(&vps, minute, cfg, threads, &mut profile);
 
         let trusted = vps
             .iter()
@@ -178,12 +221,15 @@ impl Viewmap {
             .filter(|(_, vp)| vp.trusted)
             .map(|(i, _)| i)
             .collect();
-        Viewmap {
-            vps,
-            adj,
-            trusted,
-            minute,
-        }
+        (
+            Viewmap {
+                vps,
+                adj,
+                trusted,
+                minute,
+            },
+            profile,
+        )
     }
 
     /// As [`build`](Self::build), taking owned VPs (wraps each in an
@@ -256,71 +302,131 @@ impl Viewmap {
 /// spawn/join overhead outweighs the fan-out).
 pub const PARALLEL_MEMBER_THRESHOLD: usize = 4096;
 
-/// Time-partitioned bounding-circle count per trajectory (see [`Traj`]):
-/// 10-second granularity for a full minute. Finer segments reject more
+/// Time-partitioned bounding-circle count per trajectory: 10-second
+/// granularity for a full minute. Finer segments reject more
 /// temporally-misaligned near-crossings; coarser ones cost fewer circle
 /// checks — 6 measured best at the 100k tier.
 const TRAJ_SEGMENTS: usize = 6;
 
-/// A member's minute-window trajectory in scan-friendly form: positions
-/// indexed by second offset (flat, `NaN` for missing seconds), plus the
-/// bounding box and bounding circle used by the candidate prefilters.
-struct Traj {
+/// Coordinates whose bounding box stays within ±`FP_MAX_M` meters get
+/// exact (non-saturating) fixed-point prefilter geometry. A member
+/// claiming positions beyond a billion meters (only producible by a
+/// forged trajectory — `screen()` checks time order, not plausibility)
+/// is handled off-grid through the `f64` exact scan alone, so integer
+/// saturation can never turn a conservative prefilter into a wrong
+/// reject.
+const FP_MAX_M: f64 = 1.0e9;
+
+/// Wall-clock milliseconds per viewlink-engine phase, from
+/// [`Viewmap::build_profiled`]. The phases are the four stages the
+/// module docs describe; admission/coverage selection (microseconds at
+/// any tier) is outside them, so the fields sum to slightly less than
+/// the end-to-end build time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BuildProfile {
+    /// Phase 1 — trajectory tables: member scan, Morton ordering, and
+    /// the SoA gather + coordinate-arena fill.
+    pub tables_ms: f64,
+    /// Phase 2 — candidate generation, settled to exact in-range pairs
+    /// (includes the order-restoring sort).
+    pub candidates_ms: f64,
+    /// Phase 3 — Bloom-key hashing for members in surviving pairs
+    /// (multi-buffer SHA-256; zero when the minute is key-warm).
+    pub keys_ms: f64,
+    /// Phase 4 — flat-arena assembly plus the two-way Bloom linkage
+    /// pass in holder-tile order.
+    pub linkage_ms: f64,
+}
+
+/// Per-member scan output of phase 1: the compact-window shape, the
+/// `f64` bounding circle the grid geometry derives from, and the
+/// conservative fixed-point prefilter forms. The member's claimed
+/// positions go to a shared coordinate slab, not into this struct — the
+/// pair loop later reads them from the rank-ordered arena.
+struct MemberGeom {
     /// First in-window offset (1-based); 0 when no in-window VDs exist.
     first: u32,
-    /// `xs[t - first]` / `ys[t - first]` = claimed position at offset `t`.
-    xs: Vec<f64>,
-    ys: Vec<f64>,
-    /// `(min_x, min_y, max_x, max_y)` over in-window VDs.
-    bbox: (f64, f64, f64, f64),
-    /// Bounding-circle center (bbox midpoint) and radius (half-diagonal):
-    /// every in-window position lies within `r` of `(cx, cy)`.
-    cx: f64,
-    cy: f64,
-    r: f64,
-    /// Per-time-segment bounding circles `(cx, cy, r)`: segment `s`
-    /// covers slot range `[s·len/SEGS, (s+1)·len/SEGS)`, i.e. absolute
-    /// offsets `[first + s·len/SEGS, …)`. A pair can share an in-range
-    /// second only if some pair of segments with *overlapping offset
-    /// windows* comes within `dsrc + r_a + r_b` — a handful of multiplies
-    /// that spare the per-second scan for trajectories that pass near
-    /// each other at different times (the dominant false-candidate class
-    /// in city traffic). Empty segments carry `NaN` and never match.
-    segs: [(f64, f64, f64); TRAJ_SEGMENTS],
-    /// Absolute offset window `[lo, hi)` of each segment, precomputed —
-    /// the pair filter compares these tens of millions of times.
-    seg_win: [(u32, u32); TRAJ_SEGMENTS],
+    /// Slots in the compact window (incl. `NaN` gaps).
+    len: u32,
     /// Bloom-occupancy gate: fewer than `k` set bits can never pass a
     /// membership query, so this member can never hold up a viewlink.
     can_link: bool,
+    /// Fixed-point forms are exact (see [`FP_MAX_M`]); false routes the
+    /// member off-grid and straight to the exact scan.
+    fp_exact: bool,
+    /// Bounding-circle center (bbox midpoint) and radius (half-diagonal)
+    /// in `f64` — the grid geometry (`r_cap`, `r_max`, cell size, cell
+    /// assignment) derives from these, as before the SoA rewrite.
+    cx: f64,
+    cy: f64,
+    r: f64,
+    /// `(min_x, min_y, max_x, max_y)`, mins floored / maxes ceiled.
+    bb: [i32; 4],
+    /// Rounded circle center + ceiled radius; comparisons add slack to
+    /// cover the rounding, so the integer check admits a superset.
+    cxf: i32,
+    cyf: i32,
+    rf: i32,
+    /// Per-time-segment circles `(cx, cy, r)` in the same fixed-point
+    /// form; a pair can share an in-range second only if some pair of
+    /// segments with overlapping offset windows comes within
+    /// `dsrc + r_a + r_b`. Empty segments carry the never-overlapping
+    /// `(0, 0)` window below and are skipped.
+    segs: [(i32, i32, i32); TRAJ_SEGMENTS],
+    /// Absolute offset window `[lo, hi)` of each segment (values ≤ 121,
+    /// so `u8` keeps the row at 12 bytes).
+    seg_win: [(u8, u8); TRAJ_SEGMENTS],
 }
 
-impl Traj {
-    /// Build the table for one member. VD times are 1-based offsets from
-    /// the VP's start second; a VP that starts recording mid-minute still
-    /// belongs to this minute, so the window spans two minutes' worth of
-    /// offsets (`1..=2·SECONDS_PER_VP`). Out-of-window VDs are ignored;
-    /// when two VDs claim the same second the first one wins (the server
-    /// rejects such VPs at ingest — this only matters for hand-built
-    /// populations fed to `build` directly).
-    fn new(vp: &StoredVp, start: u64) -> Traj {
+impl MemberGeom {
+    /// Inert geometry for a member with no in-window VDs.
+    fn empty() -> MemberGeom {
+        MemberGeom {
+            first: 0,
+            len: 0,
+            can_link: false,
+            fp_exact: false,
+            cx: 0.0,
+            cy: 0.0,
+            r: 0.0,
+            bb: [0; 4],
+            cxf: 0,
+            cyf: 0,
+            rf: 0,
+            segs: [(0, 0, 0); TRAJ_SEGMENTS],
+            seg_win: [(0, 0); TRAJ_SEGMENTS],
+        }
+    }
+
+    /// Scan one member: append its compact window to `coords` as
+    /// interleaved `(x, y)` pairs (`NaN` for missing seconds) and return
+    /// the geometry. VD times are 1-based offsets from the VP's start
+    /// second; a VP that starts recording mid-minute still belongs to
+    /// this minute, so the window spans two minutes' worth of offsets
+    /// (`1..=2·SECONDS_PER_VP`). Out-of-window VDs are ignored; when two
+    /// VDs claim the same second the first one wins (the server rejects
+    /// such VPs at ingest — this only matters for hand-built populations
+    /// fed to `build` directly).
+    fn scan(vp: &StoredVp, start: u64, coords: &mut Vec<f64>) -> MemberGeom {
         const WINDOW: usize = 2 * SECONDS_PER_VP as usize;
+        let base = coords.len();
         // Fast path — every real VP: VD times strictly consecutive and
-        // fully inside the window, so the compact arrays are a straight
-        // per-field copy with no scratch table.
+        // fully inside the window, so the compact window is a straight
+        // copy with no scratch table.
         let contiguous = !vp.vds.is_empty()
             && vp.vds.first().expect("nonempty").time > start
             && vp.vds.last().expect("nonempty").time <= start + WINDOW as u64
             && vp.vds.windows(2).all(|w| w[1].time == w[0].time + 1);
-        let (lo, xs, ys) = if contiguous {
-            let lo = (vp.vds[0].time - start) as usize - 1;
-            let xs: Vec<f64> = vp.vds.iter().map(|vd| vd.loc.x).collect();
-            let ys: Vec<f64> = vp.vds.iter().map(|vd| vd.loc.y).collect();
-            (lo, xs, ys)
+        let lo = if contiguous {
+            for vd in &vp.vds {
+                coords.push(vd.loc.x);
+                coords.push(vd.loc.y);
+            }
+            (vp.vds[0].time - start) as usize - 1
         } else {
             // General path: one pass over the VDs into a stack scratch
-            // table (slot = offset − 1) tracking the occupied range, then
-            // carve the compact arrays out of the scratch.
+            // table (slot = offset − 1) tracking the occupied range,
+            // then append the compact window from the scratch.
             let mut sx = [f64::NAN; WINDOW];
             let mut sy = [f64::NAN; WINDOW];
             let (mut lo, mut hi) = (usize::MAX, 0usize);
@@ -339,22 +445,16 @@ impl Traj {
                 hi = hi.max(slot);
             }
             if lo == usize::MAX {
-                return Traj {
-                    first: 0,
-                    xs: Vec::new(),
-                    ys: Vec::new(),
-                    bbox: (0.0, 0.0, 0.0, 0.0),
-                    cx: 0.0,
-                    cy: 0.0,
-                    r: 0.0,
-                    segs: [(f64::NAN, f64::NAN, f64::NAN); TRAJ_SEGMENTS],
-                    seg_win: [(0, 0); TRAJ_SEGMENTS],
-                    can_link: false,
-                };
+                return MemberGeom::empty();
             }
-            (lo, sx[lo..=hi].to_vec(), sy[lo..=hi].to_vec())
+            for slot in lo..=hi {
+                coords.push(sx[slot]);
+                coords.push(sy[slot]);
+            }
+            lo
         };
-        let len = xs.len();
+        let len = (coords.len() - base) / 2;
+        let window = &coords[base..];
         let mut bb = (
             f64::INFINITY,
             f64::INFINITY,
@@ -376,7 +476,8 @@ impl Traj {
         // keep the never-overlapping (0, 0) window.
         let first = lo as u32 + 1;
         let mut seg_slots = [(u32::MAX, 0u32); TRAJ_SEGMENTS];
-        for (slot, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+        for slot in 0..len {
+            let (x, y) = (window[2 * slot], window[2 * slot + 1]);
             if x.is_nan() {
                 continue;
             }
@@ -401,24 +502,43 @@ impl Traj {
             )
         };
         let (cx, cy, r) = circle(bb);
-        let seg_win = seg_slots.map(|(min, max)| {
-            if min == u32::MAX {
-                (0, 0)
+        let fp_exact = bb.0.abs() <= FP_MAX_M
+            && bb.1.abs() <= FP_MAX_M
+            && bb.2.abs() <= FP_MAX_M
+            && bb.3.abs() <= FP_MAX_M;
+        let fixed_circle = |b: (f64, f64, f64, f64)| {
+            if b.0.is_finite() {
+                let (x, y, rr) = circle(b);
+                (x.round() as i32, y.round() as i32, rr.ceil() as i32)
             } else {
-                (first + min, first + max + 1)
+                (0, 0, 0)
             }
-        });
-        Traj {
+        };
+        MemberGeom {
             first,
-            xs,
-            ys,
-            bbox: bb,
+            len: len as u32,
+            can_link: vp.bloom.count_ones() >= vp.bloom.k(),
+            fp_exact,
             cx,
             cy,
             r,
-            segs: seg_bb.map(circle),
-            seg_win,
-            can_link: vp.bloom.count_ones() >= vp.bloom.k(),
+            bb: [
+                bb.0.floor() as i32,
+                bb.1.floor() as i32,
+                bb.2.ceil() as i32,
+                bb.3.ceil() as i32,
+            ],
+            cxf: cx.round() as i32,
+            cyf: cy.round() as i32,
+            rf: r.ceil() as i32,
+            segs: seg_bb.map(fixed_circle),
+            seg_win: seg_slots.map(|(min, max)| {
+                if min == u32::MAX {
+                    (0, 0)
+                } else {
+                    ((first + min) as u8, (first + max + 1) as u8)
+                }
+            }),
         }
     }
 
@@ -427,70 +547,40 @@ impl Traj {
     fn active(&self) -> bool {
         self.first != 0 && self.can_link
     }
+}
 
-    /// Axis-gap between the two bounding boxes exceeds `radius`? O(1)
-    /// reject before the per-second scan.
-    fn bbox_gap_beyond(&self, other: &Traj, r2: f64) -> bool {
-        let (a, b) = (&self.bbox, &other.bbox);
-        let dx = (b.0 - a.2).max(a.0 - b.2).max(0.0);
-        let dy = (b.1 - a.3).max(a.1 - b.3).max(0.0);
-        dx * dx + dy * dy > r2
-    }
+/// Spread the 32 bits of `v` into the even bit positions of a `u64`.
+fn morton_spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
 
-    /// Could any segment pair bring the two trajectories within `radius`
-    /// *at a shared second*? Sound reject: a shared in-range second lies
-    /// in one segment of each side, so those two segments' offset windows
-    /// overlap and their circles come within `radius + r_a + r_b`.
-    /// Time-disjoint segment pairs are skipped outright — that temporal
-    /// cut is what rejects trajectories that cross the same spot at
-    /// different times. Empty segments are `NaN` and compare false.
-    fn segments_may_touch(&self, other: &Traj, radius: f64) -> bool {
-        for (a, &(ax, ay, ar)) in self.segs.iter().enumerate() {
-            let (alo, ahi) = self.seg_win[a];
-            for (b, &(bx, by, br)) in other.segs.iter().enumerate() {
-                let (blo, bhi) = other.seg_win[b];
-                if bhi <= alo || ahi <= blo {
-                    continue;
-                }
-                let lim = radius + ar + br;
-                let (dx, dy) = (ax - bx, ay - by);
-                if dx * dx + dy * dy <= lim * lim {
-                    return true;
-                }
-            }
-        }
-        false
-    }
-
-    /// Did the two trajectories come within `sqrt(r2)` of each other at
-    /// any shared in-window second? `NaN` slots (missing seconds) compare
-    /// false and drop out on their own.
-    fn shares_in_range_second(&self, other: &Traj, r2: f64) -> bool {
-        let lo = self.first.max(other.first);
-        let hi = (self.first + self.xs.len() as u32).min(other.first + other.xs.len() as u32);
-        let mut t = lo;
-        while t < hi {
-            let ia = (t - self.first) as usize;
-            let ib = (t - other.first) as usize;
-            let dx = self.xs[ia] - other.xs[ib];
-            let dy = self.ys[ia] - other.ys[ib];
-            if dx * dx + dy * dy <= r2 {
-                return true;
-            }
-            t += 1;
-        }
-        false
-    }
+/// Z-order (Morton) code of a grid cell. Cell coordinates are the
+/// wrapped low 32 bits of the true `i64` cell index: truncation keeps
+/// every 2³²-cell-wide neighborhood collision-free — far-apart cells
+/// that do collide only add candidates the center prefilter rejects, so
+/// correctness never depends on the wrap (mirroring how the hash grid
+/// this replaces tolerated arbitrary coordinates).
+fn morton_code(cx: u32, cy: u32) -> u64 {
+    morton_spread(cx) | (morton_spread(cy) << 1)
 }
 
 /// Viewlink edges for a member set — the four-phase engine described in
-/// the module docs. Every phase fans out over contiguous chunks and
-/// merges in chunk order, so the result is identical for any `threads`.
+/// the module docs, phase times recorded into `profile`. Every phase
+/// fans out over contiguous chunks and merges in chunk order (with
+/// order-restoring sorts after the spatially-reordered passes), so the
+/// result is identical for any `threads`.
 fn build_viewlinks(
     vps: &[Arc<StoredVp>],
     minute: MinuteId,
     cfg: &ViewmapConfig,
     threads: usize,
+    profile: &mut BuildProfile,
 ) -> Vec<Vec<usize>> {
     let n = vps.len();
     let mut adj = vec![Vec::new(); n];
@@ -499,91 +589,282 @@ fn build_viewlinks(
     }
     let radius = cfg.dsrc_radius_m;
     let r2 = radius * radius;
+    // Conservative integer radio range for the fixed-point prefilters.
+    let radius_c = radius.ceil() as i64;
     let start = minute.start_second();
+    // The SoA tables index with u32 (arena offsets count interleaved
+    // coordinates: ≤ 240 per member). One minute of one city staying
+    // under ~17.9M members is part of the protocol's scale envelope;
+    // fail loudly rather than wrap silently if that ever moves.
+    assert!(
+        n as u64 * 4 * SECONDS_PER_VP <= u32::MAX as u64,
+        "viewmap of {n} members exceeds u32 SoA indexing"
+    );
     let member_cuts = crate::par::even_cuts(n, threads);
+    let t_tables = std::time::Instant::now();
 
-    // ── Phase 1: trajectory tables ──────────────────────────────────────
-    let trajs: Vec<Traj> = crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
-        vps[lo..hi]
-            .iter()
-            .map(|vp| Traj::new(vp, start))
-            .collect::<Vec<Traj>>()
+    // ── Phase 1: trajectory tables, Morton order, SoA gather ────────────
+    // Parallel member scan into chunk-local geometry + coordinate slabs.
+    let mut chunk_coords: Vec<Vec<f64>> = Vec::with_capacity(member_cuts.len() - 1);
+    let mut geom: Vec<MemberGeom> = Vec::with_capacity(n);
+    // Where each member's window lives: (chunk, offset into its slab).
+    let mut src: Vec<(u32, u32)> = Vec::with_capacity(n);
+    for (c, (geoms, coords)) in crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
+        let mut geoms = Vec::with_capacity(hi - lo);
+        let mut coords: Vec<f64> = Vec::with_capacity((hi - lo) * 2 * SECONDS_PER_VP as usize);
+        for vp in &vps[lo..hi] {
+            geoms.push(MemberGeom::scan(vp, start, &mut coords));
+        }
+        (geoms, coords)
     })
     .into_iter()
-    .flatten()
-    .collect();
+    .enumerate()
+    {
+        let mut off = 0u32;
+        for g in &geoms {
+            src.push((c as u32, off));
+            off += 2 * g.len;
+        }
+        geom.extend(geoms);
+        chunk_coords.push(coords);
+    }
 
-    // ── Phase 2: candidate pairs, settled to exact in-range pairs ───────
-    // Grid over bounding-circle centers. Two members can share an
-    // in-range second only if their centers are within
-    // `radius + r_i + r_j`, so querying member `i` at
-    // `radius + r_i + r_max` yields a strict superset of its true pairs.
-    //
-    // The grid geometry derives from the population's *typical*
-    // trajectory extent, not its most spread-out member: `screen()` only
-    // checks VD count and time order, so a single city-spanning (or
-    // teleporting) trajectory is admissible — and if it set `r_max`, it
-    // would inflate every member's query reach to city scale and turn
-    // candidate generation quadratic (a build-time DoS). Members whose
-    // radius exceeds `r_cap` (4× the 95th-percentile radius, floored by
-    // the radio range) are instead handled off-grid below: each is paired
-    // against every member through the same filter pipeline — exact,
-    // deterministic, and linear per outlier.
-    let mut active_radii: Vec<f64> = trajs.iter().filter(|t| t.active()).map(|t| t.r).collect();
+    // Grid geometry from the population's *typical* trajectory extent,
+    // not its most spread-out member: `screen()` only checks VD count
+    // and time order, so a single city-spanning (or teleporting)
+    // trajectory is admissible — and if it set `r_max`, it would inflate
+    // every member's query reach to city scale and turn candidate
+    // generation quadratic (a build-time DoS). Members whose radius
+    // exceeds `r_cap` (4× the 95th-percentile radius, floored by the
+    // radio range) — and the fixed-point-overflowing forgeries — are
+    // instead handled off-grid below: each is paired against every
+    // member through the same filter pipeline — exact, deterministic,
+    // and linear per outlier.
+    let mut active_radii: Vec<f64> = geom.iter().filter(|g| g.active()).map(|g| g.r).collect();
     active_radii.sort_unstable_by(f64::total_cmp);
     let r_cap = active_radii
         .get(active_radii.len().saturating_mul(95) / 100)
         .or(active_radii.last())
         .map_or(0.0, |&p95| (4.0 * p95).max(radius));
-    let gridded = |t: &Traj| t.active() && t.r <= r_cap;
-    let r_max = trajs
+    let gridded = |g: &MemberGeom| g.active() && g.fp_exact && g.r <= r_cap;
+    let r_max = geom
         .iter()
-        .filter(|t| gridded(t))
-        .map(|t| t.r)
+        .filter(|g| gridded(g))
+        .map(|g| g.r)
         .fold(0.0f64, f64::max);
     let cell = ((radius + 2.0 * r_max) / 4.0).max(1.0);
-    let grid = GridIndex::build(
-        cell,
-        trajs
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| gridded(t))
-            .map(|(i, t)| (i, Point::new(t.cx, t.cy))),
-    );
-    // Bounding-circle radii in a dense side table: the grid scan reads
-    // `radii[j]` for every point it visits, and a 8-byte-stride array
-    // stays cache-resident where the ~350-byte `Traj` records do not.
-    let radii: Vec<f64> = trajs.iter().map(|t| t.r).collect();
-    // Pairs are emitted as packed `i << 32 | j` with `i < j`, each exactly
-    // once (from `i`'s query), in ascending `(i, j)` order per chunk;
-    // chunk-order concat keeps the global list sorted — the edge order
-    // the two-way validation and adjacency assembly then follow.
-    let mut in_range: Vec<u64> = crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
-        let mut out: Vec<u64> = Vec::new();
-        let mut hits: Vec<usize> = Vec::new();
-        for (i, ti) in trajs.iter().enumerate().take(hi).skip(lo) {
-            if !gridded(ti) {
+    let rf_max = geom
+        .iter()
+        .filter(|g| gridded(g))
+        .map(|g| g.rf)
+        .max()
+        .unwrap_or(0);
+
+    // Morton permutation: gridded members sorted by cell Z-code (ties by
+    // member index — fully deterministic), off-grid members appended in
+    // index order. `order[rank] = member`, `rank_of[member] = rank`.
+    let cell_of = |g: &MemberGeom| {
+        (
+            (g.cx / cell).floor() as i64 as u32,
+            (g.cy / cell).floor() as i64 as u32,
+        )
+    };
+    let mut keyed: Vec<(u64, u32)> = geom
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| gridded(g))
+        .map(|(i, g)| {
+            let (cx, cy) = cell_of(g);
+            (morton_code(cx, cy), i as u32)
+        })
+        .collect();
+    keyed.sort_unstable();
+    let n_gridded = keyed.len();
+    let wild: Vec<u32> = (0..n as u32)
+        .filter(|&i| {
+            let g = &geom[i as usize];
+            g.active() && !gridded(g)
+        })
+        .collect();
+    let mut order: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+    order.extend(&wild);
+    let n_ranked = order.len();
+    let mut rank_of: Vec<u32> = vec![u32::MAX; n];
+    for (k, &i) in order.iter().enumerate() {
+        rank_of[i as usize] = k as u32;
+    }
+
+    // Cell runs: equal Z-codes are contiguous in the permutation, so a
+    // cell is a `(start, len)` rank range — counting-sorted buckets with
+    // no per-bucket allocations.
+    let mut cells: std::collections::HashMap<u64, (u32, u32), vm_geo::FxBuildHasher> =
+        std::collections::HashMap::with_capacity_and_hasher(n_gridded, Default::default());
+    {
+        let mut s = 0usize;
+        while s < n_gridded {
+            let code = keyed[s].0;
+            let mut e = s + 1;
+            while e < n_gridded && keyed[e].0 == code {
+                e += 1;
+            }
+            cells.insert(code, (s as u32, (e - s) as u32));
+            s = e;
+        }
+    }
+
+    // Rank-indexed SoA prefilter tables: the pair loop touches these in
+    // near-sequential order, so spatial neighbors share cache lines.
+    let mut first = vec![0u32; n_ranked];
+    let mut len_of = vec![0u32; n_ranked];
+    let mut fpe = vec![false; n_ranked];
+    let mut cxf = vec![0i32; n_ranked];
+    let mut cyf = vec![0i32; n_ranked];
+    let mut rf = vec![0i32; n_ranked];
+    let mut bb = vec![[0i32; 4]; n_ranked];
+    let mut segs = vec![[(0i32, 0i32, 0i32); TRAJ_SEGMENTS]; n_ranked];
+    let mut seg_win = vec![[(0u8, 0u8); TRAJ_SEGMENTS]; n_ranked];
+    let mut cellx = vec![0u32; n_gridded];
+    let mut celly = vec![0u32; n_gridded];
+    let mut reach_f = vec![0.0f64; n_gridded];
+    let mut arena_off = vec![0u32; n_ranked + 1];
+    for (k, &iu) in order.iter().enumerate() {
+        let g = &geom[iu as usize];
+        first[k] = g.first;
+        len_of[k] = g.len;
+        fpe[k] = g.fp_exact;
+        cxf[k] = g.cxf;
+        cyf[k] = g.cyf;
+        rf[k] = g.rf;
+        bb[k] = g.bb;
+        segs[k] = g.segs;
+        seg_win[k] = g.seg_win;
+        if k < n_gridded {
+            let (cx, cy) = cell_of(g);
+            cellx[k] = cx;
+            celly[k] = cy;
+            reach_f[k] = radius + g.r + r_max;
+        }
+        arena_off[k + 1] = arena_off[k] + 2 * g.len;
+    }
+
+    // Coordinate arena in rank order: interleaved (x, y) f64 pairs, so
+    // the exact scan streams two contiguous, usually-nearby slabs.
+    let rank_cuts = crate::par::even_cuts(n_ranked, threads);
+    let arena_cuts: Vec<usize> = rank_cuts.iter().map(|&k| arena_off[k] as usize).collect();
+    let mut arena = vec![0.0f64; arena_off[n_ranked] as usize];
+    crate::par::map_disjoint_mut(&mut arena, &arena_cuts, |t, slab| {
+        let mut p = 0usize;
+        for k in rank_cuts[t]..rank_cuts[t + 1] {
+            let (c, o) = src[order[k] as usize];
+            let l = 2 * len_of[k] as usize;
+            slab[p..p + l].copy_from_slice(&chunk_coords[c as usize][o as usize..o as usize + l]);
+            p += l;
+        }
+    });
+    drop(chunk_coords);
+    profile.tables_ms = t_tables.elapsed().as_secs_f64() * 1e3;
+    let t_candidates = std::time::Instant::now();
+
+    // ── Phase 2: candidate pairs, settled to exact in-range pairs ───────
+    // All prefilters are conservative integer comparisons (+2 m slack
+    // covers the center rounding; members without exact fixed-point
+    // forms skip straight to the f64 scan), and the settling scan is the
+    // bit-exact f64 shared-second walk — so the surviving pair set is
+    // identical to the reference definition's.
+    let bbox_gap_beyond = |a: usize, b: usize| -> bool {
+        let (ba, bbx) = (&bb[a], &bb[b]);
+        let dx = ((bbx[0] - ba[2]) as i64)
+            .max((ba[0] - bbx[2]) as i64)
+            .max(0);
+        let dy = ((bbx[1] - ba[3]) as i64)
+            .max((ba[1] - bbx[3]) as i64)
+            .max(0);
+        dx * dx + dy * dy > radius_c * radius_c
+    };
+    let segments_may_touch = |a: usize, b: usize| -> bool {
+        let (sa, sb) = (&segs[a], &segs[b]);
+        let (wa, wb) = (&seg_win[a], &seg_win[b]);
+        for s in 0..TRAJ_SEGMENTS {
+            let (alo, ahi) = wa[s];
+            if ahi == 0 {
                 continue;
             }
-            let p = Point::new(ti.cx, ti.cy);
-            let reach = radius + ti.r + r_max;
-            hits.clear();
-            grid.for_each_in_radius(&p, reach, |j, q| {
-                if j > i {
-                    let lim = radius + ti.r + radii[j];
-                    if p.distance_sq(&q) <= lim * lim {
-                        hits.push(j);
-                    }
-                }
-            });
-            hits.sort_unstable();
-            for &j in &hits {
-                let tj = &trajs[j];
-                if ti.bbox_gap_beyond(tj, r2) || !ti.segments_may_touch(tj, radius) {
+            let (ax, ay, ar) = sa[s];
+            for t in 0..TRAJ_SEGMENTS {
+                let (blo, bhi) = wb[t];
+                if bhi <= alo || ahi <= blo {
                     continue;
                 }
-                if ti.shares_in_range_second(tj, r2) {
-                    out.push(((i as u64) << 32) | j as u64);
+                let (bx, by, br) = sb[t];
+                let lim = radius_c + ar as i64 + br as i64 + 2;
+                let (dx, dy) = ((ax - bx) as i64, (ay - by) as i64);
+                if dx * dx + dy * dy <= lim * lim {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    // Did ranks a and b come within `sqrt(r2)` of each other at any
+    // shared in-window second? NaN slots (missing seconds) compare false
+    // and drop out on their own.
+    let shares_in_range_second = |a: usize, b: usize| -> bool {
+        let lo = first[a].max(first[b]);
+        let hi = (first[a] + len_of[a]).min(first[b] + len_of[b]);
+        let (oa, ob) = (arena_off[a], arena_off[b]);
+        let mut t = lo;
+        while t < hi {
+            let ia = (oa + 2 * (t - first[a])) as usize;
+            let ib = (ob + 2 * (t - first[b])) as usize;
+            let dx = arena[ia] - arena[ib];
+            let dy = arena[ia + 1] - arena[ib + 1];
+            if dx * dx + dy * dy <= r2 {
+                return true;
+            }
+            t += 1;
+        }
+        false
+    };
+    let settle = |a: usize, b: usize| -> bool {
+        if fpe[a] && fpe[b] && (bbox_gap_beyond(a, b) || !segments_may_touch(a, b)) {
+            return false;
+        }
+        shares_in_range_second(a, b)
+    };
+
+    // Pairs are emitted as packed `i << 32 | j` with `i < j` in member
+    // indices, each exactly once (from the lower-indexed member's cell
+    // scan); the final sort restores global ascending pair order — the
+    // edge order the two-way validation and adjacency assembly follow —
+    // erasing the Morton processing order from the result.
+    let g_cuts = crate::par::even_cuts(n_gridded, threads);
+    let mut in_range: Vec<u64> = crate::par::map_ranges(&g_cuts, |_t, lo, hi| {
+        let mut out: Vec<u64> = Vec::new();
+        for a in lo..hi {
+            let i = order[a] as usize;
+            let rc = (reach_f[a] / cell).ceil() as i64;
+            let lim = radius_c + rf[a] as i64 + rf_max as i64 + 2;
+            for dy in -rc..=rc {
+                let cy = celly[a].wrapping_add(dy as u32);
+                for dx in -rc..=rc {
+                    let cx = cellx[a].wrapping_add(dx as u32);
+                    let Some(&(s, l)) = cells.get(&morton_code(cx, cy)) else {
+                        continue;
+                    };
+                    for b in s as usize..(s + l) as usize {
+                        let j = order[b] as usize;
+                        if j <= i {
+                            continue;
+                        }
+                        let (ddx, ddy) = ((cxf[a] - cxf[b]) as i64, (cyf[a] - cyf[b]) as i64);
+                        let pair_lim = lim.min(radius_c + rf[a] as i64 + rf[b] as i64 + 2);
+                        if ddx * ddx + ddy * ddy > pair_lim * pair_lim {
+                            continue;
+                        }
+                        if settle(a, b) {
+                            out.push(((i as u64) << 32) | j as u64);
+                        }
+                    }
                 }
             }
         }
@@ -593,79 +874,83 @@ fn build_viewlinks(
     .flatten()
     .collect();
 
-    // Off-grid pass for the capped outliers: pair each against every
-    // member (wild–wild pairs once, from the lower index). Honest
-    // populations have no outliers and skip this entirely; the final
-    // sort restores the global ascending pair order the grid pass emits
-    // by construction.
-    let wild: Vec<usize> = (0..n)
-        .filter(|&i| trajs[i].active() && trajs[i].r > r_cap)
-        .collect();
-    if !wild.is_empty() {
-        for &w in &wild {
-            for j in (0..n).filter(|&j| j != w && trajs[j].active()) {
-                if trajs[j].r > r_cap && j < w {
-                    continue;
-                }
-                let (a, b) = (w.min(j), w.max(j));
-                let (ta, tb) = (&trajs[a], &trajs[b]);
-                if ta.bbox_gap_beyond(tb, r2) || !ta.segments_may_touch(tb, radius) {
-                    continue;
-                }
-                if ta.shares_in_range_second(tb, r2) {
-                    in_range.push(((a as u64) << 32) | b as u64);
-                }
+    // Off-grid pass for the capped/overflowing outliers: pair each
+    // against every member (wild–wild pairs once, from the lower index).
+    // Honest populations have no outliers and skip this entirely.
+    for &wu in &wild {
+        let w = wu as usize;
+        for j in (0..n).filter(|&j| j != w && geom[j].active()) {
+            if !gridded(&geom[j]) && j < w {
+                continue;
+            }
+            let (lo_m, hi_m) = (w.min(j), w.max(j));
+            let (a, b) = (rank_of[lo_m] as usize, rank_of[hi_m] as usize);
+            if settle(a, b) {
+                in_range.push(((lo_m as u64) << 32) | hi_m as u64);
             }
         }
-        in_range.sort_unstable();
     }
+    in_range.sort_unstable();
+    profile.candidates_ms = t_candidates.elapsed().as_secs_f64() * 1e3;
     if in_range.is_empty() {
         return adj;
     }
+    let t_keys = std::time::Instant::now();
 
-    // ── Phase 3: Bloom keys for members that still matter ────────────────
+    // ── Phase 3: Bloom keys for members that still matter ───────────────
     let mut needs_keys = vec![false; n];
     for &packed in &in_range {
         needs_keys[(packed >> 32) as usize] = true;
         needs_keys[(packed & 0xffff_ffff) as usize] = true;
     }
     let needed: Vec<usize> = (0..n).filter(|&i| needs_keys[i]).collect();
-    let key_cuts = crate::par::even_cuts(needed.len(), threads);
+    // Hash in Morton-rank order: the freshly allocated per-VP key caches
+    // then sit in memory in exactly the order the phase-4 arena gather
+    // walks them, turning that gather from a random walk over ~100 MB of
+    // boxes into a sequential stream (measured ~5× faster at the 100k
+    // tier). The hashed values are order-independent, so this is purely
+    // an allocation-layout choice.
+    let mut probe_order: Vec<u32> = needed.iter().map(|&m| m as u32).collect();
+    probe_order.sort_unstable_by_key(|&m| rank_of[m as usize]);
+    let key_cuts = crate::par::even_cuts(probe_order.len(), threads);
     crate::par::map_ranges(&key_cuts, |_t, lo, hi| {
-        for &m in &needed[lo..hi] {
-            vps[m].link_keys();
+        for &m in &probe_order[lo..hi] {
+            vps[m as usize].link_keys();
         }
     });
+    profile.keys_ms = t_keys.elapsed().as_secs_f64() * 1e3;
+    let t_linkage = std::time::Instant::now();
 
+    // ── Phase 4: the paper's two-way Bloom linkage test ─────────────────
     // Flat probe tables, so the pair loop touches two dense arenas
     // instead of chasing `Arc`s into scattered multi-KB VP records:
     // Bloom bits as `u64` words and keys reduced to the `(h1, h2|1)`
     // double-hashing halves that `BloomFilter::insert`/`contains` derive
     // from a digest. Both arenas cover only `needed` members — every
-    // phase-4 probe has a surviving pair's endpoint as both holder and
-    // element owner, so nobody else's filter or keys are ever read.
-    let mut bloom_words: Vec<u64> = Vec::new();
+    // probe has a surviving pair's endpoint as both holder and element
+    // owner — and are laid out in Morton rank order, so the partner side
+    // of a probe is a spatial neighbor sitting nearby in the arena
+    // rather than a uniformly random multi-MB jump.
+    let mut bloom_words: Vec<u64> = Vec::with_capacity(
+        needed
+            .iter()
+            .map(|&m| vps[m].bloom.m_bits().div_ceil(64))
+            .sum(),
+    );
     let mut bloom_meta: Vec<(u32, u32, u32)> = vec![(0, 0, 0); n]; // (base, m_bits, k)
-    for &m in &needed {
-        let vp = &vps[m];
-        let base = bloom_words.len() as u32;
-        let bytes = vp.bloom.as_bytes();
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            bloom_words.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-        }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            let mut b = [0u8; 8];
-            b[..rem.len()].copy_from_slice(rem);
-            bloom_words.push(u64::from_le_bytes(b));
-        }
-        bloom_meta[m] = (base, vp.bloom.m_bits() as u32, vp.bloom.k() as u32);
-    }
     let mut key_spans = vec![(0u32, 0u32); n];
-    let mut key_halves: Vec<(u64, u64)> = Vec::new();
-    for &m in &needed {
-        let cached = vps[m].link_keys();
+    let mut key_halves: Vec<(u64, u64)> =
+        Vec::with_capacity(needed.len() * SECONDS_PER_VP as usize);
+    for &mu in &probe_order {
+        let m = mu as usize;
+        let vp = &vps[m];
+        bloom_meta[m] = (
+            bloom_words.len() as u32,
+            vp.bloom.m_bits() as u32,
+            vp.bloom.k() as u32,
+        );
+        vp.bloom.append_words(&mut bloom_words);
+        let cached = vp.link_keys();
         key_spans[m] = (key_halves.len() as u32, cached.len() as u32);
         for key in cached {
             key_halves.push(crate::bloom::probe_halves(key));
@@ -693,36 +978,56 @@ fn build_viewlinks(
                 true
             })
     };
-
-    // ── Phase 4: the paper's two-way Bloom linkage test ─────────────────
-    let pair_cuts = crate::par::even_cuts(in_range.len(), threads);
-    let edges: Vec<u64> = crate::par::map_ranges(&pair_cuts, |_t, lo, hi| {
-        in_range[lo..hi]
+    // Holder tiles: evaluate the pairs sorted by the lower endpoint's
+    // rank, so every pair holding member `i` is consecutive (its words
+    // and key halves stay in L1 across its whole tile) and the `j` sides
+    // are rank-local. The evaluation order is a pure function of the
+    // pair set, and survivors sort back to ascending pair order, so the
+    // reordering is invisible in the output.
+    let mut eval: Vec<u64> = in_range
+        .iter()
+        .enumerate()
+        .map(|(idx, &packed)| ((rank_of[(packed >> 32) as usize] as u64) << 32) | idx as u64)
+        .collect();
+    eval.sort_unstable();
+    let pair_cuts = crate::par::even_cuts(eval.len(), threads);
+    let mut survivors: Vec<u32> = crate::par::map_ranges(&pair_cuts, |_t, lo, hi| {
+        eval[lo..hi]
             .iter()
-            .copied()
-            .filter(|&packed| {
+            .filter_map(|&e| {
+                let idx = (e & 0xffff_ffff) as usize;
+                let packed = in_range[idx];
                 let i = (packed >> 32) as usize;
                 let j = (packed & 0xffff_ffff) as usize;
-                links_to(i, j) && links_to(j, i)
+                (links_to(i, j) && links_to(j, i)).then_some(idx as u32)
             })
-            .collect::<Vec<u64>>()
+            .collect::<Vec<u32>>()
     })
     .into_iter()
     .flatten()
     .collect();
-    for packed in edges {
+    survivors.sort_unstable();
+    for &idx in &survivors {
+        let packed = in_range[idx as usize];
         let i = (packed >> 32) as usize;
         let j = (packed & 0xffff_ffff) as usize;
         adj[i].push(j);
         adj[j].push(i);
     }
+    profile.linkage_ms = t_linkage.elapsed().as_secs_f64() * 1e3;
     adj
 }
 
-fn nearest_approach(vp: &StoredVp, p: &GeoPos) -> f64 {
+/// Squared nearest approach of a VP's claimed trajectory to a point.
+/// Compared (and minimized) in squared space — one `sqrt` per VD here
+/// used to be the dominant cost of trusted-VP selection on large
+/// populations; callers that need the distance take a single `sqrt` of
+/// the result, which is bit-identical because `GeoPos::distance` is
+/// `distance_sq().sqrt()` and `sqrt` is monotone.
+fn nearest_approach_sq(vp: &StoredVp, p: &GeoPos) -> f64 {
     vp.vds
         .iter()
-        .map(|vd| vd.loc.distance(p))
+        .map(|vd| vd.loc.distance_sq(p))
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -916,8 +1221,80 @@ mod tests {
     }
 
     #[test]
-    fn per_second_grid_matches_exhaustive_edges() {
-        // The per-second candidate generation must find exactly the edges
+    fn extreme_fp_exact_trajectories_do_not_overflow_prefilters() {
+        // Forged trajectories oscillating across ±1e9 m are admissible
+        // (screen() checks only VD count and time order) and sit exactly
+        // inside the FP_MAX_M gate, so their fixed-point radii reach
+        // ceil(√2·1e9) ≈ 1.41e9 — two of those summed overflow i32. The
+        // prefilter limit arithmetic must widen to i64 first: the build
+        // must not panic (debug overflow checks) and must still agree
+        // with the O(n²) oracle.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut vps = Vec::new();
+        for k in 0..2u64 {
+            let mut b = VpBuilder::new(&mut rng, 0, GeoPos::new(0.0, 0.0), VpKind::Actual);
+            for s in 0..SECONDS_PER_VP {
+                let sign = if (s + k) % 2 == 0 { 1.0 } else { -1.0 };
+                b.record_second(b"forged", GeoPos::new(sign * 1.0e9, sign * 1.0e9));
+            }
+            let mut fin = b.finalize();
+            // Enough Bloom occupancy to pass the can-link gate, so the
+            // forged members reach the candidate scan.
+            for i in 0..16u64 {
+                fin.profile
+                    .bloom
+                    .insert(&vm_crypto::Digest16::hash(&i.to_le_bytes()));
+            }
+            vps.push(fin.profile.into_stored());
+        }
+        vps.extend(build_chain(3, 150.0, 78));
+        let site = site_at(0.0, 1.5e9);
+        let cfg = ViewmapConfig::default();
+        let vm = Viewmap::build_owned(vps, site, MinuteId(0), &cfg);
+        assert_eq!(vm.len(), 5, "everyone admitted");
+        for i in 0..vm.len() {
+            for j in (i + 1)..vm.len() {
+                let close = vm.vps[i]
+                    .min_aligned_distance(&vm.vps[j])
+                    .is_some_and(|d| d <= cfg.dsrc_radius_m);
+                let expect = close && vm.vps[i].mutually_linked(&vm.vps[j]);
+                assert_eq!(vm.adj[i].contains(&j), expect, "edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_profiled_is_the_production_build_plus_times() {
+        // The profiled entry point must return the exact viewmap the
+        // plain build produces (it IS the plain build), with finite,
+        // non-negative per-phase times.
+        let vps: Vec<Arc<StoredVp>> = build_chain(10, 120.0, 30)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let cfg = ViewmapConfig::default();
+        let site = site_at(500.0, 300.0);
+        let plain = Viewmap::build_threads(&vps, site, MinuteId(0), &cfg, 2);
+        let (profiled, p) = Viewmap::build_profiled(&vps, site, MinuteId(0), &cfg, 2);
+        assert_eq!(plain.len(), profiled.len());
+        assert_eq!(plain.trusted, profiled.trusted);
+        for i in 0..plain.len() {
+            assert_eq!(plain.adj[i], profiled.adj[i], "adjacency at {i}");
+        }
+        assert!(plain.edge_count() > 0, "chain must link");
+        for (name, v) in [
+            ("tables", p.tables_ms),
+            ("candidates", p.candidates_ms),
+            ("keys", p.keys_ms),
+            ("linkage", p.linkage_ms),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name}: {v}");
+        }
+    }
+
+    #[test]
+    fn soa_engine_matches_exhaustive_edges() {
+        // The SoA/Morton candidate generation must find exactly the edges
         // an O(n²) scan over min_aligned_distance + mutually_linked finds.
         for seed in [20u64, 21, 22] {
             let vps = build_chain(12, 140.0, seed);

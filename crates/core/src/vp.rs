@@ -220,9 +220,12 @@ impl StoredVp {
 
     /// The Bloom keys of this VP's element VDs, computed once. Viewmap
     /// construction caches these per member so the pairwise two-way
-    /// linkage checks stop re-hashing 60 VDs per candidate pair.
+    /// linkage checks stop re-hashing 60 VDs per candidate pair. The 60
+    /// digests are independent messages, so they run through the
+    /// multi-buffer engine ([`crate::vd::bloom_keys_many`]) rather than
+    /// one serial hash chain at a time.
     pub fn bloom_keys(&self) -> Vec<vm_crypto::Digest16> {
-        self.vds.iter().map(|vd| vd.bloom_key()).collect()
+        crate::vd::bloom_keys_many(&self.vds)
     }
 
     /// The element-VD Bloom keys, hashed on first call and cached for the

@@ -31,7 +31,7 @@ use std::time::Instant;
 use viewmap_core::server::ViewMapServer;
 use viewmap_core::solicit::VideoUpload;
 use viewmap_core::types::{GeoPos, SECONDS_PER_VP};
-use viewmap_core::viewmap::{Viewmap, ViewmapConfig};
+use viewmap_core::viewmap::{BuildProfile, Viewmap, ViewmapConfig};
 use viewmap_core::vp::{VpBuilder, VpKind};
 use vm_bench::investigate::{naive_build, naive_verify, SynthWorld};
 
@@ -44,6 +44,7 @@ struct TierResult {
     submit_ms: f64,
     batch_submit_ms: f64,
     build_ms: f64,
+    phase: BuildProfile,
     parallel_build_ms: f64,
     verify_ms: f64,
     upload_us: f64,
@@ -135,11 +136,14 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
     });
     assert_eq!(srv_batch.total_vps(), n + 1);
 
-    // ── Build path A: sequential, cold key cache ────────────────────
+    // ── Build path A: sequential, cold key cache, phase-profiled ────
     let mut vm: Option<Viewmap> = None;
+    let mut phase = BuildProfile::default();
     let build_ms = time_ms(|| {
         let candidates = srv.minute_vps(minute);
-        vm = Some(Viewmap::build_threads(&candidates, site, minute, &cfg, 1));
+        let (built, p) = Viewmap::build_profiled(&candidates, site, minute, &cfg, 1);
+        vm = Some(built);
+        phase = p;
     });
     let vm = vm.unwrap();
     let members = vm.len();
@@ -207,6 +211,7 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         submit_ms,
         batch_submit_ms,
         build_ms,
+        phase,
         parallel_build_ms,
         verify_ms,
         upload_us,
@@ -229,11 +234,16 @@ fn main() {
         let r = run_tier(n, 42);
         eprintln!(
             "tier {n}: submit {:.1} ms (batch {:.1} ms) | build {:.1} ms (parallel {:.1} ms) | \
+             phases tables {:.1} / candidates {:.1} / keys {:.1} / linkage {:.1} ms | \
              verify {:.1} ms | upload {:.1} µs{}",
             r.submit_ms,
             r.batch_submit_ms,
             r.build_ms,
             r.parallel_build_ms,
+            r.phase.tables_ms,
+            r.phase.candidates_ms,
+            r.phase.keys_ms,
+            r.phase.linkage_ms,
             r.verify_ms,
             r.upload_us,
             r.speedup_verify_path()
@@ -250,7 +260,10 @@ fn main() {
                 concat!(
                     "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
                     "\"submit_ms\": {:.3}, \"batch_submit_ms\": {:.3}, ",
-                    "\"build_ms\": {:.3}, \"parallel_build_ms\": {:.3}, ",
+                    "\"build_ms\": {:.3}, ",
+                    "\"phase_ms\": {{\"tables\": {:.3}, \"candidates\": {:.3}, ",
+                    "\"keys\": {:.3}, \"linkage\": {:.3}}}, ",
+                    "\"parallel_build_ms\": {:.3}, ",
                     "\"verify_ms\": {:.3}, ",
                     "\"upload_us\": {:.3}, \"naive_build_ms\": {}, ",
                     "\"naive_verify_ms\": {}, \"verify_path_speedup\": {}}}"
@@ -261,6 +274,10 @@ fn main() {
                 r.submit_ms,
                 r.batch_submit_ms,
                 r.build_ms,
+                r.phase.tables_ms,
+                r.phase.candidates_ms,
+                r.phase.keys_ms,
+                r.phase.linkage_ms,
                 r.parallel_build_ms,
                 r.verify_ms,
                 r.upload_us,
@@ -274,6 +291,8 @@ fn main() {
         "{{\n  \"bench\": \"investigate\",\n  \"unit_note\": \"times in ms (upload in us); \
          naive_* are the pre-optimization algorithms on the same population; \
          batch_submit_ms is one submit_batch call (includes ingest-side link-key precompute); \
+         phase_ms is the per-phase split of the sequential cold build_ms \
+         (tables/candidates/keys/linkage, from Viewmap::build_profiled); \
          parallel_build_ms is the auto-parallel engine on the batch-ingested (key-warm) store, \
          asserted member- and edge-identical to the sequential cold build_ms\",\n  \
          \"tiers\": [\n{}\n  ]\n}}\n",

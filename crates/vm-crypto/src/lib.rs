@@ -32,7 +32,7 @@ pub mod sha256;
 
 pub use bigint::BigUint;
 pub use rsa::{BlindedMessage, BlindingSecret, RsaKeyPair, RsaPublicKey, Signature};
-pub use sha256::{sha256, Digest32, Sha256};
+pub use sha256::{sha256, sha256_many, sha256_many_into, Digest32, Sha256};
 
 /// A 128-bit digest: the truncation of SHA-256 used in ViewMap wire formats.
 ///
@@ -51,6 +51,22 @@ impl Digest16 {
         let mut out = [0u8; 16];
         out.copy_from_slice(&d.0[..16]);
         Digest16(out)
+    }
+
+    /// Hash many independent messages and truncate each to 128 bits, via
+    /// the multi-buffer engine ([`sha256_many`]): `out[i]` equals
+    /// `Digest16::hash(msgs[i])`, computed at interleaved-lane
+    /// throughput. This is the batched form viewmap link-key
+    /// precomputation runs on.
+    pub fn hash_many(msgs: &[&[u8]]) -> Vec<Digest16> {
+        sha256_many(msgs)
+            .into_iter()
+            .map(|d| {
+                let mut out = [0u8; 16];
+                out.copy_from_slice(&d.0[..16]);
+                Digest16(out)
+            })
+            .collect()
     }
 
     /// Hash the concatenation of several byte slices (domain-order matters).

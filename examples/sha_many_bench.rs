@@ -1,0 +1,42 @@
+//! Microbench: single-stream vs multi-buffer SHA-256 at two message
+//! shapes — 72 B (the VD link-key shape, driver-overhead-sensitive) and
+//! 8 KiB (kernel-throughput-dominated). Run with --release.
+use std::time::Instant;
+
+fn bench(label: &str, data: &[Vec<u8>]) {
+    let msgs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let _ = vm_crypto::sha256(&data[0]);
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for m in &msgs {
+        acc ^= vm_crypto::sha256(m).0[0];
+    }
+    let single = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let many = vm_crypto::sha256_many(&msgs);
+    let many_t = t.elapsed().as_secs_f64();
+    acc ^= many[0].0[0];
+    eprintln!(
+        "{label}: single {single:.3}s  many {many_t:.3}s  speedup {:.2}x  (acc {acc})",
+        single / many_t
+    );
+}
+
+fn main() {
+    let small: Vec<Vec<u8>> = (0..600_000u64)
+        .map(|i| {
+            let mut b = vec![0u8; 72];
+            b[..8].copy_from_slice(&i.to_le_bytes());
+            b
+        })
+        .collect();
+    bench("72B x 600k", &small);
+    let big: Vec<Vec<u8>> = (0..6_000u64)
+        .map(|i| {
+            let mut b = vec![0u8; 8192];
+            b[..8].copy_from_slice(&i.to_le_bytes());
+            b
+        })
+        .collect();
+    bench("8KiB x 6k", &big);
+}
