@@ -18,6 +18,7 @@
 //! | TrustRank verification (§5.2.2, Alg. 1) on the CSR gather engine | [`trustrank`] |
 //! | Video solicitation & hash validation (§5.2.3) | [`solicit`] |
 //! | Untraceable rewarding (§5.3, App. A) | [`reward`] |
+//! | Durable-storage seam (append-log WAL contract) | [`wal`] |
 //! | Tracking adversary (§6.2.2) | [`tracker`] |
 //! | Fake-VP attack toolkit & synthetic viewmaps (§6.3) | [`attack`] |
 //! | Closed-form analyses (α rule, Bloom false linkage, overhead) | [`analysis`] |
@@ -38,7 +39,13 @@
 //! `VpId → minute` index; [`server::ViewMapServer::submit_batch`]
 //! amortizes stripe locking, Bloom screening, and link-key precompute
 //! across whole-minute batches while staying state-indistinguishable
-//! from sequential submission. The `vm-bench` crate's
+//! from sequential submission. Durability attaches through the
+//! [`wal::VpWal`] seam: the `vm-store` crate's minute-bucketed
+//! append-log segments mirror every accepted VP (group commit under
+//! the committing shard's lock), and its recovery path replays a
+//! directory of segments back into a state-equivalent server — see
+//! `vm-store`'s crate docs for the record format and crash-recovery
+//! invariants. The `vm-bench` crate's
 //! `bench_investigate` binary tracks these paths at 1k/10k/100k VPs
 //! against the retained naive baselines, and its `parallel_equivalence`
 //! suite is the determinism harness holding parallel/batch paths equal
@@ -81,6 +88,7 @@ pub mod upload;
 pub mod vd;
 pub mod viewmap;
 pub mod vp;
+pub mod wal;
 
 pub use bloom::BloomFilter;
 pub use types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};

@@ -36,6 +36,23 @@
 //! additionally pre-hashes each VP's viewlink keys before committing, so
 //! investigations of freshly ingested minutes start with a warm key
 //! cache.
+//!
+//! # Durability seam
+//!
+//! The store is RAM-first; durability is optional and attaches through
+//! the [`crate::wal::VpWal`] trait ([`ViewMapServer::attach_wal`]).
+//! When a log is attached, every *accepted* VP is mirrored into it
+//! before the minute shard's write lock is released — one group-commit
+//! append per (minute, batch), so per-minute log order always equals
+//! bucket order and a replay reconstructs the id index byte for byte.
+//! [`ViewMapServer::submit_replay_batch`] is the recovery entry: it
+//! drives decoded log records through the normal batch machinery
+//! (screening, in-batch dedup, parallel link-key warm) while preserving
+//! each record's own `trusted` flag, and is called before any log is
+//! attached so recovery never re-appends. Bounded retention
+//! ([`ViewMapServer::evict_minutes_before`]) drops expired minutes from
+//! the shards, the id index, and the log together. The concrete
+//! append-log engine lives in the `vm-store` crate.
 
 use crate::reward::Cash;
 use crate::solicit::{validate_upload, UploadError, VideoUpload};
@@ -43,6 +60,7 @@ use crate::types::{MinuteId, VpId, MAX_NEIGHBORS};
 use crate::upload::AnonymousSubmission;
 use crate::viewmap::{Site, Viewmap, ViewmapConfig};
 use crate::vp::StoredVp;
+use crate::wal::VpWal;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -134,6 +152,9 @@ pub struct ViewMapServer {
     ledger: RwLock<HashSet<[u8; 32]>>,
     key: RsaKeyPair,
     cfg: ViewmapConfig,
+    /// Optional durable append log; accepted VPs are mirrored into it
+    /// under the committing minute's shard lock (see the module docs).
+    wal: Option<Box<dyn VpWal>>,
 }
 
 impl ViewMapServer {
@@ -151,6 +172,29 @@ impl ViewMapServer {
             ledger: RwLock::new(HashSet::new()),
             key: RsaKeyPair::generate(rng, key_bits),
             cfg,
+            wal: None,
+        }
+    }
+
+    /// Attach a durable append log. From this point on every accepted VP
+    /// is mirrored into it; the caller (normally the `vm-store` recovery
+    /// path) must finish replaying any existing log contents **before**
+    /// attaching, or replayed records would be appended twice.
+    pub fn attach_wal(&mut self, wal: Box<dyn VpWal>) {
+        self.wal = Some(wal);
+    }
+
+    /// Is a durable log attached?
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Flush the attached log (no-op without one). Graceful-shutdown
+    /// helper; a correct log backend is already consistent without it.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        match &self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
         }
     }
 
@@ -235,6 +279,71 @@ impl ViewMapServer {
         )
     }
 
+    /// Recovery entry for the persistence layer: ingest VPs decoded from
+    /// a durable log through the normal batch machinery — screening,
+    /// in-batch first-wins dedup, per-(minute, batch) stripe/shard
+    /// locking, and the parallel link-key warm — while preserving each
+    /// record's **own** `trusted` flag (unlike
+    /// [`submit_trusted_batch`](Self::submit_trusted_batch), which
+    /// force-sets it). Call this *before* [`attach_wal`](Self::attach_wal)
+    /// so the replayed records are not appended to the log a second time.
+    pub fn submit_replay_batch(&self, vps: Vec<StoredVp>) -> Vec<Result<(), SubmitError>> {
+        self.store_batch(vps, true)
+    }
+
+    /// Bounded-retention sweep: drop every stored minute strictly before
+    /// `cutoff` from the in-memory shards, the id index, and the attached
+    /// log (if any). Returns the number of VPs evicted.
+    ///
+    /// Evicted ids become submittable again — the dedup set is the id
+    /// index, and retention is exactly the operation that forgets ids.
+    /// Lock order is the global one (every id stripe ascending, then the
+    /// shards one at a time), so concurrent submits and batches cannot
+    /// deadlock against a sweep.
+    ///
+    /// The sweep holds every id stripe for its full duration — including
+    /// the attached log's segment deletions — which is what makes
+    /// memory and disk drop a minute atomically with respect to ingest
+    /// (no submit can slip a pre-cutoff VP into memory after its log
+    /// segment is gone). The cost is a server-wide ingest/lookup pause
+    /// of one file unlink per expired minute (metadata-only, typically
+    /// tens of µs each) at retention cadence; if sweeps ever batch
+    /// enough minutes for that to matter, the next step is a
+    /// seal-then-delete split (rename under the locks, unlink after).
+    pub fn evict_minutes_before(&self, cutoff: MinuteId) -> usize {
+        let mut id_guards: Vec<_> = self.id_index.iter().map(|s| s.write()).collect();
+        let mut evicted = 0usize;
+        for shard in &self.db {
+            let mut sh = shard.write();
+            let expired: Vec<MinuteId> = sh
+                .by_minute
+                .keys()
+                .filter(|m| m.0 < cutoff.0)
+                .copied()
+                .collect();
+            for m in expired {
+                if let Some(bucket) = sh.by_minute.remove(&m) {
+                    evicted += bucket.len();
+                    for vp in &bucket {
+                        id_guards[id_stripe(&vp.id)].remove(&vp.id);
+                    }
+                }
+            }
+        }
+        // Sweep the log while still holding every id stripe: all ingest
+        // paths take an id stripe before touching memory or the log, so
+        // no submit can slip a pre-cutoff VP into memory between the
+        // memory sweep above and the disk sweep here (which would leave
+        // the live server holding a VP whose log record was deleted —
+        // exactly the silent memory/disk divergence durability forbids).
+        if let Some(wal) = &self.wal {
+            wal.evict_minutes_before(cutoff)
+                .expect("WAL eviction failed; disk retention would diverge from memory");
+        }
+        drop(id_guards);
+        evicted
+    }
+
     fn store_batch(&self, vps: Vec<StoredVp>, warm_keys: bool) -> Vec<Result<(), SubmitError>> {
         let total = vps.len();
         let mut results = vec![Ok(()); total];
@@ -255,9 +364,12 @@ impl ViewMapServer {
             // Read-lock prescreen against the id index: a replayed batch
             // (at-least-once delivery, or a resubmission attack) must be
             // rejected with a hash probe, not after hashing 60 link keys
-            // per VP. Ids can never be deleted, so a hit here is final;
-            // the authoritative re-check still happens under the write
-            // lock at commit for ids that race in between.
+            // per VP. Ids only ever disappear through a retention sweep
+            // (`evict_minutes_before`), so a hit here is final up to a
+            // racing eviction — and rejecting such a racer is the
+            // linearization where it arrived just before the sweep. The
+            // authoritative re-check still happens under the write lock
+            // at commit for ids that race in between.
             if self.id_index[id_stripe(&vp.id)].read().contains_key(&vp.id) {
                 results[idx] = Err(SubmitError::Duplicate);
                 continue;
@@ -303,6 +415,7 @@ impl ViewMapServer {
             }
             let mut shard = self.db[minute_stripe(minute)].write();
             let bucket = shard.by_minute.entry(minute).or_default();
+            let first_new = bucket.len();
             for (idx, vp) in group {
                 let ids = &mut guards[guard_of[id_stripe(&vp.id)]];
                 if ids.contains_key(&vp.id) {
@@ -313,6 +426,18 @@ impl ViewMapServer {
                 let id = vp.id;
                 bucket.push(Arc::new(vp));
                 ids.insert(id, VpSlot { minute, pos });
+            }
+            // Group commit to the log while the shard lock is still held,
+            // so per-minute log order equals bucket order: one append
+            // call (one buffered write + at most one fsync in the
+            // backend) for the whole (minute, batch) group.
+            if let Some(wal) = &self.wal {
+                if bucket.len() > first_new {
+                    let appended: Vec<&StoredVp> =
+                        bucket[first_new..].iter().map(|a| a.as_ref()).collect();
+                    wal.append(&appended)
+                        .expect("WAL append failed; durable state would diverge");
+                }
             }
         }
         results
@@ -334,6 +459,12 @@ impl ViewMapServer {
         let pos = bucket.len() as u32;
         bucket.push(Arc::new(vp));
         ids.insert(id, VpSlot { minute, pos });
+        // Mirror the accepted VP into the log before the shard lock is
+        // released, so log order equals bucket order within the minute.
+        if let Some(wal) = &self.wal {
+            wal.append(&[bucket[pos as usize].as_ref()])
+                .expect("WAL append failed; durable state would diverge");
+        }
         Ok(())
     }
 
@@ -923,6 +1054,119 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), expect);
+    }
+
+    // ── Retention & replay ───────────────────────────────────────────
+
+    #[test]
+    fn evict_minutes_before_drops_buckets_index_and_reopens_ids() {
+        let srv = server(50);
+        for m in 0..6u64 {
+            for tag in 0..4u64 {
+                srv.store(synthetic_vp(m * 10 + tag, m)).unwrap();
+            }
+        }
+        assert_eq!(srv.total_vps(), 24);
+
+        let evicted = srv.evict_minutes_before(MinuteId(4));
+        assert_eq!(evicted, 16, "minutes 0..=3 drop, 4..=5 stay");
+        assert_eq!(srv.total_vps(), 8);
+        for m in 0..4u64 {
+            assert_eq!(srv.vp_count(MinuteId(m)), 0, "minute {m} evicted");
+            assert!(srv.lookup_vp(synthetic_vp(m * 10, m).id).is_none());
+        }
+        for m in 4..6u64 {
+            assert_eq!(srv.vp_count(MinuteId(m)), 4, "minute {m} retained");
+            let id = synthetic_vp(m * 10 + 3, m).id;
+            assert_eq!(srv.lookup_vp(id).unwrap().id, id);
+        }
+
+        // Evicted ids are forgotten: the same id submits again (bounded
+        // retention is exactly the operation that forgets ids)...
+        srv.store(synthetic_vp(0, 0)).unwrap();
+        // ...while retained ids still dedup.
+        assert_eq!(srv.store(synthetic_vp(43, 4)), Err(SubmitError::Duplicate));
+        // Idempotent: nothing left below the cutoff.
+        assert_eq!(srv.evict_minutes_before(MinuteId(0)), 0);
+    }
+
+    #[test]
+    fn replay_batch_preserves_trusted_flags_and_warms_keys() {
+        // The recovery path must not force-trust (unlike
+        // submit_trusted_batch) and must leave every replayed VP
+        // key-warm, exactly like submit_batch_warm.
+        let srv = server(51);
+        let mut trusted = synthetic_vp(1, 0);
+        trusted.trusted = true;
+        let plain = synthetic_vp(2, 0);
+        let results = srv.submit_replay_batch(vec![trusted.clone(), plain.clone()]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let a = srv.lookup_vp(trusted.id).unwrap();
+        let b = srv.lookup_vp(plain.id).unwrap();
+        assert!(a.trusted, "replay keeps the authority flag");
+        assert!(!b.trusted, "replay must not mint new authority VPs");
+        assert!(a.is_key_warm() && b.is_key_warm(), "replay warms link keys");
+    }
+
+    #[test]
+    fn wal_mirrors_accepts_in_bucket_order_and_eviction() {
+        // A recording fake WAL: the server must log exactly the accepted
+        // VPs, per minute in bucket order, and forward retention sweeps.
+        #[derive(Default)]
+        struct RecordingWal {
+            appended: parking_lot::Mutex<Vec<(MinuteId, VpId)>>,
+            evictions: parking_lot::Mutex<Vec<MinuteId>>,
+        }
+        impl crate::wal::VpWal for RecordingWal {
+            fn append(&self, vps: &[&StoredVp]) -> std::io::Result<()> {
+                let mut log = self.appended.lock();
+                for vp in vps {
+                    log.push((vp.minute(), vp.id));
+                }
+                Ok(())
+            }
+            fn evict_minutes_before(&self, cutoff: MinuteId) -> std::io::Result<usize> {
+                self.evictions.lock().push(cutoff);
+                Ok(0)
+            }
+        }
+
+        let wal = Arc::new(RecordingWal::default());
+        let mut srv = server(52);
+        srv.attach_wal(Box::new(Arc::clone(&wal)));
+        assert!(srv.has_wal());
+
+        // Batch with an in-batch dup and a malformed VP: only accepts log.
+        let mut bad = synthetic_vp(9, 1);
+        bad.vds.truncate(3);
+        let batch = [
+            synthetic_vp(1, 0),
+            synthetic_vp(2, 1),
+            synthetic_vp(1, 0), // dup
+            bad,
+            synthetic_vp(3, 0),
+        ];
+        let results = srv.submit_batch(batch.iter().cloned().map(submission));
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 3);
+        srv.store(synthetic_vp(4, 0)).unwrap();
+        assert_eq!(srv.store(synthetic_vp(4, 0)), Err(SubmitError::Duplicate));
+
+        let log = wal.appended.lock().clone();
+        assert_eq!(log.len(), 4, "exactly the accepted VPs are logged");
+        // Per minute, log order equals bucket order.
+        for m in 0..2u64 {
+            let logged: Vec<VpId> = log
+                .iter()
+                .filter(|(minute, _)| *minute == MinuteId(m))
+                .map(|(_, id)| *id)
+                .collect();
+            let bucket: Vec<VpId> = srv.minute_vps(MinuteId(m)).iter().map(|vp| vp.id).collect();
+            assert_eq!(logged, bucket, "minute {m} log order");
+        }
+
+        srv.evict_minutes_before(MinuteId(1));
+        assert_eq!(wal.evictions.lock().as_slice(), &[MinuteId(1)]);
+        assert_eq!(srv.sync_wal().ok(), Some(()));
     }
 
     #[test]

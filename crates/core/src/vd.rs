@@ -108,6 +108,74 @@ impl ViewDigest {
     }
 }
 
+/// Size of one full-precision storage frame ([`ViewDigest::encode_store`]).
+pub const VD_STORE_BYTES: usize = 84;
+
+impl ViewDigest {
+    /// Encode to the 84-byte **storage** frame: every field at full
+    /// in-memory precision (`f64` coordinates, unlike the 72-byte DSRC
+    /// wire format's `f32`s). This is the lossless baseline frame the
+    /// `vm-store` record codec writes for a record's first sample —
+    /// replaying a log must rebuild bit-identical trajectories, or a
+    /// recovered server would construct different viewmap edges than the
+    /// live one did.
+    pub fn encode_store(&self) -> [u8; VD_STORE_BYTES] {
+        let mut out = [0u8; VD_STORE_BYTES];
+        let mut buf = &mut out[..];
+        buf.put_u16_le(self.seq);
+        buf.put_u16_le(self.flags);
+        buf.put_u64_le(self.time);
+        buf.put_u64_le(self.loc.x.to_bits());
+        buf.put_u64_le(self.loc.y.to_bits());
+        buf.put_u64_le(self.file_size);
+        buf.put_u64_le(self.initial_loc.x.to_bits());
+        buf.put_u64_le(self.initial_loc.y.to_bits());
+        buf.put_slice(self.vp_id.0.as_bytes());
+        buf.put_slice(self.hash.as_bytes());
+        debug_assert!(buf.is_empty());
+        out
+    }
+
+    /// Decode an 84-byte storage frame; `None` only on a length
+    /// mismatch. Unlike [`decode`](Self::decode) this performs **no**
+    /// semantic validation (`seq` range etc.): storage frames sit behind
+    /// a record checksum and must round-trip whatever the server stored
+    /// — the DB admission screen already ran before anything reached the
+    /// log, and re-screening happens again on replay ingest.
+    pub fn decode_store(bytes: &[u8]) -> Option<ViewDigest> {
+        if bytes.len() != VD_STORE_BYTES {
+            return None;
+        }
+        let mut buf = bytes;
+        let seq = buf.get_u16_le();
+        let flags = buf.get_u16_le();
+        let time = buf.get_u64_le();
+        let loc = GeoPos::new(
+            f64::from_bits(buf.get_u64_le()),
+            f64::from_bits(buf.get_u64_le()),
+        );
+        let file_size = buf.get_u64_le();
+        let initial_loc = GeoPos::new(
+            f64::from_bits(buf.get_u64_le()),
+            f64::from_bits(buf.get_u64_le()),
+        );
+        let mut id16 = [0u8; 16];
+        buf.copy_to_slice(&mut id16);
+        let mut h16 = [0u8; 16];
+        buf.copy_to_slice(&mut h16);
+        Some(ViewDigest {
+            seq,
+            flags,
+            time,
+            loc,
+            file_size,
+            initial_loc,
+            vp_id: VpId(Digest16(id16)),
+            hash: Digest16(h16),
+        })
+    }
+}
+
 /// The Bloom keys of many VDs in one multi-buffer hashing pass:
 /// equivalent to `vds.iter().map(|vd| vd.bloom_key())`, but the 72-byte
 /// wire images are encoded into one flat buffer and hashed through
@@ -283,6 +351,36 @@ mod tests {
         assert_eq!(vd.vp_id, back.vp_id);
         assert_eq!(vd.hash, back.hash);
         assert!((vd.loc.x - back.loc.x).abs() < 0.01);
+    }
+
+    #[test]
+    fn store_frame_roundtrips_at_full_precision() {
+        // The DSRC wire format quantizes coordinates to f32; the storage
+        // frame must not — replay depends on bit-identical trajectories.
+        let mut chain = VdChain::new([21u8; 8], 900, GeoPos::new(1.0e-7, -9.876543210123e5));
+        for i in 0..5 {
+            let vd = chain.extend(
+                &chunk(i, 77),
+                GeoPos::new(1.0 / 3.0 + i as f64, -0.1 * i as f64),
+            );
+            let frame = vd.encode_store();
+            assert_eq!(frame.len(), VD_STORE_BYTES);
+            let back = ViewDigest::decode_store(&frame).expect("decodes");
+            assert_eq!(vd, back, "storage frame must be lossless");
+            assert_eq!(vd.loc.x.to_bits(), back.loc.x.to_bits());
+            assert_eq!(vd.loc.y.to_bits(), back.loc.y.to_bits());
+        }
+        // NaN coordinate bit patterns survive too (PartialEq can't see
+        // them, so compare bits).
+        let mut odd = chain.extend(&chunk(9, 8), GeoPos::new(0.0, 0.0));
+        odd.loc = GeoPos::new(f64::from_bits(0x7ff8_dead_beef_0001), f64::NEG_INFINITY);
+        let back = ViewDigest::decode_store(&odd.encode_store()).unwrap();
+        assert_eq!(odd.loc.x.to_bits(), back.loc.x.to_bits());
+        assert_eq!(odd.loc.y.to_bits(), back.loc.y.to_bits());
+        // Only length is validated.
+        assert!(ViewDigest::decode_store(&[0u8; VD_STORE_BYTES - 1]).is_none());
+        assert!(ViewDigest::decode_store(&[0u8; VD_STORE_BYTES + 1]).is_none());
+        assert!(ViewDigest::decode_store(&[0u8; VD_STORE_BYTES]).is_some());
     }
 
     #[test]

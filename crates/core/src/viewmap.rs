@@ -64,6 +64,12 @@
 //!    partner side of each probe is a spatial neighbor sitting nearby in
 //!    the arena. Survivors are sorted back to ascending pair order before
 //!    the adjacency lists are assembled.
+//!
+//! The engine's large transient arenas (coordinate slabs, pair lists,
+//! probe tables — hundreds of MB at the 100k tier) can be reused across
+//! builds through [`BuildScratch`] / [`Viewmap::build_with_scratch`]:
+//! allocation reuse only, with every buffer cleared and rewritten per
+//! build, so scratch builds stay bit-for-bit identical to fresh ones.
 
 use crate::trustrank::{self, Verification};
 use crate::types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
@@ -169,6 +175,51 @@ impl Viewmap {
         cfg: &ViewmapConfig,
         threads: usize,
     ) -> (Viewmap, BuildProfile) {
+        // Throwaway scratch: `retain_arenas = false` frees the phase-1
+        // coordinate slabs as soon as the rank arena is gathered, so a
+        // one-shot build keeps the pre-scratch peak-memory profile
+        // (~200 MB lower at the 100k tier during phases 2-4).
+        Self::build_impl(
+            candidates,
+            site,
+            minute,
+            cfg,
+            threads,
+            &mut BuildScratch::new(),
+            false,
+        )
+    }
+
+    /// As [`build_profiled`](Self::build_profiled), reusing the caller's
+    /// [`BuildScratch`] for the engine's large transient arenas. A fresh
+    /// build first-touches a few hundred MB of freshly mapped pages at
+    /// the 100k tier (~0.5 s of page faults on a cold run); an
+    /// investigation service building viewmaps back to back keeps one
+    /// scratch per worker and pays that once. The scratch carries **no
+    /// state between builds** — every buffer is cleared and fully
+    /// rewritten before use — so the constructed viewmap is bit-for-bit
+    /// identical to a fresh-allocation build (the `parallel_equivalence`
+    /// suite pins scratch-reuse builds against fresh ones).
+    pub fn build_with_scratch(
+        candidates: &[Arc<StoredVp>],
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+        threads: usize,
+        scratch: &mut BuildScratch,
+    ) -> (Viewmap, BuildProfile) {
+        Self::build_impl(candidates, site, minute, cfg, threads, scratch, true)
+    }
+
+    fn build_impl(
+        candidates: &[Arc<StoredVp>],
+        site: Site,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+        threads: usize,
+        scratch: &mut BuildScratch,
+        retain_arenas: bool,
+    ) -> (Viewmap, BuildProfile) {
         let in_minute: Vec<&Arc<StoredVp>> = candidates
             .iter()
             .filter(|vp| vp.minute() == minute && !vp.vds.is_empty())
@@ -213,7 +264,15 @@ impl Viewmap {
             threads.clamp(1, crate::par::MAX_THREADS)
         };
         let mut profile = BuildProfile::default();
-        let adj = build_viewlinks(&vps, minute, cfg, threads, &mut profile);
+        let adj = build_viewlinks(
+            &vps,
+            minute,
+            cfg,
+            threads,
+            &mut profile,
+            scratch,
+            retain_arenas,
+        );
 
         let trusted = vps
             .iter()
@@ -336,6 +395,45 @@ pub struct BuildProfile {
     /// Phase 4 — flat-arena assembly plus the two-way Bloom linkage
     /// pass in holder-tile order.
     pub linkage_ms: f64,
+}
+
+/// Reusable large arenas for the viewlink engine, so back-to-back
+/// builds stop paying first-touch page faults on hundreds of MB of
+/// freshly mapped memory (the coordinate arena alone is ~200 MB at the
+/// 100k tier; the probe arenas add ~120 MB more).
+///
+/// Semantics: pure allocation reuse. Every buffer is cleared and fully
+/// rewritten by the build that borrows it, so a scratch-reuse build is
+/// bit-for-bit identical to a fresh one for any population and thread
+/// count — reusing one scratch across unrelated minutes, sites, and
+/// populations is always safe. The clear-and-resize passes are memsets
+/// over already-resident pages, which is the cheap half of what a cold
+/// allocation pays (fault + zero) and none of the expensive half.
+///
+/// One scratch serves one build at a time (`&mut`); give each
+/// investigation worker its own.
+#[derive(Default)]
+pub struct BuildScratch {
+    /// Phase-1 per-chunk coordinate slabs (one per worker chunk).
+    chunk_coords: Vec<Vec<f64>>,
+    /// The rank-ordered interleaved `(x, y)` coordinate arena.
+    arena: Vec<f64>,
+    /// Packed candidate/surviving pair list (`i << 32 | j`).
+    pairs: Vec<u64>,
+    /// Holder-rank evaluation order for the linkage pass.
+    eval: Vec<u64>,
+    /// Flat Bloom words of every probed member.
+    bloom_words: Vec<u64>,
+    /// Flat `(h1, h2|1)` probe halves of every cached link key.
+    key_halves: Vec<(u64, u64)>,
+}
+
+impl BuildScratch {
+    /// An empty scratch; arenas grow to the working-set size of the
+    /// first build that uses it and are retained from then on.
+    pub fn new() -> BuildScratch {
+        BuildScratch::default()
+    }
 }
 
 /// Per-member scan output of phase 1: the compact-window shape, the
@@ -575,13 +673,26 @@ fn morton_code(cx: u32, cy: u32) -> u64 {
 /// fans out over contiguous chunks and merges in chunk order (with
 /// order-restoring sorts after the spatially-reordered passes), so the
 /// result is identical for any `threads`.
+#[allow(clippy::too_many_arguments)]
 fn build_viewlinks(
     vps: &[Arc<StoredVp>],
     minute: MinuteId,
     cfg: &ViewmapConfig,
     threads: usize,
     profile: &mut BuildProfile,
+    scratch: &mut BuildScratch,
+    retain_arenas: bool,
 ) -> Vec<Vec<usize>> {
+    // Disjoint borrows of the reusable arenas (cleared before use; see
+    // `BuildScratch` for the no-state-between-builds contract).
+    let BuildScratch {
+        chunk_coords,
+        arena,
+        pairs: in_range,
+        eval,
+        bloom_words,
+        key_halves,
+    } = scratch;
     let n = vps.len();
     let mut adj = vec![Vec::new(); n];
     if n < 2 {
@@ -605,28 +716,37 @@ fn build_viewlinks(
 
     // ── Phase 1: trajectory tables, Morton order, SoA gather ────────────
     // Parallel member scan into chunk-local geometry + coordinate slabs.
-    let mut chunk_coords: Vec<Vec<f64>> = Vec::with_capacity(member_cuts.len() - 1);
+    // The slabs are scratch-owned and cleared per build: worker `t`
+    // refills slab `t`, so a retained scratch serves any later build
+    // (including one with a different chunk count — extra slabs idle,
+    // missing ones are created empty and grow on first use).
+    let chunks = member_cuts.len() - 1;
+    if chunk_coords.len() < chunks {
+        chunk_coords.resize_with(chunks, Vec::new);
+    }
+    let unit_cuts: Vec<usize> = (0..=chunks).collect();
+    let chunk_geoms: Vec<Vec<MemberGeom>> =
+        crate::par::map_disjoint_mut(&mut chunk_coords[..chunks], &unit_cuts, |t, slab| {
+            let coords = &mut slab[0];
+            coords.clear();
+            let (lo, hi) = (member_cuts[t], member_cuts[t + 1]);
+            coords.reserve((hi - lo) * 2 * SECONDS_PER_VP as usize);
+            let mut geoms = Vec::with_capacity(hi - lo);
+            for vp in &vps[lo..hi] {
+                geoms.push(MemberGeom::scan(vp, start, coords));
+            }
+            geoms
+        });
     let mut geom: Vec<MemberGeom> = Vec::with_capacity(n);
     // Where each member's window lives: (chunk, offset into its slab).
     let mut src: Vec<(u32, u32)> = Vec::with_capacity(n);
-    for (c, (geoms, coords)) in crate::par::map_ranges(&member_cuts, |_t, lo, hi| {
-        let mut geoms = Vec::with_capacity(hi - lo);
-        let mut coords: Vec<f64> = Vec::with_capacity((hi - lo) * 2 * SECONDS_PER_VP as usize);
-        for vp in &vps[lo..hi] {
-            geoms.push(MemberGeom::scan(vp, start, &mut coords));
-        }
-        (geoms, coords)
-    })
-    .into_iter()
-    .enumerate()
-    {
+    for (c, geoms) in chunk_geoms.into_iter().enumerate() {
         let mut off = 0u32;
         for g in &geoms {
             src.push((c as u32, off));
             off += 2 * g.len;
         }
         geom.extend(geoms);
-        chunk_coords.push(coords);
     }
 
     // Grid geometry from the population's *typical* trajectory extent,
@@ -748,11 +868,14 @@ fn build_viewlinks(
     }
 
     // Coordinate arena in rank order: interleaved (x, y) f64 pairs, so
-    // the exact scan streams two contiguous, usually-nearby slabs.
+    // the exact scan streams two contiguous, usually-nearby slabs. The
+    // arena is scratch-retained: clear + resize is a memset over warm
+    // pages where a fresh allocation would fault in every page.
     let rank_cuts = crate::par::even_cuts(n_ranked, threads);
     let arena_cuts: Vec<usize> = rank_cuts.iter().map(|&k| arena_off[k] as usize).collect();
-    let mut arena = vec![0.0f64; arena_off[n_ranked] as usize];
-    crate::par::map_disjoint_mut(&mut arena, &arena_cuts, |t, slab| {
+    arena.clear();
+    arena.resize(arena_off[n_ranked] as usize, 0.0);
+    crate::par::map_disjoint_mut(&mut arena[..], &arena_cuts, |t, slab| {
         let mut p = 0usize;
         for k in rank_cuts[t]..rank_cuts[t + 1] {
             let (c, o) = src[order[k] as usize];
@@ -761,7 +884,16 @@ fn build_viewlinks(
             p += l;
         }
     });
-    drop(chunk_coords);
+    // The phase-1 slabs are fully transcribed into the rank arena; on a
+    // one-shot build, free them now (they are roughly another arena's
+    // worth of memory) instead of carrying them through phases 2-4. A
+    // caller-owned scratch keeps them — that retained capacity is
+    // exactly what the next build's reuse pays for.
+    if !retain_arenas {
+        for slab in chunk_coords.iter_mut() {
+            *slab = Vec::new();
+        }
+    }
     profile.tables_ms = t_tables.elapsed().as_secs_f64() * 1e3;
     let t_candidates = std::time::Instant::now();
 
@@ -838,7 +970,8 @@ fn build_viewlinks(
     // edge order the two-way validation and adjacency assembly follow —
     // erasing the Morton processing order from the result.
     let g_cuts = crate::par::even_cuts(n_gridded, threads);
-    let mut in_range: Vec<u64> = crate::par::map_ranges(&g_cuts, |_t, lo, hi| {
+    in_range.clear();
+    let pair_chunks = crate::par::map_ranges(&g_cuts, |_t, lo, hi| {
         let mut out: Vec<u64> = Vec::new();
         for a in lo..hi {
             let i = order[a] as usize;
@@ -869,10 +1002,10 @@ fn build_viewlinks(
             }
         }
         out
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    });
+    for chunk in pair_chunks {
+        in_range.extend(chunk);
+    }
 
     // Off-grid pass for the capped/overflowing outliers: pair each
     // against every member (wild–wild pairs once, from the lower index).
@@ -899,7 +1032,7 @@ fn build_viewlinks(
 
     // ── Phase 3: Bloom keys for members that still matter ───────────────
     let mut needs_keys = vec![false; n];
-    for &packed in &in_range {
+    for &packed in in_range.iter() {
         needs_keys[(packed >> 32) as usize] = true;
         needs_keys[(packed & 0xffff_ffff) as usize] = true;
     }
@@ -931,7 +1064,8 @@ fn build_viewlinks(
     // owner — and are laid out in Morton rank order, so the partner side
     // of a probe is a spatial neighbor sitting nearby in the arena
     // rather than a uniformly random multi-MB jump.
-    let mut bloom_words: Vec<u64> = Vec::with_capacity(
+    bloom_words.clear();
+    bloom_words.reserve(
         needed
             .iter()
             .map(|&m| vps[m].bloom.m_bits().div_ceil(64))
@@ -939,8 +1073,8 @@ fn build_viewlinks(
     );
     let mut bloom_meta: Vec<(u32, u32, u32)> = vec![(0, 0, 0); n]; // (base, m_bits, k)
     let mut key_spans = vec![(0u32, 0u32); n];
-    let mut key_halves: Vec<(u64, u64)> =
-        Vec::with_capacity(needed.len() * SECONDS_PER_VP as usize);
+    key_halves.clear();
+    key_halves.reserve(needed.len() * SECONDS_PER_VP as usize);
     for &mu in &probe_order {
         let m = mu as usize;
         let vp = &vps[m];
@@ -949,7 +1083,7 @@ fn build_viewlinks(
             vp.bloom.m_bits() as u32,
             vp.bloom.k() as u32,
         );
-        vp.bloom.append_words(&mut bloom_words);
+        vp.bloom.append_words(bloom_words);
         let cached = vp.link_keys();
         key_spans[m] = (key_halves.len() as u32, cached.len() as u32);
         for key in cached {
@@ -984,11 +1118,13 @@ fn build_viewlinks(
     // are rank-local. The evaluation order is a pure function of the
     // pair set, and survivors sort back to ascending pair order, so the
     // reordering is invisible in the output.
-    let mut eval: Vec<u64> = in_range
-        .iter()
-        .enumerate()
-        .map(|(idx, &packed)| ((rank_of[(packed >> 32) as usize] as u64) << 32) | idx as u64)
-        .collect();
+    eval.clear();
+    eval.extend(
+        in_range
+            .iter()
+            .enumerate()
+            .map(|(idx, &packed)| ((rank_of[(packed >> 32) as usize] as u64) << 32) | idx as u64),
+    );
     eval.sort_unstable();
     let pair_cuts = crate::par::even_cuts(eval.len(), threads);
     let mut survivors: Vec<u32> = crate::par::map_ranges(&pair_cuts, |_t, lo, hi| {
@@ -1289,6 +1425,64 @@ mod tests {
             ("linkage", p.linkage_ms),
         ] {
             assert!(v.is_finite() && v >= 0.0, "{name}: {v}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_unrelated_builds() {
+        // One scratch reused across different populations, sites, thread
+        // counts, and an empty minute must never change an output bit —
+        // the arenas carry allocations, not state.
+        let cfg = ViewmapConfig::default();
+        let mut scratch = BuildScratch::new();
+        let builds: Vec<(Vec<Arc<StoredVp>>, Site, MinuteId, usize)> = vec![
+            (
+                build_chain(12, 140.0, 61)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+                site_at(800.0, 900.0),
+                MinuteId(0),
+                1,
+            ),
+            (
+                build_chain(5, 200.0, 62)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+                site_at(0.0, 1500.0),
+                MinuteId(0),
+                4,
+            ),
+            (
+                build_chain(8, 120.0, 63)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+                site_at(400.0, 600.0),
+                MinuteId(3), // empty minute: early-exit path with a used scratch
+                2,
+            ),
+            (
+                build_chain(12, 140.0, 61)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+                site_at(800.0, 900.0),
+                MinuteId(0),
+                3,
+            ),
+        ];
+        for (i, (vps, site, minute, threads)) in builds.iter().enumerate() {
+            let fresh = Viewmap::build_threads(vps, *site, *minute, &cfg, *threads);
+            let (reused, _) =
+                Viewmap::build_with_scratch(vps, *site, *minute, &cfg, *threads, &mut scratch);
+            assert_eq!(fresh.len(), reused.len(), "build {i}: member count");
+            assert_eq!(fresh.trusted, reused.trusted, "build {i}: trusted");
+            for k in 0..fresh.len() {
+                assert_eq!(fresh.vps[k].id, reused.vps[k].id, "build {i}: member {k}");
+                assert_eq!(fresh.adj[k], reused.adj[k], "build {i}: adjacency {k}");
+            }
         }
     }
 

@@ -239,6 +239,14 @@ impl StoredVp {
             .get_or_init(|| self.bloom_keys().into_boxed_slice())
     }
 
+    /// Is the element-VD key cache already materialized? Observability
+    /// hook for the ingest/recovery paths that promise warm keys
+    /// (`submit_batch_warm`, log replay): tests assert on it, and
+    /// capacity planning can count warm VPs without hashing anything.
+    pub fn is_key_warm(&self) -> bool {
+        self.link_keys.get().is_some()
+    }
+
     /// One-way linkage test against precomputed element keys (see
     /// [`bloom_keys`](Self::bloom_keys)).
     pub fn links_to_keys(&self, other_keys: &[vm_crypto::Digest16]) -> bool {

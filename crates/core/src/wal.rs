@@ -1,0 +1,75 @@
+//! The write-ahead-log seam between [`crate::server::ViewMapServer`] and
+//! a durable storage backend.
+//!
+//! The server itself stays storage-agnostic: it owns the in-memory
+//! sharded VP database and, when a [`VpWal`] is attached
+//! ([`crate::server::ViewMapServer::attach_wal`]), mirrors every
+//! *accepted* submission into the log and every retention sweep into
+//! [`VpWal::evict_minutes_before`]. The concrete append-log engine
+//! (minute-bucketed segment files, group commit, torn-tail recovery)
+//! lives in the `vm-store` crate, which depends on this one — the trait
+//! keeps the dependency arrow pointing outward.
+//!
+//! # Ordering contract
+//!
+//! The server calls [`VpWal::append`] **while still holding the minute
+//! shard's write lock** for the VPs being committed. Appends for one
+//! minute therefore reach the log in exactly the order the VPs were
+//! appended to that minute's in-memory bucket, which is what makes
+//! replay reproduce bucket order (and thus the `VpId → (minute, pos)`
+//! index) byte for byte. Backends must not reorder records within a
+//! call or between calls.
+//!
+//! # Failure contract
+//!
+//! A backend that cannot write is a fatal condition for a durable
+//! server: the in-memory state would silently diverge from what a
+//! restart recovers. The server therefore panics on an `Err` from the
+//! log rather than dropping durability on the floor. Backends should
+//! reserve `Err` for genuine I/O failure (disk full, permission lost),
+//! not validation — all content-level screening already happened before
+//! the server committed the VP.
+
+use crate::types::MinuteId;
+use crate::vp::StoredVp;
+
+/// A durable append-log the server mirrors accepted VPs into.
+///
+/// Implementations must be thread-safe: the server invokes `append`
+/// concurrently from every ingest path (single submits and batches on
+/// different minutes run in parallel).
+pub trait VpWal: Send + Sync {
+    /// Durably append a group of accepted VPs (one group-commit unit:
+    /// implementations should issue one buffered write — and at most one
+    /// fsync, per their durability policy — per call, not per VP). All
+    /// VPs in one call belong to the same minute.
+    fn append(&self, vps: &[&StoredVp]) -> std::io::Result<()>;
+
+    /// Drop every logged minute strictly before `cutoff` (bounded
+    /// retention). Returns the number of minute buckets removed.
+    fn evict_minutes_before(&self, cutoff: MinuteId) -> std::io::Result<usize>;
+
+    /// Flush any buffered state to the OS (and to stable media if the
+    /// backend's policy requires it). Called on graceful shutdown paths;
+    /// a correct backend is already consistent without it.
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Sharing a log between the server and another observer (a metrics
+/// scraper, a test assertion) is just an `Arc` — every method takes
+/// `&self`, so the wrapper is pure delegation.
+impl<W: VpWal + ?Sized> VpWal for std::sync::Arc<W> {
+    fn append(&self, vps: &[&StoredVp]) -> std::io::Result<()> {
+        (**self).append(vps)
+    }
+
+    fn evict_minutes_before(&self, cutoff: MinuteId) -> std::io::Result<usize> {
+        (**self).evict_minutes_before(cutoff)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        (**self).sync()
+    }
+}

@@ -346,6 +346,40 @@ fn interleaved_concurrent_batches_and_singles_from_scoped_threads() {
     }
 }
 
+// ── Scratch reuse (arena recycling) vs fresh allocation ────────────────
+
+#[test]
+fn scratch_reuse_identical_across_populations_and_thread_counts() {
+    // One BuildScratch carried across every population/thread-count
+    // combination (including a degenerate empty minute in the middle)
+    // must reproduce the fresh-allocation build bit for bit — arena
+    // reuse is an allocation-lifetime optimization, never a state leak.
+    use viewmap_core::viewmap::BuildScratch;
+    let cfg = ViewmapConfig::default();
+    let mut scratch = BuildScratch::new();
+    let worlds: Vec<SynthWorld> = [(120usize, 301u64), (500, 303), (90, 305)]
+        .into_iter()
+        .map(|(n, seed)| SynthWorld::generate(n, seed))
+        .collect();
+    for (wi, w) in worlds.iter().enumerate() {
+        let vps = arcs(&w.vps);
+        for t in [1usize, 2, 5, 8] {
+            let fresh = Viewmap::build_threads(&vps, w.site, w.minute, &cfg, t);
+            let (reused, _) =
+                Viewmap::build_with_scratch(&vps, w.site, w.minute, &cfg, t, &mut scratch);
+            assert_identical(&fresh, &reused, &format!("world {wi} threads={t} scratch"));
+            let (sv, _) = fresh.verify(&w.site, &cfg);
+            let (rv, _) = reused.verify(&w.site, &cfg);
+            assert_eq!(sv.scores, rv.scores, "world {wi} threads={t}: scores");
+        }
+        // Poison-check: an empty minute build on the used scratch, then
+        // keep going with the same scratch.
+        let (empty, _) =
+            Viewmap::build_with_scratch(&vps, w.site, MinuteId(9), &cfg, 4, &mut scratch);
+        assert!(empty.is_empty(), "world {wi}: minute-9 build");
+    }
+}
+
 // ── 100k-tier topology pin ─────────────────────────────────────────────
 
 /// Stable fingerprint of the full edge set (order-independent per edge,

@@ -98,6 +98,31 @@ impl Digest16 {
     }
 }
 
+/// A 64-bit record checksum: the first 8 bytes of SHA-256, little-endian.
+///
+/// This is the integrity framing the storage layer (`vm-store`) stamps on
+/// every append-log record body: strong enough to make a torn or
+/// bit-rotted tail record indistinguishable from "no record here" (the
+/// recovery invariant), while costing 8 bytes per record instead of 32.
+/// It is **not** a collision-resistant commitment — protocol-level
+/// commitments stay on full [`Digest16`]/[`Digest32`] values.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let d = sha256(data);
+    u64::from_le_bytes(d.0[..8].try_into().expect("32-byte digest"))
+}
+
+/// [`checksum64`] over many independent bodies at multi-buffer
+/// throughput: `out[i] == checksum64(msgs[i])`, hashed through
+/// [`sha256_many`]'s interleaved lanes. The storage layer stamps a
+/// whole group commit's records in one call instead of one serial hash
+/// per record.
+pub fn checksum64_many(msgs: &[&[u8]]) -> Vec<u64> {
+    sha256_many(msgs)
+        .into_iter()
+        .map(|d| u64::from_le_bytes(d.0[..8].try_into().expect("32-byte digest")))
+        .collect()
+}
+
 impl std::fmt::Debug for Digest16 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Digest16(")?;
@@ -143,6 +168,36 @@ mod tests {
         ]);
         assert_eq!(d.low_u64(), 1);
         assert_eq!(d.high_u64(), 2);
+    }
+
+    #[test]
+    fn checksum64_is_sha256_prefix_and_detects_corruption() {
+        let data = b"viewmap record body";
+        let full = sha256(data);
+        assert_eq!(
+            checksum64(data),
+            u64::from_le_bytes(full.0[..8].try_into().unwrap())
+        );
+        let mut flipped = data.to_vec();
+        for i in 0..flipped.len() {
+            flipped[i] ^= 0x01;
+            assert_ne!(checksum64(&flipped), checksum64(data), "flip at byte {i}");
+            flipped[i] ^= 0x01;
+        }
+        assert_ne!(checksum64(b""), 0, "empty input still hashes");
+    }
+
+    #[test]
+    fn checksum64_many_matches_single_calls() {
+        let bodies: Vec<Vec<u8>> = (0..9usize)
+            .map(|i| (0..i * 37 + 1).map(|j| (i * 31 + j) as u8).collect())
+            .collect();
+        for take in [0usize, 1, 2, 3, 9] {
+            let msgs: Vec<&[u8]> = bodies[..take].iter().map(|b| b.as_slice()).collect();
+            let batch = checksum64_many(&msgs);
+            let single: Vec<u64> = msgs.iter().map(|m| checksum64(m)).collect();
+            assert_eq!(batch, single, "take {take}");
+        }
     }
 
     #[test]

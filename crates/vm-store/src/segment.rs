@@ -1,0 +1,359 @@
+//! Minute-bucketed append-only segment files: framing, the append-side
+//! writer, and the torn-tail recovery scan.
+//!
+//! A segment holds every logged VP of one minute, in bucket order. Its
+//! name carries the minute (`minute-000000000042.vmseg`) so retention
+//! can sweep by filename and recovery can replay in minute order
+//! without opening anything twice. Framing and the recovery invariant
+//! are described in the crate docs; the short version: a frame is only
+//! considered committed if its magic, declared length, checksum, and
+//! body decode all hold, and the first frame that fails ends the
+//! segment — [`recover_segment`] truncates the file right there.
+
+use crate::codec::{decode_record, encode_record};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use viewmap_core::types::MinuteId;
+use viewmap_core::vp::StoredVp;
+use vm_crypto::checksum64;
+
+/// Segment file magic (8 bytes, versioned).
+pub const SEGMENT_MAGIC: [u8; 8] = *b"VMSEG001";
+
+/// Segment header size: magic + minute id.
+pub const SEGMENT_HEADER_BYTES: usize = 16;
+
+/// Record frame magic (4 bytes, versioned).
+pub const FRAME_MAGIC: [u8; 4] = *b"VMR1";
+
+/// Frame header size: magic + body length + body checksum.
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// File name of a minute's segment (fixed-width, so lexicographic order
+/// is minute order).
+pub fn segment_file_name(minute: MinuteId) -> String {
+    format!("minute-{:012}.vmseg", minute.0)
+}
+
+/// Parse a segment file name back to its minute; `None` for foreign
+/// files (recovery ignores anything it didn't write).
+pub fn parse_segment_file_name(name: &str) -> Option<MinuteId> {
+    let digits = name.strip_prefix("minute-")?.strip_suffix(".vmseg")?;
+    if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok().map(MinuteId)
+}
+
+/// Path of a minute's segment inside the store directory.
+pub fn segment_path(dir: &Path, minute: MinuteId) -> PathBuf {
+    dir.join(segment_file_name(minute))
+}
+
+/// Append one framed record (header + checksummed body) for `vp` to
+/// `out`. The body is encoded in place and the header backpatched, so a
+/// group commit encodes a whole batch into a single buffer with no
+/// intermediate copies.
+pub fn append_frame(out: &mut Vec<u8>, vp: &StoredVp) {
+    let header_at = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER_BYTES]);
+    let body_at = out.len();
+    encode_record(vp, out);
+    let body_len = out.len() - body_at;
+    let checksum = checksum64(&out[body_at..]);
+    patch_frame_header(&mut out[header_at..], body_len, checksum);
+}
+
+/// Write a frame header (magic, body length, checksum) into the first
+/// [`FRAME_HEADER_BYTES`] of `frame`. Split out from [`append_frame`]
+/// so the store's group-commit path can encode every body first, batch
+/// the checksums through the multi-buffer hash engine, and patch all
+/// headers afterwards.
+pub fn patch_frame_header(frame: &mut [u8], body_len: usize, checksum: u64) {
+    assert!(body_len <= u32::MAX as usize, "record body exceeds u32");
+    frame[..4].copy_from_slice(&FRAME_MAGIC);
+    frame[4..8].copy_from_slice(&(body_len as u32).to_le_bytes());
+    frame[8..16].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// Shape of one recovered (or about-to-be-written) segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// The minute the segment buckets.
+    pub minute: MinuteId,
+    /// Committed records recovered from it.
+    pub records: usize,
+    /// Bytes cut off the tail (0 for a clean segment).
+    pub truncated_bytes: u64,
+}
+
+/// Append-side handle on one segment file. Creation writes the header;
+/// every [`append`](Self::append) is a single `write_all` of
+/// pre-assembled frames (the group-commit unit). The writer never
+/// reads: the store recovers the file *before* constructing a writer,
+/// so the tail is known-valid by the time appends start.
+pub struct SegmentWriter {
+    file: File,
+}
+
+impl SegmentWriter {
+    /// Open (or create) the segment for `minute` in `dir`.
+    pub fn open(dir: &Path, minute: MinuteId) -> std::io::Result<SegmentWriter> {
+        let path = segment_path(dir, minute);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if file.metadata()?.len() == 0 {
+            let mut header = [0u8; SEGMENT_HEADER_BYTES];
+            header[..8].copy_from_slice(&SEGMENT_MAGIC);
+            header[8..].copy_from_slice(&minute.0.to_le_bytes());
+            file.write_all(&header)?;
+        }
+        Ok(SegmentWriter { file })
+    }
+
+    /// One group commit: a single buffered write of pre-framed records.
+    pub fn append(&mut self, frames: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(frames)
+    }
+
+    /// Force the segment to stable media (the `Fsync::Always` half of a
+    /// group commit, and the graceful-shutdown flush).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Recover one segment file: validate the header against the minute
+/// the file's name claims, scan frames to the last fully-committed
+/// record, truncate any torn tail in place, and decode the committed
+/// prefix.
+///
+/// Returns `Ok(None)` — with the file **untouched** — when the header
+/// is short, carries the wrong magic, or names a different minute than
+/// `expected`. All three mean the file is not a segment this store
+/// wrote under that name (a torn first write, a renamed file, an
+/// operator's misplaced backup); disposition belongs to the caller
+/// ([`crate::VpStore`] quarantines it), and the recovery scan must
+/// never mutate bytes it cannot vouch for.
+pub fn recover_segment(
+    path: &Path,
+    expected: MinuteId,
+) -> std::io::Result<Option<(SegmentMeta, Vec<StoredVp>)>> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < SEGMENT_HEADER_BYTES || data[..8] != SEGMENT_MAGIC {
+        return Ok(None);
+    }
+    let minute = MinuteId(u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")));
+    if minute != expected {
+        return Ok(None);
+    }
+
+    let mut vps = Vec::new();
+    let mut off = SEGMENT_HEADER_BYTES;
+    // A frame is committed iff every one of these checks passes; the
+    // first failure ends the valid prefix. No partial state escapes:
+    // `vps` only ever grows by fully-decoded records.
+    while off < data.len() {
+        let Some(header) = data.get(off..off + FRAME_HEADER_BYTES) else {
+            break; // torn frame header
+        };
+        if header[..4] != FRAME_MAGIC {
+            break;
+        }
+        let body_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let body_at = off + FRAME_HEADER_BYTES;
+        let Some(body) = data.get(body_at..body_at + body_len) else {
+            break; // torn body
+        };
+        if checksum64(body) != checksum {
+            break; // bit rot or torn write inside the body
+        }
+        let Ok(vp) = decode_record(body) else {
+            break; // checksum-valid but undecodable: treat as torn
+        };
+        vps.push(vp);
+        off = body_at + body_len;
+    }
+
+    let truncated_bytes = (data.len() - off) as u64;
+    if truncated_bytes > 0 {
+        // Cut the torn tail off so the next append starts at a clean
+        // frame boundary (appending after garbage would orphan every
+        // later record behind an invalid frame).
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(off as u64)?;
+        file.sync_data()?;
+    }
+    Ok(Some((
+        SegmentMeta {
+            minute,
+            records: vps.len(),
+            truncated_bytes,
+        },
+        vps,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use viewmap_core::types::GeoPos;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("vm_store_segment_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn vp(seed: u64) -> StoredVp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (fa, _) = viewmap_core::vp::exchange_minute(
+            &mut rng,
+            0,
+            move |s| GeoPos::new(s as f64 * 8.0 + seed as f64, 0.0),
+            move |s| GeoPos::new(s as f64 * 8.0 + seed as f64, 30.0),
+        );
+        fa.profile.into_stored()
+    }
+
+    #[test]
+    fn file_names_roundtrip_and_reject_foreign_files() {
+        for m in [0u64, 1, 42, 999_999_999_999] {
+            let name = segment_file_name(MinuteId(m));
+            assert_eq!(parse_segment_file_name(&name), Some(MinuteId(m)));
+        }
+        for bad in [
+            "minute-42.vmseg",            // not fixed-width
+            "minute-00000000004x.vmseg",  // non-digit
+            "minute-000000000042.vmseg2", // wrong suffix
+            "other-000000000042.vmseg",   // wrong prefix
+            ".vmseg",
+            "BENCH.json",
+        ] {
+            assert_eq!(parse_segment_file_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn write_then_recover_roundtrips_in_order() {
+        let tmp = TempDir::new("roundtrip");
+        let minute = MinuteId(0);
+        let mut w = SegmentWriter::open(&tmp.0, minute).unwrap();
+        let vps: Vec<StoredVp> = (0..5).map(vp).collect();
+        // Two group commits: 3 records, then 2.
+        for group in [&vps[..3], &vps[3..]] {
+            let mut frames = Vec::new();
+            for vp in group {
+                append_frame(&mut frames, vp);
+            }
+            w.append(&frames).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let (meta, back) = recover_segment(&segment_path(&tmp.0, minute), minute)
+            .unwrap()
+            .expect("valid segment");
+        assert_eq!(meta.minute, minute);
+        assert_eq!(meta.records, 5);
+        assert_eq!(meta.truncated_bytes, 0);
+        assert_eq!(back.len(), 5);
+        for (a, b) in vps.iter().zip(&back) {
+            crate::codec::assert_vp_bit_identical(a, b, "segment roundtrip");
+        }
+
+        // Reopening for append does not disturb the contents.
+        let mut w = SegmentWriter::open(&tmp.0, minute).unwrap();
+        let mut frames = Vec::new();
+        append_frame(&mut frames, &vp(9));
+        w.append(&frames).unwrap();
+        drop(w);
+        let (meta, back) = recover_segment(&segment_path(&tmp.0, minute), minute)
+            .unwrap()
+            .unwrap();
+        assert_eq!((meta.records, back.len()), (6, 6));
+    }
+
+    #[test]
+    fn foreign_files_are_reported_untouched() {
+        // Invalid header, or a header naming another minute: the scan
+        // reports None and must not mutate a byte — disposition
+        // (quarantine) is the store's call, and the file may be an
+        // operator's misplaced backup.
+        let tmp = TempDir::new("badheader");
+        let mut wrong_minute = Vec::new();
+        wrong_minute.extend_from_slice(&SEGMENT_MAGIC);
+        wrong_minute.extend_from_slice(&9u64.to_le_bytes());
+        wrong_minute.extend_from_slice(b"trailing garbage that must survive");
+        for (tag, bytes) in [
+            ("empty", &b""[..]),
+            ("short", &b"VMSEG0"[..]),
+            ("wrong_magic", &b"NOTASEG0\x01\0\0\0\0\0\0\0"[..]),
+            ("wrong_minute", &wrong_minute[..]),
+        ] {
+            let path = tmp.0.join(format!("{tag}.vmseg"));
+            std::fs::write(&path, bytes).unwrap();
+            assert!(
+                recover_segment(&path, MinuteId(3)).unwrap().is_none(),
+                "{tag}"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                bytes,
+                "{tag}: foreign bytes must be left exactly as found"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_ends_the_valid_prefix_and_truncates() {
+        // Flip one byte inside the second record's body: recovery keeps
+        // record 1, truncates at record 2's frame, and a re-scan of the
+        // truncated file is clean.
+        let tmp = TempDir::new("corrupt");
+        let minute = MinuteId(3);
+        let mut w = SegmentWriter::open(&tmp.0, minute).unwrap();
+        let mut frames = Vec::new();
+        let r1_len = {
+            append_frame(&mut frames, &vp(1));
+            frames.len()
+        };
+        append_frame(&mut frames, &vp(2));
+        append_frame(&mut frames, &vp(3));
+        w.append(&frames).unwrap();
+        drop(w);
+
+        let path = segment_path(&tmp.0, minute);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = SEGMENT_HEADER_BYTES + r1_len + FRAME_HEADER_BYTES + 40;
+        bytes[flip_at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (meta, back) = recover_segment(&path, minute).unwrap().unwrap();
+        assert_eq!(meta.records, 1, "only the record before the flip survives");
+        assert!(meta.truncated_bytes > 0);
+        crate::codec::assert_vp_bit_identical(&vp(1), &back[0], "survivor");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            (SEGMENT_HEADER_BYTES + r1_len) as u64,
+            "file truncated to the last committed frame"
+        );
+        let (meta2, _) = recover_segment(&path, minute).unwrap().unwrap();
+        assert_eq!(meta2.truncated_bytes, 0, "second scan is clean");
+        assert_eq!(meta2.records, 1);
+    }
+}

@@ -1,0 +1,761 @@
+//! [`VpStore`] — a directory of minute segments behind the server's
+//! [`VpWal`] seam — and the [`PersistentServer`] constructors that put
+//! a recovered [`ViewMapServer`] on top of it.
+
+use crate::segment::{self, parse_segment_file_name, recover_segment, segment_path, SegmentWriter};
+use parking_lot::Mutex;
+use rand::Rng;
+use std::path::{Path, PathBuf};
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::types::MinuteId;
+use viewmap_core::viewmap::ViewmapConfig;
+use viewmap_core::vp::StoredVp;
+use viewmap_core::wal::VpWal;
+
+/// How hard a group commit pushes toward stable media.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fsync {
+    /// `fdatasync` once per group commit: committed means power-loss
+    /// durable. The group-commit batching is what keeps this affordable
+    /// — one sync per batch, never one per VP.
+    Always,
+    /// Leave flushing to the OS page cache: committed means
+    /// process-crash durable (the write has returned from the kernel),
+    /// but power loss may drop the tail — which recovery then truncates
+    /// cleanly. The default, and the mode the benchmarks measure.
+    Never,
+}
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Durability policy for group commits.
+    pub fsync: Fsync,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: Fsync::Never,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Read the policy from `VM_STORE_FSYNC` (`always` / `never`,
+    /// case-insensitive; unset means `never`) — the knob the CI
+    /// durability matrix turns so the whole suite runs under both
+    /// policies.
+    ///
+    /// Panics on any other value: an operator who writes
+    /// `VM_STORE_FSYNC=true` believing commits are power-loss durable
+    /// must not be silently downgraded to `never`.
+    pub fn from_env() -> StoreConfig {
+        let fsync = match std::env::var("VM_STORE_FSYNC") {
+            Err(std::env::VarError::NotPresent) => Fsync::Never,
+            Ok(v) if v.eq_ignore_ascii_case("always") || v == "1" => Fsync::Always,
+            Ok(v) if v.eq_ignore_ascii_case("never") || v == "0" || v.is_empty() => Fsync::Never,
+            other => panic!(
+                "VM_STORE_FSYNC must be 'always' or 'never', got {other:?} — refusing to guess \
+                 a durability policy"
+            ),
+        };
+        StoreConfig { fsync }
+    }
+}
+
+/// What [`VpStore::open`] found on disk (and what replay did with it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segment files replayed.
+    pub segments: usize,
+    /// Committed records recovered across all segments.
+    pub records: usize,
+    /// Segments that had a torn tail truncated.
+    pub torn_segments: usize,
+    /// Total bytes truncated off torn tails.
+    pub truncated_bytes: u64,
+    /// Recovered records the admission screen rejected on replay
+    /// (always 0 for logs this layer wrote — the server screens before
+    /// logging — so nonzero means a hand-edited or foreign log).
+    pub rejected: usize,
+    /// Segment files moved aside (`*.vmseg.mismatch`) because their
+    /// header minute contradicted their filename — a renamed or
+    /// misplaced file this store never wrote. Quarantining frees the
+    /// filename so post-recovery appends for that minute start a clean
+    /// segment instead of appending records behind a wrong header
+    /// (where every later recovery would silently skip them).
+    pub quarantined: usize,
+}
+
+/// Open segment writers kept warm between group commits. Minutes are
+/// ingested mostly in wall-clock order, so a tiny LRU covers the
+/// active write set; anything older is reopened on demand (cheap — the
+/// file already exists and `open` is append-mode).
+const MAX_OPEN_SEGMENTS: usize = 8;
+
+/// Batches at or above this size frame on worker threads (mirroring the
+/// server's batch-ingest threshold economics: below it, spawn/join
+/// overhead beats the fan-out).
+const APPEND_PARALLEL_THRESHOLD: usize = 2048;
+
+/// Frame a run of records — header placeholders, delta-encoded bodies,
+/// one multi-buffer checksum pass, headers backpatched — into one
+/// buffer. The group-commit unit of work, chunked across workers for
+/// large batches.
+fn frame_batch(vps: &[&StoredVp]) -> Vec<u8> {
+    let mut frames = Vec::new();
+    frame_batch_into(vps, &mut frames);
+    frames
+}
+
+/// As [`frame_batch`], appending into a caller-retained buffer — the
+/// single-worker path frames straight into the store's scratch so a
+/// group commit touches each byte once (encode, hash, write) with no
+/// intermediate allocation.
+fn frame_batch_into(vps: &[&StoredVp], frames: &mut Vec<u8>) {
+    let base = frames.len();
+    frames.reserve(
+        vps.iter()
+            .map(|vp| segment::FRAME_HEADER_BYTES + crate::codec::encoded_size_hint(vp))
+            .sum(),
+    );
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(vps.len());
+    for vp in vps {
+        let header_at = frames.len();
+        frames.resize(header_at + segment::FRAME_HEADER_BYTES, 0);
+        let body_at = frames.len();
+        crate::codec::encode_record(vp, frames);
+        spans.push((header_at, frames.len() - body_at));
+    }
+    debug_assert!(spans.iter().all(|&(h, _)| h >= base));
+    let sums = {
+        let bodies: Vec<&[u8]> = spans
+            .iter()
+            .map(|&(h, l)| {
+                &frames[h + segment::FRAME_HEADER_BYTES..h + segment::FRAME_HEADER_BYTES + l]
+            })
+            .collect();
+        vm_crypto::checksum64_many(&bodies)
+    };
+    for (&(h, l), sum) in spans.iter().zip(sums) {
+        segment::patch_frame_header(&mut frames[h..], l, sum);
+    }
+}
+
+struct WriterCache {
+    /// `(minute, writer)`, most recently used last.
+    open: Vec<(u64, SegmentWriter)>,
+}
+
+/// Exclusive ownership of a store directory, held for the store's
+/// lifetime via a `LOCK` pidfile. Two live processes appending to the
+/// same segments would interleave mid-frame and silently truncate each
+/// other's records at the next recovery, so the second open must fail
+/// loudly instead.
+///
+/// Staleness: a crashed owner never removes its pidfile, and refusing
+/// to reopen after a crash would defeat crash recovery — so a lock
+/// whose recorded pid no longer exists (checked via `/proc/<pid>`) is
+/// reclaimed. On platforms without `/proc`, delete `<dir>/LOCK`
+/// manually after a crash. Pid-recycling can make a dead owner look
+/// alive; the error names the pid and path so an operator can resolve
+/// it. (Best-effort by design: the lock defends against accidental
+/// double-starts, not adversarial racers.)
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> std::io::Result<DirLock> {
+        let path = dir.join("LOCK");
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write;
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner: Option<u32> = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    // Reclaim ONLY a provably-dead owner. A pidfile we
+                    // cannot read/parse, or a pid we cannot verify (no
+                    // /proc), is treated as held: mistaking a live
+                    // owner for dead corrupts segments, while the
+                    // converse just asks an operator to delete LOCK.
+                    let provably_dead = owner.is_some_and(|pid| {
+                        Path::new("/proc").is_dir() && !Path::new(&format!("/proc/{pid}")).exists()
+                    });
+                    if !provably_dead {
+                        return Err(std::io::Error::other(format!(
+                            "store {} is locked ({}; owner pid {:?}); a second opener would \
+                             corrupt segments — delete the LOCK file if the owner is dead",
+                            dir.display(),
+                            path.display(),
+                            owner,
+                        )));
+                    }
+                    std::fs::remove_file(&path)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// First free quarantine name for a foreign file: `<name>.mismatch`,
+/// then `.mismatch.1`, `.mismatch.2`, … — never silently replacing an
+/// earlier quarantined file (each may be someone's only copy). Race-free
+/// because the directory is single-process under the [`DirLock`].
+fn quarantine_path(path: &Path) -> PathBuf {
+    let base = path.as_os_str().to_owned();
+    for i in 0u32.. {
+        let mut name = base.clone();
+        if i == 0 {
+            name.push(".mismatch");
+        } else {
+            name.push(format!(".mismatch.{i}"));
+        }
+        let candidate = PathBuf::from(name);
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("u32 quarantine suffixes exhausted")
+}
+
+/// A durable, crash-recoverable append log of VPs: one segment file per
+/// minute under one directory. Implements [`VpWal`], so attaching it to
+/// a [`ViewMapServer`] makes every accepted VP durable without touching
+/// the investigation hot path (reads never look at the store).
+///
+/// Concurrency: a `LOCK` pidfile makes the store single-process (see
+/// [`DirLock`]); within it, the server serializes appends per minute
+/// (they happen under the minute shard's write lock) and the store's
+/// own mutexes are held only to check buffers and writers in and out,
+/// never across I/O. Retention sweeps of a minute still receiving
+/// traffic are the caller's race to avoid — `evict_minutes_before` is
+/// meant for minutes past the retention horizon, which by definition no
+/// longer ingest.
+pub struct VpStore {
+    dir: PathBuf,
+    fsync: Fsync,
+    writers: Mutex<WriterCache>,
+    /// Encode scratch: group commits borrow one buffer instead of
+    /// allocating a fresh multi-KB Vec per batch.
+    scratch: Mutex<Vec<u8>>,
+    /// Held for the store's lifetime; released (deleted) on drop.
+    _lock: DirLock,
+}
+
+impl VpStore {
+    /// Open (creating the directory if needed), take the directory
+    /// lock, and recover the store: every segment is scanned to its
+    /// last fully-committed record, torn tails are truncated in place,
+    /// files that are not segments this store wrote (wrong magic, or a
+    /// header minute contradicting the filename) are moved aside to
+    /// `*.vmseg.mismatch*`, and the committed records come back in
+    /// (minute, append) order, ready for
+    /// [`ViewMapServer::submit_replay_batch`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+    ) -> std::io::Result<(VpStore, Vec<StoredVp>, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+
+        let mut minutes: Vec<MinuteId> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_file_name(&e.file_name().to_string_lossy()))
+            .collect();
+        minutes.sort_unstable();
+
+        let mut report = RecoveryReport::default();
+        let mut vps = Vec::new();
+        for minute in minutes {
+            let path = segment_path(&dir, minute);
+            let Some((meta, records)) = recover_segment(&path, minute)? else {
+                // Not a segment this store wrote under that name (torn
+                // first write, renamed file, misplaced backup). It must
+                // not stay under the segment name — a post-recovery
+                // append for the minute would push durable records
+                // behind a header every later recovery skips — and it
+                // must not be deleted either (it may be the only copy
+                // of something an operator misplaced). Move it aside,
+                // untouched, under a name recovery never scans.
+                std::fs::rename(&path, quarantine_path(&path))?;
+                report.quarantined += 1;
+                continue;
+            };
+            report.segments += 1;
+            report.records += meta.records;
+            if meta.truncated_bytes > 0 {
+                report.torn_segments += 1;
+                report.truncated_bytes += meta.truncated_bytes;
+            }
+            vps.extend(records);
+        }
+
+        Ok((
+            VpStore {
+                dir,
+                fsync: cfg.fsync,
+                writers: Mutex::new(WriterCache { open: Vec::new() }),
+                scratch: Mutex::new(Vec::new()),
+                _lock: lock,
+            },
+            vps,
+            report,
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Run `f` on the minute's segment writer. The cache mutex is held
+    /// only to check the writer out and back in — never across `f`'s
+    /// I/O — so appends of *different* minutes overlap their writes and
+    /// fsyncs. Appends of the *same* minute are already serialized by
+    /// the server (they happen under the minute shard's write lock), so
+    /// checking the writer out cannot race a same-minute append.
+    fn with_writer<T>(
+        &self,
+        minute: MinuteId,
+        f: impl FnOnce(&mut SegmentWriter) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let checked_out = {
+            let mut cache = self.writers.lock();
+            cache
+                .open
+                .iter()
+                .position(|(m, _)| *m == minute.0)
+                .map(|i| cache.open.remove(i))
+        };
+        let mut entry = match checked_out {
+            Some(e) => e,
+            None => (minute.0, SegmentWriter::open(&self.dir, minute)?),
+        };
+        let result = f(&mut entry.1);
+        let mut cache = self.writers.lock();
+        cache.open.push(entry); // most recently used last
+        if cache.open.len() > MAX_OPEN_SEGMENTS {
+            cache.open.remove(0); // close the coldest handle
+        }
+        result
+    }
+}
+
+impl VpWal for VpStore {
+    fn append(&self, vps: &[&StoredVp]) -> std::io::Result<()> {
+        let Some(first) = vps.first() else {
+            return Ok(());
+        };
+        let minute = first.minute();
+        debug_assert!(
+            vps.iter().all(|vp| vp.minute() == minute),
+            "one append call spans one minute"
+        );
+        // Group commit: frame the whole batch into one buffer, one
+        // write, at most one fsync. Framing fans out over contiguous
+        // VP chunks (one scoped worker per chunk, merged in chunk order
+        // so the on-disk record order is exactly `vps` order on any
+        // thread count); within each chunk the bodies are encoded first
+        // and checksummed together through the multi-buffer engine
+        // (`checksum64_many` — interleaved SHA streams), then the frame
+        // headers are backpatched. Large batches therefore frame at
+        // near kernel-bound hash throughput per core instead of one
+        // serial SHA per record.
+        let threads = viewmap_core::par::auto_threads(vps.len(), APPEND_PARALLEL_THRESHOLD);
+        // Borrow the retained scratch allocation by *taking* it — the
+        // scratch mutex is held only for the swap, never across framing
+        // or I/O, so appends of different minutes overlap their encode
+        // and fsync work (a concurrent taker simply starts with a fresh
+        // buffer; the larger allocation wins the slot back below).
+        let mut frames = {
+            let mut scratch = self.scratch.lock();
+            std::mem::take(&mut *scratch)
+        };
+        frames.clear();
+        if threads <= 1 {
+            frame_batch_into(vps, &mut frames);
+        } else {
+            let cuts = viewmap_core::par::even_cuts(vps.len(), threads);
+            let chunks =
+                viewmap_core::par::map_ranges(&cuts, |_t, lo, hi| frame_batch(&vps[lo..hi]));
+            frames.reserve(chunks.iter().map(|c| c.len()).sum());
+            for chunk in &chunks {
+                frames.extend_from_slice(chunk);
+            }
+        }
+        let result = self.with_writer(minute, |w| {
+            w.append(&frames)?;
+            if self.fsync == Fsync::Always {
+                w.sync()?;
+            }
+            Ok(())
+        });
+        let mut scratch = self.scratch.lock();
+        if scratch.capacity() < frames.capacity() {
+            *scratch = frames;
+        }
+        result
+    }
+
+    fn evict_minutes_before(&self, cutoff: MinuteId) -> std::io::Result<usize> {
+        let mut cache = self.writers.lock();
+        cache.open.retain(|(m, _)| *m >= cutoff.0);
+        let mut removed = 0usize;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(minute) = parse_segment_file_name(&entry.file_name().to_string_lossy()) else {
+                continue;
+            };
+            if minute.0 < cutoff.0 {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        let mut cache = self.writers.lock();
+        for (_, w) in cache.open.iter_mut() {
+            w.sync()?;
+        }
+        Ok(())
+    }
+}
+
+/// The durable constructors for [`ViewMapServer`] — `use` this trait
+/// and `ViewMapServer::open(…)` / `ViewMapServer::persistent(…)` read
+/// like inherent constructors. (They live on a trait because the
+/// server crate cannot depend back on this one.)
+pub trait PersistentServer: Sized {
+    /// Stand up a server backed by the append log in `dir`: recover the
+    /// log (truncating torn tails), replay the committed records through
+    /// the batch-ingest machinery — parallel link-key warm included, so
+    /// a freshly recovered server investigates key-warm — and attach the
+    /// store so every future accepted VP is logged. The recovered server
+    /// is state-equivalent to the one that wrote the log: same minute
+    /// buckets in order, same id index, same viewmap edges.
+    fn open<R: Rng + ?Sized>(
+        rng: &mut R,
+        key_bits: usize,
+        cfg: ViewmapConfig,
+        dir: impl AsRef<Path>,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)>;
+
+    /// As [`open`](Self::open), discarding the report — the one-liner
+    /// for "give me a durable server at this path, fresh or recovered".
+    fn persistent<R: Rng + ?Sized>(
+        rng: &mut R,
+        key_bits: usize,
+        cfg: ViewmapConfig,
+        dir: impl AsRef<Path>,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<Self> {
+        Self::open(rng, key_bits, cfg, dir, store_cfg).map(|(srv, _)| srv)
+    }
+}
+
+impl PersistentServer for ViewMapServer {
+    fn open<R: Rng + ?Sized>(
+        rng: &mut R,
+        key_bits: usize,
+        cfg: ViewmapConfig,
+        dir: impl AsRef<Path>,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<(ViewMapServer, RecoveryReport)> {
+        let (store, vps, mut report) = VpStore::open(dir, store_cfg)?;
+        let mut srv = ViewMapServer::new(rng, key_bits, cfg);
+        // Replay precedes attach: the records being replayed are already
+        // on disk, and an attached WAL would double-log them.
+        let results = srv.submit_replay_batch(vps);
+        report.rejected = results.iter().filter(|r| r.is_err()).count();
+        srv.attach_wal(Box::new(store));
+        Ok((srv, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use viewmap_core::bloom::BloomFilter;
+    use viewmap_core::types::{GeoPos, VpId, SECONDS_PER_VP};
+    use viewmap_core::vd::ViewDigest;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("vm_store_store_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn synthetic_vp(tag: u64, minute: u64) -> StoredVp {
+        let mut id_bytes = [0u8; 16];
+        id_bytes[..8].copy_from_slice(&tag.to_le_bytes());
+        id_bytes[8..].copy_from_slice(&minute.to_le_bytes());
+        let id = VpId(vm_crypto::Digest16(id_bytes));
+        let start = minute * SECONDS_PER_VP;
+        let vds: Vec<ViewDigest> = (1..=SECONDS_PER_VP as u16)
+            .map(|seq| ViewDigest {
+                seq,
+                flags: 0,
+                time: start + seq as u64,
+                loc: GeoPos::new(tag as f64 + seq as f64 * 8.0, minute as f64),
+                file_size: seq as u64 * 64,
+                initial_loc: GeoPos::new(tag as f64, 0.0),
+                vp_id: id,
+                hash: vm_crypto::Digest16(id_bytes),
+            })
+            .collect();
+        StoredVp::new(id, vds, BloomFilter::default(), false)
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::from_env()
+    }
+
+    #[test]
+    fn append_recover_evict_cycle() {
+        let tmp = TempDir::new("cycle");
+        let (store, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert!(vps.is_empty());
+        assert_eq!(report, RecoveryReport::default());
+
+        for minute in 0..3u64 {
+            let group: Vec<StoredVp> = (0..4)
+                .map(|t| synthetic_vp(minute * 10 + t, minute))
+                .collect();
+            let refs: Vec<&StoredVp> = group.iter().collect();
+            store.append(&refs).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        let (store, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.segments, 3);
+        assert_eq!(report.records, 12);
+        assert_eq!(report.torn_segments, 0);
+        assert_eq!(vps.len(), 12);
+        // Minute order, append order within each minute.
+        let tags: Vec<u64> = vps
+            .iter()
+            .map(|vp| u64::from_le_bytes(vp.id.0.as_bytes()[..8].try_into().unwrap()))
+            .collect();
+        let expect: Vec<u64> = (0..3u64)
+            .flat_map(|m| (0..4u64).map(move |t| m * 10 + t))
+            .collect();
+        assert_eq!(tags, expect);
+
+        assert_eq!(store.evict_minutes_before(MinuteId(2)).unwrap(), 2);
+        drop(store);
+        let (_, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.segments, 1);
+        assert_eq!(vps.len(), 4, "only minute 2 survives eviction");
+        assert!(vps.iter().all(|vp| vp.minute() == MinuteId(2)));
+    }
+
+    #[test]
+    fn empty_append_is_a_noop_and_foreign_files_are_ignored() {
+        let tmp = TempDir::new("noop");
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        store.append(&[]).unwrap();
+        std::fs::write(tmp.0.join("README.txt"), b"not a segment").unwrap();
+        drop(store);
+        let (_, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert!(vps.is_empty());
+        assert_eq!(report.segments, 0);
+        assert!(tmp.0.join("README.txt").exists(), "foreign files untouched");
+    }
+
+    #[test]
+    fn writer_cache_evicts_cold_handles_but_loses_nothing() {
+        // Touch 3× MAX_OPEN_SEGMENTS minutes round-robin so handles are
+        // constantly evicted and reopened mid-stream.
+        let tmp = TempDir::new("lru");
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        let minutes = (MAX_OPEN_SEGMENTS * 3) as u64;
+        for round in 0..2u64 {
+            for minute in 0..minutes {
+                let vp = synthetic_vp(round * minutes + minute, minute);
+                store.append(&[&vp]).unwrap();
+            }
+        }
+        drop(store);
+        let (_, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.segments, minutes as usize);
+        assert_eq!(vps.len(), (2 * minutes) as usize);
+    }
+
+    #[test]
+    fn renamed_segment_is_quarantined_and_the_minute_restarts_clean() {
+        let tmp = TempDir::new("renamed");
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        let vp = synthetic_vp(1, 5);
+        store.append(&[&vp]).unwrap();
+        drop(store);
+        let wrong_name = crate::segment::segment_path(&tmp.0, MinuteId(7));
+        std::fs::rename(
+            crate::segment::segment_path(&tmp.0, MinuteId(5)),
+            &wrong_name,
+        )
+        .unwrap();
+
+        let original_bytes = std::fs::read(&wrong_name).unwrap();
+        let (store, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.segments, 0, "header/name mismatch is not replayed");
+        assert_eq!(report.quarantined, 1);
+        assert!(vps.is_empty());
+        assert!(
+            !wrong_name.exists(),
+            "mismatched file must not stay under the segment name"
+        );
+        // The quarantined copy is byte-identical: recovery mutates
+        // nothing it cannot vouch for (it may be someone's backup).
+        let quarantined = tmp.0.join("minute-000000000007.vmseg.mismatch");
+        assert_eq!(std::fs::read(&quarantined).unwrap(), original_bytes);
+
+        // The freed minute starts a clean segment, and records appended
+        // to it survive the next recovery (they'd be invisible if the
+        // husk had stayed appendable under the wrong header).
+        store.append(&[&synthetic_vp(2, 7)]).unwrap();
+        drop(store);
+        let (store, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!((report.segments, report.quarantined), (1, 0));
+        assert_eq!(vps.len(), 1);
+        assert_eq!(vps[0].minute(), MinuteId(7));
+        drop(store);
+
+        // A second foreign file under the same name gets a fresh
+        // quarantine suffix — never replacing the first quarantined copy.
+        std::fs::write(&wrong_name, b"another misplaced file").unwrap();
+        let (_, _, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(std::fs::read(&quarantined).unwrap(), original_bytes);
+        assert_eq!(
+            std::fs::read(tmp.0.join("minute-000000000007.vmseg.mismatch.1")).unwrap(),
+            b"another misplaced file"
+        );
+    }
+
+    #[test]
+    fn directory_lock_blocks_second_opener_and_recovers_after_crash() {
+        let tmp = TempDir::new("dirlock");
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        let err = match VpStore::open(&tmp.0, cfg()) {
+            Err(e) => e,
+            Ok(_) => panic!("second opener must fail"),
+        };
+        assert!(err.to_string().contains("locked"), "{err}");
+        drop(store);
+        // Graceful drop releases the lock.
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        drop(store);
+        if Path::new("/proc").is_dir() {
+            // Simulated crash: a LOCK whose pid is provably dead is
+            // reclaimed (refusing here would defeat crash recovery).
+            std::fs::write(tmp.0.join("LOCK"), "4294000001").unwrap();
+            let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+            drop(store);
+        }
+        // An unverifiable LOCK (garbage pid) is treated as held.
+        std::fs::write(tmp.0.join("LOCK"), "not-a-pid").unwrap();
+        assert!(VpStore::open(&tmp.0, cfg()).is_err());
+    }
+
+    #[test]
+    fn parallel_framing_is_byte_identical_to_serial() {
+        // Above APPEND_PARALLEL_THRESHOLD the append frames on worker
+        // threads; the on-disk bytes must equal the single-chunk serial
+        // framing exactly (chunk-order merge, deterministic encode).
+        let tmp = TempDir::new("parframe");
+        let n = APPEND_PARALLEL_THRESHOLD + 513;
+        let group: Vec<StoredVp> = (0..n as u64).map(|t| synthetic_vp(t, 0)).collect();
+        let refs: Vec<&StoredVp> = group.iter().collect();
+        let (store, _, _) = VpStore::open(&tmp.0, cfg()).unwrap();
+        store.append(&refs).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let disk = std::fs::read(crate::segment::segment_path(&tmp.0, MinuteId(0))).unwrap();
+        let serial = frame_batch(&refs);
+        assert_eq!(
+            &disk[crate::segment::SEGMENT_HEADER_BYTES..],
+            &serial[..],
+            "parallel framing changed the byte stream"
+        );
+        let (_, vps, report) = VpStore::open(&tmp.0, cfg()).unwrap();
+        assert_eq!(report.records, n);
+        for (a, b) in group.iter().zip(&vps) {
+            assert_eq!(a.id, b.id, "replay order");
+        }
+    }
+
+    #[test]
+    fn persistent_server_round_trips_state() {
+        let tmp = TempDir::new("server");
+        let mut rng = StdRng::seed_from_u64(1);
+        let vmcfg = ViewmapConfig::default();
+        {
+            let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            for m in 0..3u64 {
+                for t in 0..5u64 {
+                    srv.submit_trusted(synthetic_vp(m * 10 + t, m)).unwrap();
+                }
+            }
+            assert_eq!(srv.total_vps(), 15);
+            srv.sync_wal().unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+        assert_eq!(report.records, 15);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(srv.total_vps(), 15);
+        for m in 0..3u64 {
+            assert_eq!(srv.vp_count(MinuteId(m)), 5);
+            for t in 0..5u64 {
+                let id = synthetic_vp(m * 10 + t, m).id;
+                let vp = srv.lookup_vp(id).expect("recovered and indexed");
+                assert!(vp.trusted, "trusted flag survives the log");
+                assert!(vp.is_key_warm(), "replay warms link keys");
+            }
+        }
+        // The reopened server keeps logging: a third generation sees the
+        // post-recovery submissions too.
+        srv.submit_trusted(synthetic_vp(99, 1)).unwrap();
+        drop(srv);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+        assert_eq!(report.records, 16);
+        assert_eq!(srv.vp_count(MinuteId(1)), 6);
+    }
+}
