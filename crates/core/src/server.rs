@@ -71,6 +71,17 @@ use vm_crypto::{BlindedMessage, RsaKeyPair, RsaPublicKey, Signature};
 /// Power of two so stripe selection is a mask.
 pub const DB_SHARDS: usize = 16;
 
+// The server is shared by reference across scoped ingest threads and by
+// `Arc` under the vm-service network front-end; every field must stay
+// `Send + Sync` (which is why `VpWal` carries those supertraits). This
+// compile-time audit turns an accidental `!Sync` field — a `Cell`, an
+// `Rc`, a raw pointer — into a build error here instead of a cryptic
+// one in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ViewMapServer>();
+};
+
 /// Batch sizes at or above this precompute link keys on worker threads;
 /// smaller batches hash inline (spawn/join would dominate).
 const BATCH_KEY_PARALLEL_THRESHOLD: usize = 4096;

@@ -49,9 +49,18 @@ use viewmap_core::types::{GeoPos, SECONDS_PER_VP};
 use viewmap_core::viewmap::{BuildProfile, Viewmap, ViewmapConfig};
 use viewmap_core::vp::{VpBuilder, VpKind};
 use vm_bench::investigate::{naive_build, naive_verify, SynthWorld};
+use vm_service::{ServiceConfig, VmClient, VmService};
 use vm_store::{Fsync, PersistentServer, StoreConfig};
 
 const NAIVE_MAX_TIER: usize = 10_000;
+
+/// Concurrent client sessions in the service round-trip tier.
+const SERVICE_CLIENTS: usize = 8;
+
+/// Tiers at or below this also cross-check the service-path
+/// investigation against a direct in-process call on the same server
+/// (an extra viewmap build, so the 100k tier skips it).
+const SERVICE_CHECK_MAX_TIER: usize = 10_000;
 
 /// The tier where the WAL-overhead smoke assertion applies (below it
 /// the absolute times are noise-dominated).
@@ -79,6 +88,7 @@ struct TierResult {
     batch_submit_ms: f64,
     wal_append_ms: f64,
     recover_ms: f64,
+    service_rt_ms: f64,
     build_ms: f64,
     phase: BuildProfile,
     parallel_build_ms: f64,
@@ -271,6 +281,71 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         );
     }
 
+    // ── Submit path D: the same population through the vm-service
+    //    network front-end — SERVICE_CLIENTS concurrent pipelining
+    //    sessions over loopback (the server coalesces each session's
+    //    pipelined submits into warm batch ingest), ending with one
+    //    investigation round trip over the wire ──────────────────────
+    // The population clone for this tier is created here, after the
+    // WAL/recover measurements: holding an extra copy of the whole
+    // population across those paths would fold avoidable memory
+    // pressure into their medians.
+    let service_vps = batch_vps;
+    let srv_service = std::sync::Arc::new(ViewMapServer::new(&mut rng, 512, cfg));
+    srv_service
+        .submit_trusted(trusted_batch_vp)
+        .expect("service trusted stored");
+    let service_handle = VmService::spawn(
+        std::sync::Arc::clone(&srv_service),
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: SERVICE_CLIENTS,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("spawn service");
+    let addr = service_handle.addr();
+    let mut service_chunks: Vec<Vec<viewmap_core::vp::StoredVp>> = {
+        let cuts = viewmap_core::par::even_cuts(service_vps.len(), SERVICE_CLIENTS);
+        let mut rest = service_vps;
+        let mut chunks = Vec::with_capacity(SERVICE_CLIENTS);
+        for w in cuts.windows(2) {
+            let tail = rest.split_off(w[1] - w[0]);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks
+    };
+    let mut remote_ids: Vec<viewmap_core::types::VpId> = Vec::new();
+    let genuine_service_vp = genuine.profile.clone().into_stored();
+    let service_rt_ms = time_ms(|| {
+        std::thread::scope(|scope| {
+            for chunk in service_chunks.drain(..) {
+                scope.spawn(move || {
+                    let mut client = VmClient::connect(addr).expect("client connect");
+                    let outcomes = client.submit_pipelined(&chunk).expect("pipelined submit");
+                    assert!(outcomes.iter().all(|r| r.is_ok()), "service submits stored");
+                });
+            }
+        });
+        let mut client = VmClient::connect(addr).expect("investigator connect");
+        client.submit(&genuine_service_vp).expect("genuine stored");
+        remote_ids = client
+            .investigate(minute, site)
+            .expect("remote investigation");
+    });
+    assert_eq!(
+        srv_service.total_vps(),
+        n + 1,
+        "service ingested everything"
+    );
+    if n <= SERVICE_CHECK_MAX_TIER {
+        let direct = srv_service.investigate(minute, site);
+        assert_eq!(remote_ids, direct, "wire investigation equals in-process");
+    }
+    drop(service_handle);
+    drop(srv_service);
+
     // ── Build path A: sequential, cold key cache, phase-profiled ────
     let mut vm: Option<Viewmap> = None;
     let mut phase = BuildProfile::default();
@@ -347,6 +422,7 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         batch_submit_ms,
         wal_append_ms,
         recover_ms,
+        service_rt_ms,
         build_ms,
         phase,
         parallel_build_ms,
@@ -370,7 +446,8 @@ fn main() {
     for &n in &tiers {
         let r = run_tier(n, 42);
         eprintln!(
-            "tier {n}: submit {:.1} ms (batch {:.1} ms, wal {:.1} ms, recover {:.1} ms) | \
+            "tier {n}: submit {:.1} ms (batch {:.1} ms, wal {:.1} ms, recover {:.1} ms, \
+             service {:.1} ms) | \
              build {:.1} ms (parallel {:.1} ms) | \
              phases tables {:.1} / candidates {:.1} / keys {:.1} / linkage {:.1} ms | \
              verify {:.1} ms | upload {:.1} µs{}",
@@ -378,6 +455,7 @@ fn main() {
             r.batch_submit_ms,
             r.wal_append_ms,
             r.recover_ms,
+            r.service_rt_ms,
             r.build_ms,
             r.parallel_build_ms,
             r.phase.tables_ms,
@@ -401,6 +479,7 @@ fn main() {
                     "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
                     "\"submit_ms\": {:.3}, \"batch_submit_ms\": {:.3}, ",
                     "\"wal_append_ms\": {:.3}, \"recover_ms\": {:.3}, ",
+                    "\"service_rt_ms\": {:.3}, ",
                     "\"build_ms\": {:.3}, ",
                     "\"phase_ms\": {{\"tables\": {:.3}, \"candidates\": {:.3}, ",
                     "\"keys\": {:.3}, \"linkage\": {:.3}}}, ",
@@ -416,6 +495,7 @@ fn main() {
                 r.batch_submit_ms,
                 r.wal_append_ms,
                 r.recover_ms,
+                r.service_rt_ms,
                 r.build_ms,
                 r.phase.tables_ms,
                 r.phase.candidates_ms,
@@ -438,6 +518,10 @@ fn main() {
          (group commit, fsync=never) and recover_ms is a cold ViewMapServer::open \
          replaying that log (decode + re-ingest + parallel key warm); at the 10k \
          assert tier batch_submit_ms and wal_append_ms are medians of 3 runs; \
+         service_rt_ms is the same population ingested through the vm-service TCP \
+         front-end — 8 concurrent pipelining VmClient sessions over loopback \
+         (server-side coalescing into warm batches) plus one investigation round \
+         trip on the wire; \
          phase_ms is the per-phase split of the sequential cold build_ms \
          (tables/candidates/keys/linkage, from Viewmap::build_profiled); \
          parallel_build_ms is the auto-parallel engine on the batch-ingested (key-warm) store, \

@@ -1,15 +1,36 @@
 //! Experiment harness: regenerates every table and figure of the paper's
-//! evaluation.
+//! evaluation, plus the scaling benchmarks and determinism suites the
+//! grown system is held to.
+//!
+//! # Paper artifacts
 //!
 //! Each binary in `src/bin/` prints a CSV (with `#`-prefixed header
-//! comments) for one table or figure; the heavy lifting lives here so the
-//! Criterion benches and the binaries share code.
+//! comments) for one table or figure (`fig8_hashing` …
+//! `table2_scenarios`); the heavy lifting lives here so the Criterion
+//! benches and the binaries share code. Experiments honor the
+//! `VM_SCALE` environment variable (default 1.0) as a multiplier on
+//! trial counts, so `VM_SCALE=0.1 cargo run --bin
+//! fig12_verification_position` gives a quick smoke pass and
+//! `VM_SCALE=10` approaches the paper's 1000-run cells.
 //!
-//! Scaling: experiments honor the `VM_SCALE` environment variable
-//! (default 1.0) as a multiplier on trial counts, so
-//! `VM_SCALE=0.1 cargo run --bin fig12_verification_position` gives a
-//! quick smoke pass and `VM_SCALE=10` approaches the paper's 1000-run
-//! cells.
+//! # Scaling benchmarks
+//!
+//! `bench_investigate` (see its binary docs) times the end-to-end
+//! investigation hot path at 1k/10k/100k VPs — single/batch/durable/
+//! networked ingest, sequential and parallel viewmap builds with a
+//! per-phase profile, TrustRank verify, upload lookup — against
+//! retained naive baselines, asserting all paths build identical
+//! viewmaps, and writes `BENCH_investigate.json` (committed at the
+//! repo root as the recorded performance trajectory; CI gates on its
+//! ratios).
+//!
+//! # Determinism suites
+//!
+//! `tests/parallel_equivalence.rs` is the harness holding the parallel
+//! engines to their sequential semantics: any thread count, batch
+//! ingest vs sequential submits, exhaustive O(n²) oracles, and a
+//! fixed-seed 100k topology pin (edge count + checksum + sampled
+//! adjacency) that runs in release CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -111,6 +111,13 @@ impl RsaKeyPair {
 }
 
 impl RsaPublicKey {
+    /// Reassemble a public key from its modulus and exponent — the form
+    /// it travels in on the wire (vm-service's `PUBLIC_KEY` reply), so
+    /// a remote client can verify cash and blind messages locally.
+    pub fn from_parts(n: BigUint, e: BigUint) -> Self {
+        RsaPublicKey { n, e }
+    }
+
     /// Modulus.
     pub fn modulus(&self) -> &BigUint {
         &self.n

@@ -1,0 +1,289 @@
+//! [`VmClient`] — a blocking, pipelining client for the vm-service wire
+//! protocol.
+//!
+//! One client owns one TCP session. Calls are synchronous
+//! request/reply; [`VmClient::submit_pipelined`] additionally drives
+//! the uploader fast path: it writes a window of `SUBMIT` frames before
+//! reading any reply, which is exactly the shape the server coalesces
+//! into warm batch ingest. Windowing (default
+//! [`PIPELINE_WINDOW`] frames in flight) bounds the unread-reply
+//! backlog so neither side's socket buffer can fill and deadlock the
+//! session.
+
+use crate::proto::{ErrorCode, Frame, Reply, Request, OP_SUBMIT};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use viewmap_core::reward::Cash;
+use viewmap_core::solicit::VideoUpload;
+use viewmap_core::types::{MinuteId, VpId};
+use viewmap_core::viewmap::Site;
+use viewmap_core::vp::StoredVp;
+use vm_crypto::{BigUint, BlindedMessage, RsaPublicKey, Signature};
+
+/// Pipelined submits in flight before the client drains replies. Each
+/// reply frame is ~21 bytes, so a window keeps the unread backlog a few
+/// KB — far below any socket buffer — while still giving the server a
+/// deep run to coalesce.
+pub const PIPELINE_WINDOW: usize = 512;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connection reset, closed mid-frame, ...).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not parse as the expected reply.
+    Protocol(String),
+    /// The service replied with a typed error.
+    Remote(ErrorCode, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol violation: {d}"),
+            ClientError::Remote(code, detail) if detail.is_empty() => {
+                write!(f, "service error: {code}")
+            }
+            ClientError::Remote(code, detail) => write!(f, "service error: {code} ({detail})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking session with a [`crate::server::VmService`].
+pub struct VmClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u32,
+}
+
+impl VmClient {
+    /// Connect to a running service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<VmClient> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true).ok();
+        Ok(VmClient {
+            reader: BufReader::new(conn.try_clone()?),
+            writer: BufWriter::new(conn),
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, opcode: u8, payload: Vec<u8>) -> Result<u32, ClientError> {
+        let request_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        Frame {
+            request_id,
+            opcode,
+            payload,
+        }
+        .write_to(&mut self.writer)?;
+        Ok(request_id)
+    }
+
+    fn recv(&mut self, request_id: u32, request_opcode: u8) -> Result<Reply, ClientError> {
+        let frame = Frame::read_from(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the session",
+            ))
+        })?;
+        if frame.request_id != request_id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} for request {}",
+                frame.request_id, request_id
+            )));
+        }
+        Reply::decode(request_opcode, frame.opcode, &frame.payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable reply payload".into()))
+    }
+
+    /// One synchronous round trip.
+    fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let opcode = req.opcode();
+        let id = self.send(opcode, req.encode_payload())?;
+        self.writer.flush()?;
+        match self.recv(id, opcode)? {
+            Reply::Err(code, detail) => Err(ClientError::Remote(code, detail)),
+            reply => Ok(reply),
+        }
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<(), ClientError> {
+        match self.call(req)? {
+            Reply::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected OK, got {other:?}"))),
+        }
+    }
+
+    /// Submit one anonymized VP.
+    pub fn submit(&mut self, vp: &StoredVp) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Submit(vp.clone()))
+    }
+
+    /// Pipeline a stream of submits: windows of [`PIPELINE_WINDOW`]
+    /// frames are written back-to-back, then their replies drained, so
+    /// the server sees exactly the coalescable shape. Returns one
+    /// outcome per VP, aligned with the input (`Ok(())` accepted,
+    /// `Err(code)` the service's typed rejection). A transport or
+    /// protocol failure aborts the whole call.
+    pub fn submit_pipelined(
+        &mut self,
+        vps: &[StoredVp],
+    ) -> Result<Vec<Result<(), ErrorCode>>, ClientError> {
+        let mut outcomes = Vec::with_capacity(vps.len());
+        for window in vps.chunks(PIPELINE_WINDOW) {
+            let mut ids = Vec::with_capacity(window.len());
+            for vp in window {
+                ids.push(self.send(OP_SUBMIT, Request::Submit(vp.clone()).encode_payload())?);
+            }
+            self.writer.flush()?;
+            for id in ids {
+                outcomes.push(match self.recv(id, OP_SUBMIT)? {
+                    Reply::Ok => Ok(()),
+                    Reply::Err(code, _) => Err(code),
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected OK/ERR, got {other:?}"
+                        )))
+                    }
+                });
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Submit many VPs in one `SUBMIT_BATCH` frame. Returns per-VP
+    /// outcomes aligned with the input. The whole batch must fit one
+    /// frame ([`crate::proto::MAX_BODY_BYTES`], ~45k typical records) —
+    /// an oversized batch is a [`ClientError::Protocol`], not a panic;
+    /// for unbounded streams use
+    /// [`submit_pipelined`](Self::submit_pipelined).
+    pub fn submit_batch(
+        &mut self,
+        vps: Vec<StoredVp>,
+    ) -> Result<Vec<Result<(), ErrorCode>>, ClientError> {
+        let req = Request::SubmitBatch(vps);
+        let opcode = req.opcode();
+        let payload = req.encode_payload();
+        if crate::proto::BODY_PREFIX_BYTES + payload.len() > crate::proto::MAX_BODY_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "batch encodes to {} bytes, over the {} frame cap — \
+                 split it or use submit_pipelined",
+                payload.len(),
+                crate::proto::MAX_BODY_BYTES
+            )));
+        }
+        let id = self.send(opcode, payload)?;
+        self.writer.flush()?;
+        let reply = match self.recv(id, opcode)? {
+            Reply::Err(code, detail) => return Err(ClientError::Remote(code, detail)),
+            reply => reply,
+        };
+        match reply {
+            Reply::BatchResults(rs) => Ok(rs
+                .into_iter()
+                .map(|r| match r {
+                    None => Ok(()),
+                    Some(code) => Err(code),
+                })
+                .collect()),
+            other => Err(ClientError::Protocol(format!(
+                "expected batch results, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Run an investigation; returns the verified VP ids the server
+    /// posted on its solicitation board.
+    pub fn investigate(&mut self, minute: MinuteId, site: Site) -> Result<Vec<VpId>, ClientError> {
+        match self.call(&Request::Investigate { minute, site })? {
+            Reply::VpIds(ids) => Ok(ids),
+            other => Err(ClientError::Protocol(format!(
+                "expected VP ids, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Post a solicitation for one VP id.
+    pub fn solicit(&mut self, id: VpId) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Solicit(id))
+    }
+
+    /// Upload a solicited video (validated server-side against the
+    /// stored cascade).
+    pub fn upload_video(&mut self, upload: &VideoUpload) -> Result<(), ClientError> {
+        self.expect_ok(&Request::UploadVideo(upload.clone()))
+    }
+
+    /// Prove ownership of a rewarded VP; returns the award in cash
+    /// units.
+    pub fn claim_reward(&mut self, vp_id: VpId, secret: &[u8; 8]) -> Result<usize, ClientError> {
+        match self.call(&Request::ClaimReward {
+            vp_id,
+            secret: *secret,
+        })? {
+            Reply::Units(u) => Ok(u as usize),
+            other => Err(ClientError::Protocol(format!(
+                "expected units, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Have the service blind-sign cash messages (consumes the reward
+    /// board entry — one issuance per reward).
+    pub fn blind_sign(
+        &mut self,
+        vp_id: VpId,
+        secret: &[u8; 8],
+        blinded: &[BlindedMessage],
+    ) -> Result<Vec<Signature>, ClientError> {
+        match self.call(&Request::BlindSign {
+            vp_id,
+            secret: *secret,
+            blinded: blinded.to_vec(),
+        })? {
+            Reply::Signatures(sigs) => Ok(sigs),
+            other => Err(ClientError::Protocol(format!(
+                "expected signatures, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Redeem one unit of cash against the double-spending ledger.
+    pub fn redeem(&mut self, cash: &Cash) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Redeem(cash.clone()))
+    }
+
+    /// Fetch the system public key (to verify cash and blind messages
+    /// client-side).
+    pub fn public_key(&mut self) -> Result<RsaPublicKey, ClientError> {
+        match self.call(&Request::PublicKey)? {
+            Reply::PublicKey { n, e } => Ok(RsaPublicKey::from_parts(
+                BigUint::from_bytes_be(&n),
+                BigUint::from_bytes_be(&e),
+            )),
+            other => Err(ClientError::Protocol(format!(
+                "expected public key, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Total VPs the service currently stores.
+    pub fn total_vps(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::TotalVps)? {
+            Reply::Count(c) => Ok(c),
+            other => Err(ClientError::Protocol(format!(
+                "expected count, got {other:?}"
+            ))),
+        }
+    }
+}

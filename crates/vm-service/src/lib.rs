@@ -1,0 +1,49 @@
+//! `vm-service` — the concurrent network front-end for the ViewMap
+//! server.
+//!
+//! The paper's ViewMap system is a *service*: many uploader vehicles
+//! submit view profiles concurrently while investigators build and
+//! verify viewmaps against the same store. The core crate's
+//! lock-striped [`viewmap_core::server::ViewMapServer`] and its warm
+//! batch-ingest machinery were built for exactly that workload; this
+//! crate puts a TCP wire in front of them:
+//!
+//! * [`proto`] — the length-framed, checksummed binary wire format:
+//!   frame layout, opcodes, typed error codes, and the request/reply
+//!   codecs. VP records on the wire are the storage codec's bytes
+//!   ([`vm_store::codec`]), so upload bandwidth gets the same ~3.5×
+//!   delta compression the append log gets and the system has exactly
+//!   one canonical VP codec.
+//! * [`server`] — [`server::VmService`]: a `std::net::TcpListener`
+//!   accept loop plus a bounded worker pool fanned out through the
+//!   workspace's shared [`viewmap_core::par`] scoped-thread helpers.
+//!   Pipelined submits on one session are coalesced into
+//!   `submit_batch_warm` calls, so the network path rides the
+//!   per-(minute, batch) stripe locking and parallel link-key
+//!   precompute instead of paying per-frame locking.
+//! * [`client`] — [`client::VmClient`]: a blocking client with
+//!   windowed pipelining, used by the `service_session` example, the
+//!   multi-client integration suite, and `vm-bench`'s `service_rt_ms`
+//!   tier.
+//!
+//! The front-end serves **anonymous public traffic** only: there is no
+//! wire operation for trusted (authority) VPs and none for posting
+//! rewards — both stay on the in-process authority surface. A
+//! recovered-from-disk server (`ViewMapServer::open` from `vm-store`)
+//! drops in unchanged: the service holds an `Arc<ViewMapServer>` and
+//! never cares where the state came from.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full wire
+//! format specification and the concurrency model the service leans
+//! on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, VmClient};
+pub use proto::{ErrorCode, Frame, FrameError, Reply, Request};
+pub use server::{ServiceConfig, ServiceHandle, VmService};

@@ -94,7 +94,10 @@
 //! cache (survives process crash; the default, and what the benchmarks
 //! measure). The RSA signing key is **not** persisted — cash issued
 //! before a restart verifies only if the operator re-supplies the key;
-//! key storage is a deliberate non-goal of this layer.
+//! key storage is a deliberate non-goal of this layer. A recovery that
+//! replays existing records under a freshly generated key flags it
+//! ([`RecoveryReport::fresh_signing_key`] /
+//! [`RecoveryWarning::FreshSigningKey`]) instead of passing silently.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,4 +108,4 @@ pub mod store;
 
 pub use codec::{decode_record, encode_record, CodecError};
 pub use segment::{SegmentMeta, FRAME_HEADER_BYTES, SEGMENT_HEADER_BYTES};
-pub use store::{Fsync, PersistentServer, RecoveryReport, StoreConfig, VpStore};
+pub use store::{Fsync, PersistentServer, RecoveryReport, RecoveryWarning, StoreConfig, VpStore};

@@ -64,6 +64,36 @@ impl StoreConfig {
     }
 }
 
+/// A post-recovery condition the operator must act on (or consciously
+/// accept). Produced by [`RecoveryReport::warnings`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryWarning {
+    /// The store recovered existing records but the server was
+    /// constructed with a **freshly generated** RSA signing key (this
+    /// layer deliberately does not persist keys). Every unit of cash
+    /// issued before the restart verifies only under the *old* key:
+    /// until the operator re-supplies it, outstanding cash is
+    /// unredeemable (`RedeemError::BadSignature`) and rewards issued
+    /// now are signed by a key pre-restart wallets have never seen.
+    FreshSigningKey {
+        /// How many records the replay recovered under the new key.
+        recovered_records: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryWarning::FreshSigningKey { recovered_records } => write!(
+                f,
+                "recovered {recovered_records} records but the RSA signing key is fresh: \
+                 cash issued before the restart will not verify until the operator \
+                 re-supplies the original key"
+            ),
+        }
+    }
+}
+
 /// What [`VpStore::open`] found on disk (and what replay did with it).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -86,6 +116,28 @@ pub struct RecoveryReport {
     /// segment instead of appending records behind a wrong header
     /// (where every later recovery would silently skip them).
     pub quarantined: usize,
+    /// Set by [`PersistentServer::open`] when recovered records were
+    /// replayed under a freshly generated signing key — the typed form
+    /// of the "cash issued before a restart needs the operator to
+    /// re-supply the key" limitation (see
+    /// [`RecoveryWarning::FreshSigningKey`] and `ARCHITECTURE.md`).
+    /// Always `false` for an empty (first-boot) store: a fresh key
+    /// over no recovered state orphans nothing.
+    pub fresh_signing_key: bool,
+}
+
+impl RecoveryReport {
+    /// The typed warnings an operator should surface (log, alert)
+    /// after standing a server up on this recovery.
+    pub fn warnings(&self) -> Vec<RecoveryWarning> {
+        let mut out = Vec::new();
+        if self.fresh_signing_key {
+            out.push(RecoveryWarning::FreshSigningKey {
+                recovered_records: self.records,
+            });
+        }
+        out
+    }
 }
 
 /// Open segment writers kept warm between group commits. Minutes are
@@ -485,6 +537,11 @@ impl PersistentServer for ViewMapServer {
     ) -> std::io::Result<(ViewMapServer, RecoveryReport)> {
         let (store, vps, mut report) = VpStore::open(dir, store_cfg)?;
         let mut srv = ViewMapServer::new(rng, key_bits, cfg);
+        // The key the line above generated is new; if the store held
+        // state, cash signed before the restart is now orphaned until
+        // the operator re-supplies the original key. Say so in the
+        // report instead of letting the fresh key pass silently.
+        report.fresh_signing_key = report.records > 0;
         // Replay precedes attach: the records being replayed are already
         // on disk, and an attached WAL would double-log them.
         let results = srv.submit_replay_batch(vps);
@@ -717,6 +774,37 @@ mod tests {
         for (a, b) in group.iter().zip(&vps) {
             assert_eq!(a.id, b.id, "replay order");
         }
+    }
+
+    #[test]
+    fn fresh_signing_key_over_recovered_state_is_warned() {
+        // First boot: empty store, fresh key — nothing orphaned, no
+        // warning. Restart over real records: the key is fresh again
+        // (this layer never persists it), so pre-restart cash is
+        // unredeemable and the report must say so, typed.
+        let tmp = TempDir::new("freshkey");
+        let vmcfg = ViewmapConfig::default();
+        {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+            assert!(!report.fresh_signing_key, "empty store: fresh key is fine");
+            assert!(report.warnings().is_empty());
+            srv.submit_trusted(synthetic_vp(1, 0)).unwrap();
+            srv.sync_wal().unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+        assert!(report.fresh_signing_key);
+        assert_eq!(
+            report.warnings(),
+            vec![RecoveryWarning::FreshSigningKey {
+                recovered_records: 1
+            }]
+        );
+        assert!(
+            report.warnings()[0].to_string().contains("re-supplies"),
+            "warning text tells the operator what to do"
+        );
     }
 
     #[test]

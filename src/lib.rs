@@ -8,18 +8,22 @@
 //! This facade crate re-exports the workspace members under one roof and
 //! hosts the runnable examples and cross-crate integration tests:
 //!
-//! * [`core`](viewmap_core) — view digests, view profiles, guard VPs,
+//! * [`core`] — view digests, view profiles, guard VPs,
 //!   viewmap construction, TrustRank verification, solicitation,
 //!   blind-signature rewarding, the tracking adversary, attack toolkit.
-//! * [`crypto`](vm_crypto) — SHA-256, big integers, RSA blind signatures
+//! * [`crypto`] — SHA-256, big integers, RSA blind signatures
 //!   (all from scratch).
-//! * [`geo`](vm_geo) — planar geometry, road networks, routing, building
+//! * [`geo`] — planar geometry, road networks, routing, building
 //!   fields, spatial indices.
-//! * [`mobility`](vm_mobility) — the SUMO-substitute traffic simulator.
-//! * [`radio`](vm_radio) — the DSRC channel model with LOS/NLOS structure.
-//! * [`sim`](vm_sim) — the integrated protocol simulation (ns-3
+//! * [`mobility`] — the SUMO-substitute traffic simulator.
+//! * [`radio`] — the DSRC channel model with LOS/NLOS structure.
+//! * [`sim`] — the integrated protocol simulation (ns-3
 //!   substitute) and the controlled linkage experiments.
-//! * [`vision`](vm_vision) — realtime license-plate blurring.
+//! * [`vision`] — realtime license-plate blurring.
+//! * [`store`] — the durable append-log VP store with crash
+//!   recovery (`ViewMapServer::open`).
+//! * [`service`] — the concurrent TCP front-end (wire
+//!   protocol, worker-pool server, pipelining client).
 //!
 //! ## Example
 //!
@@ -48,7 +52,9 @@ pub use vm_crypto as crypto;
 pub use vm_geo as geo;
 pub use vm_mobility as mobility;
 pub use vm_radio as radio;
+pub use vm_service as service;
 pub use vm_sim as sim;
+pub use vm_store as store;
 pub use vm_vision as vision;
 
 pub mod dashcam;
