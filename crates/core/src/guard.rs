@@ -54,7 +54,7 @@ impl GuardConfig {
 }
 
 /// A source of driving routes between two points — the shape of the
-/// Google Directions API the paper calls out ([12]).
+/// Google Directions API the paper calls out (\[12\]).
 pub trait Directions {
     /// A polyline from `from` to `to`, or `None` if unroutable.
     fn driving_route(&self, from: GeoPos, to: GeoPos) -> Option<Vec<Point>>;

@@ -507,6 +507,45 @@ impl ViewMapServer {
             .sum()
     }
 
+    /// Every minute that currently holds at least one VP, ascending.
+    /// The iteration backbone for whole-state comparisons (the fault
+    /// harness walks this to compare a recovered server against its
+    /// oracle minute by minute).
+    pub fn stored_minutes(&self) -> Vec<MinuteId> {
+        let mut minutes: Vec<MinuteId> = self
+            .db
+            .iter()
+            .flat_map(|s| s.read().by_minute.keys().copied().collect::<Vec<_>>())
+            .collect();
+        minutes.sort_unstable();
+        minutes
+    }
+
+    /// Order-sensitive digest over the whole stored state: every minute
+    /// in ascending order, every bucket entry's position, id bytes, and
+    /// trusted flag. Two servers with equal digests hold the same
+    /// minutes, the same buckets in the same append order, and the same
+    /// authority flags — the single-number form of the
+    /// persisted-vs-live equivalence the recovery suites assert field
+    /// by field, cheap enough to run after every simulated crash.
+    pub fn state_digest(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(23)
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for minute in self.stored_minutes() {
+            h = mix(h, minute.0);
+            for (pos, vp) in self.minute_vps(minute).iter().enumerate() {
+                let b = vp.id.0.as_bytes();
+                h = mix(h, pos as u64);
+                h = mix(h, u64::from_le_bytes(b[..8].try_into().expect("8 bytes")));
+                h = mix(h, u64::from_le_bytes(b[8..].try_into().expect("8 bytes")));
+                h = mix(h, vp.trusted as u64);
+            }
+        }
+        h
+    }
+
     /// Build the viewmap for a minute around an incident site.
     ///
     /// Snapshots the minute's `Arc`s (pointer copies) and releases the
@@ -1178,6 +1217,79 @@ mod tests {
         srv.evict_minutes_before(MinuteId(1));
         assert_eq!(wal.evictions.lock().as_slice(), &[MinuteId(1)]);
         assert_eq!(srv.sync_wal().ok(), Some(()));
+    }
+
+    #[test]
+    fn state_digest_pins_minutes_order_and_trusted_flags() {
+        // Two servers fed the same VPs in the same order agree; changing
+        // bucket order, dropping a minute, or flipping a trusted flag
+        // must each move the digest.
+        let a = server(60);
+        let b = server(61);
+        for m in 0..3u64 {
+            for t in 0..4u64 {
+                a.store(synthetic_vp(m * 10 + t, m)).unwrap();
+                b.store(synthetic_vp(m * 10 + t, m)).unwrap();
+            }
+        }
+        assert_eq!(
+            a.stored_minutes(),
+            vec![MinuteId(0), MinuteId(1), MinuteId(2)]
+        );
+        assert_eq!(
+            a.state_digest(),
+            b.state_digest(),
+            "same history, same digest"
+        );
+
+        // Different append order within one minute.
+        let c = server(62);
+        for m in 0..3u64 {
+            for t in (0..4u64).rev() {
+                c.store(synthetic_vp(m * 10 + t, m)).unwrap();
+            }
+        }
+        assert_ne!(
+            a.state_digest(),
+            c.state_digest(),
+            "order is part of the state"
+        );
+
+        // A missing minute.
+        let d = server(63);
+        for m in 0..2u64 {
+            for t in 0..4u64 {
+                d.store(synthetic_vp(m * 10 + t, m)).unwrap();
+            }
+        }
+        assert_ne!(
+            a.state_digest(),
+            d.state_digest(),
+            "minute set is part of the state"
+        );
+
+        // Same ids, one trusted flag flipped.
+        let e = server(64);
+        for m in 0..3u64 {
+            for t in 0..4u64 {
+                let mut vp = synthetic_vp(m * 10 + t, m);
+                if m == 1 && t == 2 {
+                    vp.trusted = true;
+                }
+                e.store(vp).unwrap();
+            }
+        }
+        assert_ne!(
+            a.state_digest(),
+            e.state_digest(),
+            "trust is part of the state"
+        );
+
+        // Eviction moves the digest and the minute list together.
+        let before = a.state_digest();
+        a.evict_minutes_before(MinuteId(1));
+        assert_eq!(a.stored_minutes(), vec![MinuteId(1), MinuteId(2)]);
+        assert_ne!(a.state_digest(), before);
     }
 
     #[test]

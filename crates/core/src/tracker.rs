@@ -3,7 +3,7 @@
 //! The threat: the system itself (or anyone with the VP database) tries to
 //! follow a vehicle across minutes by linking VPs that are adjacent in
 //! space and time. Following Hoh & Gruteser's target-tracking formulation
-//! [23], the tracker holds a belief distribution `p(i, t)` over the VPs of
+//! \[23\], the tracker holds a belief distribution `p(i, t)` over the VPs of
 //! minute `t`; at each minute boundary it predicts the target's position
 //! (the end of each hypothesis VP — driving is continuous) and re-weights
 //! candidate VPs of the next minute by a Gaussian model of deviation from

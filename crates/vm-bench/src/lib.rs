@@ -40,6 +40,7 @@ pub mod misc;
 pub mod privacy_exp;
 pub mod traffic;
 pub mod verification;
+pub mod worlds;
 
 /// Trial-count scale factor from `VM_SCALE` (default 1.0, clamped to
 /// `[0.01, 100]`).

@@ -3,7 +3,7 @@
 //! The ViewMap protocol (NSDI '17) needs three primitives:
 //!
 //! * a cryptographic hash for video fingerprints and VP identifiers
-//!   ([`sha256`], truncated to 128 bits on the wire),
+//!   ([`sha256()`], truncated to 128 bits on the wire),
 //! * big-integer arithmetic ([`bigint`]) as the substrate for
 //! * RSA blind signatures ([`rsa`]) used for the untraceable virtual cash
 //!   of Section 5.3 / Appendix A (Chaum's scheme).

@@ -29,7 +29,7 @@ pub enum Blockage {
 /// −100..−80 dBm band (Fig. 16).
 #[derive(Clone, Copy, Debug)]
 pub struct ChannelParams {
-    /// Transmit power in dBm (the paper sets 14 dBm, after [17]).
+    /// Transmit power in dBm (the paper sets 14 dBm, after \[17\]).
     pub tx_power_dbm: f64,
     /// Reference path loss at 1 m for 5.9 GHz, dB.
     pub pl0_db: f64,

@@ -11,7 +11,7 @@
 //!   beyond a few tens of meters),
 //! * a milder vehicle-obstruction penalty (heavy traffic),
 //! * a logistic RSSI→PDR curve with a fluctuating "gray zone" between
-//!   −100 and −80 dBm, matching Fig. 16 and Bai et al. [17],
+//!   −100 and −80 dBm, matching Fig. 16 and Bai et al. \[17\],
 //! * a camera-visibility model used for the VP-link/video-content
 //!   correlation study (Table 2, Fig. 20).
 

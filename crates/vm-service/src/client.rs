@@ -12,7 +12,8 @@
 
 use crate::proto::{ErrorCode, Frame, Reply, Request, OP_SUBMIT};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use viewmap_core::reward::Cash;
 use viewmap_core::solicit::VideoUpload;
 use viewmap_core::types::{MinuteId, VpId};
@@ -31,6 +32,12 @@ pub const PIPELINE_WINDOW: usize = 512;
 pub enum ClientError {
     /// Transport failure (connection reset, closed mid-frame, ...).
     Io(std::io::Error),
+    /// A configured [`ClientConfig`] timeout expired while waiting on
+    /// the socket. The session is **poisoned** after this: a reply may
+    /// still be in flight, so the byte stream can no longer be paired
+    /// with requests — reconnect
+    /// ([`VmClient::reconnect_with_backoff`]) before retrying.
+    TimedOut,
     /// The peer sent bytes that do not parse as the expected reply.
     Protocol(String),
     /// The service replied with a typed error.
@@ -41,6 +48,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting on the service"),
             ClientError::Protocol(d) => write!(f, "protocol violation: {d}"),
             ClientError::Remote(code, detail) if detail.is_empty() => {
                 write!(f, "service error: {code}")
@@ -54,8 +62,30 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // A read/write deadline expiring surfaces as WouldBlock or
+        // TimedOut depending on the platform; both mean "the configured
+        // timeout fired", which callers handle differently from a dead
+        // transport (retry after reconnect vs give up).
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::TimedOut,
+            _ => ClientError::Io(e),
+        }
     }
+}
+
+/// Socket deadlines for a [`VmClient`] session. The default (no
+/// timeouts) blocks forever — right for trusted in-process tests, wrong
+/// against a server that may be dead or gray (a hung service would pin
+/// the client thread indefinitely).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfig {
+    /// Deadline for each socket read while waiting on a reply. The
+    /// timer is per `read(2)` call, so a slow-but-flowing reply stream
+    /// does not trip it — only a stalled one.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each socket write (trips when the peer stops
+    /// draining and both windows fill).
+    pub write_timeout: Option<Duration>,
 }
 
 /// A blocking session with a [`crate::server::VmService`].
@@ -63,18 +93,80 @@ pub struct VmClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u32,
+    /// The resolved address we connected to, for reconnects.
+    peer: SocketAddr,
+    cfg: ClientConfig,
 }
 
 impl VmClient {
-    /// Connect to a running service.
+    /// Connect to a running service with no socket deadlines.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<VmClient> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit socket deadlines (see [`ClientConfig`]).
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<VmClient> {
         let conn = TcpStream::connect(addr)?;
+        let peer = conn.peer_addr()?;
+        Self::from_stream(conn, peer, cfg)
+    }
+
+    fn from_stream(
+        conn: TcpStream,
+        peer: SocketAddr,
+        cfg: ClientConfig,
+    ) -> std::io::Result<VmClient> {
         conn.set_nodelay(true).ok();
+        conn.set_read_timeout(cfg.read_timeout)?;
+        conn.set_write_timeout(cfg.write_timeout)?;
         Ok(VmClient {
             reader: BufReader::new(conn.try_clone()?),
             writer: BufWriter::new(conn),
             next_id: 1,
+            peer,
+            cfg,
         })
+    }
+
+    /// The address this session is (or was) connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Replace a dead or poisoned session with a fresh connection to
+    /// the same address, retrying up to `attempts` times with doubling
+    /// sleeps starting at `initial` (so a restarting server gets time
+    /// to come back). Keeps the configured deadlines. On success the
+    /// old socket is dropped and request ids continue from where they
+    /// were; on failure returns the last connect error and leaves the
+    /// (dead) session in place.
+    pub fn reconnect_with_backoff(
+        &mut self,
+        attempts: usize,
+        initial: Duration,
+    ) -> Result<(), ClientError> {
+        assert!(attempts >= 1, "at least one reconnect attempt");
+        let mut delay = initial;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match TcpStream::connect(self.peer)
+                .and_then(|conn| Self::from_stream(conn, self.peer, self.cfg))
+            {
+                Ok(mut fresh) => {
+                    fresh.next_id = self.next_id;
+                    *self = fresh;
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(
+            last_err.expect("attempts >= 1 recorded an error"),
+        ))
     }
 
     fn send(&mut self, opcode: u8, payload: Vec<u8>) -> Result<u32, ClientError> {

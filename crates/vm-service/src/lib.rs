@@ -44,6 +44,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientError, VmClient};
+pub use client::{ClientConfig, ClientError, VmClient};
 pub use proto::{ErrorCode, Frame, FrameError, Reply, Request};
 pub use server::{ServiceConfig, ServiceHandle, VmService};

@@ -68,6 +68,15 @@ pub struct ServiceConfig {
     /// client can retry) instead of letting a flood grow the queue —
     /// and the process's open-fd count — without bound. Default 1024.
     pub max_backlog: usize,
+    /// Reap a session whose socket delivers no bytes for this long.
+    /// Sessions are worker-bound, so a leaked keep-alive connection
+    /// pins a pool worker forever without a deadline; with one, the
+    /// blocked read returns, the session closes cleanly (buffered
+    /// replies are flushed first), and the worker moves on. The timer
+    /// is per `read(2)` call — any delivered byte resets it — so a
+    /// slow-but-active uploader is never reaped mid-stream. `None`
+    /// (the default) keeps today's block-forever behavior.
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +85,7 @@ impl Default for ServiceConfig {
             workers: 8,
             max_coalesce: 1024,
             max_backlog: 1024,
+            idle_timeout: None,
         }
     }
 }
@@ -264,18 +274,38 @@ fn worker_loop(shared: &Shared) {
 /// failure and protocol corruption — either way the session is over.
 fn serve_session(shared: &Shared, session_id: u64, conn: TcpStream) -> std::io::Result<()> {
     conn.set_nodelay(true).ok();
+    // The per-session idle deadline: a read that delivers nothing for
+    // idle_timeout returns WouldBlock/TimedOut instead of blocking the
+    // worker forever. Failing to arm it falls back to block-forever —
+    // the pre-deadline behavior — rather than killing the session.
+    conn.set_read_timeout(shared.cfg.idle_timeout).ok();
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
     let mut pending: Option<Frame> = None;
     loop {
         let frame = match pending.take() {
             Some(f) => f,
-            None => match read_next(&mut reader, &mut writer)? {
-                Some(f) => f,
-                None => {
+            None => match read_next(&mut reader, &mut writer) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
                     writer.flush()?;
                     return Ok(()); // clean close
                 }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle deadline expired with no new frame: reap the
+                    // session. (If the deadline lands mid-frame the
+                    // partial bytes are dropped with the connection —
+                    // the peer sees a close, exactly like a transport
+                    // failure, and no partial frame is ever dispatched.)
+                    let _ = writer.flush();
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
             },
         };
         if frame.opcode == OP_SUBMIT {

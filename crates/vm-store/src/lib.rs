@@ -103,9 +103,11 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod segment;
 pub mod store;
 
 pub use codec::{decode_record, encode_record, CodecError};
+pub use fault::FrameSpan;
 pub use segment::{SegmentMeta, FRAME_HEADER_BYTES, SEGMENT_HEADER_BYTES};
 pub use store::{Fsync, PersistentServer, RecoveryReport, RecoveryWarning, StoreConfig, VpStore};

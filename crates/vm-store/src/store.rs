@@ -270,7 +270,7 @@ impl Drop for DirLock {
 /// First free quarantine name for a foreign file: `<name>.mismatch`,
 /// then `.mismatch.1`, `.mismatch.2`, … — never silently replacing an
 /// earlier quarantined file (each may be someone's only copy). Race-free
-/// because the directory is single-process under the [`DirLock`].
+/// because the directory is single-process under the `DirLock`.
 fn quarantine_path(path: &Path) -> PathBuf {
     let base = path.as_os_str().to_owned();
     for i in 0u32.. {
@@ -294,7 +294,7 @@ fn quarantine_path(path: &Path) -> PathBuf {
 /// the investigation hot path (reads never look at the store).
 ///
 /// Concurrency: a `LOCK` pidfile makes the store single-process (see
-/// [`DirLock`]); within it, the server serializes appends per minute
+/// `DirLock`); within it, the server serializes appends per minute
 /// (they happen under the minute shard's write lock) and the store's
 /// own mutexes are held only to check buffers and writers in and out,
 /// never across I/O. Retention sweeps of a minute still receiving

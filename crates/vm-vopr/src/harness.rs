@@ -1,0 +1,570 @@
+//! The vopr driver: one seeded run of client + service + durable server
+//! under a scenario's fault mix, checked against an in-process oracle.
+//!
+//! # Determinism
+//!
+//! Everything the driver *decides* — world shape, op schedule, crash
+//! points, torn-tail offsets, gray naps — is drawn from [`rand`]
+//! generators derived from the run seed, so a given `(scenario, seed)`
+//! always injects the same op-level fault plan. Wire-level byte timing
+//! (what the kernel interleaves) is not replayable, which is why the
+//! equivalence argument is *timing-independent*: the driver is one
+//! synchronous client that retries each op until it settles (accepted
+//! now, or already present) before issuing the next, so per-minute
+//! accepted order equals issue order no matter how the wire behaves,
+//! and the oracle — an in-process [`ViewMapServer`] fed exactly the
+//! accepted operations — must match bit for bit.
+
+use crate::proxy::ChaosProxy;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::types::{GeoPos, MinuteId, VpId};
+use viewmap_core::viewmap::{Site, ViewmapConfig};
+use viewmap_core::vp::StoredVp;
+use vm_bench::worlds::{linked_minute, viewmap_checksum};
+use vm_service::proto::ErrorCode;
+use vm_service::{ClientConfig, ClientError, ServiceConfig, VmClient, VmService};
+use vm_store::{fault, PersistentServer, StoreConfig};
+
+/// RSA modulus width for harness servers: the smallest the crypto layer
+/// accepts, because vopr measures fault tolerance, not key strength.
+const KEY_BITS: usize = 64;
+
+/// Cap on attempts for one op to settle before the run is declared
+/// wedged (generous: the fault rates leave each attempt likely to
+/// succeed).
+const MAX_ATTEMPTS: usize = 50;
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(format!($($arg)*));
+        }
+    };
+}
+
+/// What one seeded run did — counters for reporting, not assertions
+/// (all assertions live inside [`run_seed`] and fail the run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The seed that parameterized it.
+    pub seed: u64,
+    /// Crash/recover generations driven (1 = no injected crash).
+    pub generations: usize,
+    /// Wire ops settled (submits + investigations).
+    pub ops: usize,
+    /// Failed attempts that forced a reconnect-and-retry.
+    pub retries: usize,
+    /// Injected crashes (always `generations - 1`).
+    pub crashes: usize,
+    /// Torn segments recovery reported across all reopens.
+    pub torn_segments: usize,
+    /// Bytes recovery truncated off torn tails across all reopens.
+    pub truncated_bytes: u64,
+    /// VPs in the final recovered server (== the oracle's).
+    pub final_vps: usize,
+}
+
+/// Expectations carried from an injury to the next generation's reopen.
+#[derive(Clone, Copy, Debug, Default)]
+struct InjuryExpect {
+    torn_segments: usize,
+    truncated_bytes: u64,
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(scenario: Scenario, seed: u64) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "vm_vopr_{}_{}_{}",
+            scenario.name(),
+            seed,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The investigation site every check uses: covers the whole linked
+/// world (vehicles sit at `x < ~2.5 km`, `y = 10·minute`).
+fn site() -> Site {
+    Site {
+        center: GeoPos::new(400.0, 15.0),
+        radius_m: 100_000.0,
+    }
+}
+
+enum Settled {
+    /// The service accepted the op on this settle.
+    Accepted,
+    /// The service reports the op already present (a re-drive, or a
+    /// retry whose earlier attempt was accepted but its reply lost).
+    Present,
+}
+
+fn settle_submit(
+    client: &mut VmClient,
+    vp: &StoredVp,
+    retries: &mut usize,
+) -> Result<Settled, String> {
+    for _ in 0..MAX_ATTEMPTS {
+        match client.submit(vp) {
+            Ok(()) => return Ok(Settled::Accepted),
+            Err(ClientError::Remote(ErrorCode::Duplicate, _)) => return Ok(Settled::Present),
+            Err(ClientError::Remote(code, detail)) => {
+                return Err(format!("unexpected rejection {code}: {detail}"))
+            }
+            Err(_) => {
+                *retries += 1;
+                let _ = client.reconnect_with_backoff(5, Duration::from_millis(2));
+            }
+        }
+    }
+    Err(format!("submit of {:?} never settled", vp.id))
+}
+
+fn settle_investigate(
+    client: &mut VmClient,
+    minute: MinuteId,
+    retries: &mut usize,
+) -> Result<Vec<VpId>, String> {
+    for _ in 0..MAX_ATTEMPTS {
+        match client.investigate(minute, site()) {
+            Ok(ids) => return Ok(ids),
+            Err(ClientError::Remote(code, detail)) => {
+                return Err(format!("investigation rejected {code}: {detail}"))
+            }
+            Err(_) => {
+                *retries += 1;
+                let _ = client.reconnect_with_backoff(5, Duration::from_millis(2));
+            }
+        }
+    }
+    Err(format!("investigation of {minute:?} never settled"))
+}
+
+/// Build a fresh in-process oracle holding exactly `anchor +
+/// accepted[m]` per minute, in accepted order, with trusted flags
+/// preserved (replay ingest).
+fn build_oracle(
+    world: &[Vec<StoredVp>],
+    accepted: &[Vec<usize>],
+    cfg: ViewmapConfig,
+) -> Result<ViewMapServer, String> {
+    let mut orng = StdRng::seed_from_u64(0xACE5);
+    let oracle = ViewMapServer::new(&mut orng, KEY_BITS, cfg);
+    for (m, minute_world) in world.iter().enumerate() {
+        let mut batch = vec![minute_world[0].clone()];
+        batch.extend(accepted[m].iter().map(|&i| minute_world[i].clone()));
+        let results = oracle.submit_replay_batch(batch);
+        ensure!(
+            results.iter().all(|r| r.is_ok()),
+            "oracle replay rejected a VP in minute {m}: {results:?}"
+        );
+    }
+    Ok(oracle)
+}
+
+/// Assert `srv` and `oracle` are observably the same system: minutes,
+/// digest, bucket orders, viewmap topology, TrustRank outcomes, index
+/// routing, and (after the investigations this check runs itself) the
+/// solicitation board.
+fn check_equivalence(
+    srv: &ViewMapServer,
+    oracle: &ViewMapServer,
+    minutes: usize,
+    label: &str,
+) -> Result<(), String> {
+    let want_minutes: Vec<MinuteId> = (0..minutes as u64).map(MinuteId).collect();
+    ensure!(
+        srv.stored_minutes() == want_minutes,
+        "{label}: server minutes {:?}",
+        srv.stored_minutes()
+    );
+    ensure!(
+        oracle.stored_minutes() == want_minutes,
+        "{label}: oracle minutes {:?}",
+        oracle.stored_minutes()
+    );
+    ensure!(
+        srv.state_digest() == oracle.state_digest(),
+        "{label}: state digest diverged"
+    );
+    ensure!(
+        srv.total_vps() == oracle.total_vps(),
+        "{label}: total {} != oracle {}",
+        srv.total_vps(),
+        oracle.total_vps()
+    );
+    for &minute in &want_minutes {
+        let s_ids: Vec<VpId> = srv.minute_vps(minute).iter().map(|vp| vp.id).collect();
+        let o_ids: Vec<VpId> = oracle.minute_vps(minute).iter().map(|vp| vp.id).collect();
+        ensure!(
+            s_ids == o_ids,
+            "{label}: bucket order diverged at {minute:?}"
+        );
+        ensure!(
+            viewmap_checksum(&srv.build_viewmap(minute, site()))
+                == viewmap_checksum(&oracle.build_viewmap(minute, site())),
+            "{label}: viewmap checksum diverged at {minute:?}"
+        );
+        ensure!(
+            srv.investigate(minute, site()) == oracle.investigate(minute, site()),
+            "{label}: investigation diverged at {minute:?}"
+        );
+        for id in s_ids {
+            ensure!(
+                srv.lookup_vp(id).map(|vp| vp.id) == Some(id),
+                "{label}: server index lost {id:?}"
+            );
+            ensure!(
+                oracle.lookup_vp(id).map(|vp| vp.id) == Some(id),
+                "{label}: oracle index lost {id:?}"
+            );
+        }
+    }
+    ensure!(
+        srv.solicitation_board() == oracle.solicitation_board(),
+        "{label}: solicitation boards diverged"
+    );
+    Ok(())
+}
+
+/// Crash-injure the WAL: pick a seeded minute with appended ops, drop
+/// 1–2 tail frames, and (for mid-frame scenarios) leave a seeded
+/// partial prefix of the first dropped frame. Bookkeeping is truncated
+/// to the survivors so the next reopen can be checked *exactly*.
+fn injure(
+    dir: &Path,
+    scenario: Scenario,
+    accepted: &mut [Vec<usize>],
+    present: &mut [HashSet<usize>],
+    rng: &mut StdRng,
+) -> Result<InjuryExpect, String> {
+    let candidates: Vec<usize> = (0..accepted.len())
+        .filter(|&m| !accepted[m].is_empty())
+        .collect();
+    let Some(&m) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+        return Ok(InjuryExpect::default()); // nothing appended yet: pure crash
+    };
+    let path = vm_store::segment::segment_path(dir, MinuteId(m as u64));
+    let spans = fault::segment_frames(&path).map_err(|e| format!("walking {path:?}: {e}"))?;
+    // Independent cross-check: appended frames must be anchor + exactly
+    // the ops the driver saw accepted, before we injure anything.
+    ensure!(
+        spans.len() == 1 + accepted[m].len(),
+        "minute {m}: segment holds {} frames, driver accepted {}",
+        spans.len(),
+        accepted[m].len()
+    );
+    let k = rng.gen_range(1..=accepted[m].len().min(2));
+    let cut = spans[spans.len() - k].offset;
+    let partial: u64 = if scenario.tears_mid_frame() {
+        rng.gen_range(1..vm_store::FRAME_HEADER_BYTES as u64)
+    } else {
+        0
+    };
+    fault::tear_at(&path, cut + partial).map_err(|e| format!("tearing {path:?}: {e}"))?;
+    accepted[m].truncate(accepted[m].len() - k);
+    present[m] = accepted[m].iter().copied().collect();
+    Ok(InjuryExpect {
+        torn_segments: usize::from(partial > 0),
+        truncated_bytes: partial,
+    })
+}
+
+/// Run one `(scenario, seed)` simulation end to end. `Err` carries a
+/// human-readable reason; callers prepend the scenario and seed so any
+/// failure is reproducible from the message alone.
+pub fn run_seed(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
+    run_inner(scenario, seed).map_err(|e| {
+        format!(
+            "[scenario={} seed={seed}] {e} — reproduce: \
+             cargo run -p vm-vopr -- --scenario {} --seed {seed}",
+            scenario.name(),
+            scenario.name()
+        )
+    })
+}
+
+fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
+    let tmp = TempDir::new(scenario, seed);
+    let vmcfg = ViewmapConfig::default();
+    let store_cfg = StoreConfig::default();
+
+    // ── The seeded plan: world, schedule, generation count. ──────────
+    let mut plan_rng = StdRng::seed_from_u64(seed);
+    let minutes = plan_rng.gen_range(2..=3usize);
+    let world: Vec<Vec<StoredVp>> = (0..minutes)
+        .map(|m| linked_minute(plan_rng.gen_range(5..=9), m as u64, seed))
+        .collect();
+    // Round-robin interleave so crash points land across minutes.
+    let mut schedule: Vec<(usize, usize)> = Vec::new();
+    let widest = world.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 1..widest {
+        for (m, minute_world) in world.iter().enumerate() {
+            if i < minute_world.len() {
+                schedule.push((m, i));
+            }
+        }
+    }
+    let generations = scenario.generations(&mut plan_rng);
+    let mut nap_rng = StdRng::seed_from_u64(seed ^ 0x6e61_7073); // gray naps
+
+    let mut accepted: Vec<Vec<usize>> = vec![Vec::new(); minutes];
+    let mut present: Vec<HashSet<usize>> = vec![HashSet::new(); minutes];
+    let mut pending = InjuryExpect::default();
+    let mut report = RunReport {
+        scenario,
+        seed,
+        generations,
+        ops: 0,
+        retries: 0,
+        crashes: 0,
+        torn_segments: 0,
+        truncated_bytes: 0,
+        final_vps: 0,
+    };
+
+    for gen in 0..generations {
+        let last = gen + 1 == generations;
+        let mut srv_rng = StdRng::seed_from_u64(seed ^ 0x5eed ^ ((gen as u64) << 32));
+        let (srv, recovery) = ViewMapServer::open(&mut srv_rng, KEY_BITS, vmcfg, &tmp.0, store_cfg)
+            .map_err(|e| format!("open generation {gen}: {e}"))?;
+
+        // ── Recovery must report exactly the injury. ─────────────────
+        let want_records: usize = if gen == 0 {
+            0
+        } else {
+            accepted.iter().map(|a| 1 + a.len()).sum()
+        };
+        ensure!(
+            recovery.records == want_records,
+            "gen {gen}: recovered {} records, expected {want_records}",
+            recovery.records
+        );
+        ensure!(
+            recovery.torn_segments == pending.torn_segments
+                && recovery.truncated_bytes == pending.truncated_bytes,
+            "gen {gen}: torn {}/{}B, injected {}/{}B",
+            recovery.torn_segments,
+            recovery.truncated_bytes,
+            pending.torn_segments,
+            pending.truncated_bytes
+        );
+        ensure!(
+            recovery.rejected == 0 && recovery.quarantined == 0,
+            "gen {gen}: recovery rejected {} / quarantined {}",
+            recovery.rejected,
+            recovery.quarantined
+        );
+        ensure!(
+            recovery.fresh_signing_key == (want_records > 0),
+            "gen {gen}: fresh_signing_key flag wrong"
+        );
+        report.torn_segments += recovery.torn_segments;
+        report.truncated_bytes += recovery.truncated_bytes;
+        pending = InjuryExpect::default();
+
+        // ── Anchors (authority surface, in-process). The first boot
+        //    accepts them; every later generation must already hold
+        //    them (tail injuries never reach frame 0). ────────────────
+        for (m, minute_world) in world.iter().enumerate() {
+            let r = srv
+                .submit_trusted(minute_world[0].clone())
+                .map_err(ErrorCode::from);
+            if gen == 0 {
+                ensure!(r.is_ok(), "gen 0: anchor {m} rejected: {r:?}");
+            } else {
+                ensure!(
+                    r == Err(ErrorCode::Duplicate),
+                    "gen {gen}: anchor {m} did not survive: {r:?}"
+                );
+            }
+        }
+
+        // ── Post-crash: the recovered state must equal an oracle fed
+        //    the surviving accepted ops. ──────────────────────────────
+        if gen > 0 {
+            for (m, minute_world) in world.iter().enumerate() {
+                let ids: Vec<VpId> = srv
+                    .minute_vps(MinuteId(m as u64))
+                    .iter()
+                    .map(|vp| vp.id)
+                    .collect();
+                let want: Vec<VpId> = std::iter::once(minute_world[0].id)
+                    .chain(accepted[m].iter().map(|&i| minute_world[i].id))
+                    .collect();
+                ensure!(
+                    ids == want,
+                    "gen {gen}: minute {m} survivors are not the accepted prefix"
+                );
+            }
+            let oracle = build_oracle(&world, &accepted, vmcfg)?;
+            check_equivalence(&srv, &oracle, minutes, &format!("post-crash gen {gen}"))?;
+        }
+
+        // ── Serve and drive the (re-driven) op schedule. ─────────────
+        let srv = Arc::new(srv);
+        let handle = VmService::spawn(
+            Arc::clone(&srv),
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 2,
+                idle_timeout: matches!(scenario, Scenario::Gray).then(|| Duration::from_millis(30)),
+                ..ServiceConfig::default()
+            },
+        )
+        .map_err(|e| format!("spawn service gen {gen}: {e}"))?;
+        let proxy = match scenario.wire_faults() {
+            Some(faults) => Some(
+                ChaosProxy::spawn(handle.addr(), seed ^ ((gen as u64) << 48), faults)
+                    .map_err(|e| format!("spawn proxy gen {gen}: {e}"))?,
+            ),
+            None => None,
+        };
+        let addr = proxy.as_ref().map_or(handle.addr(), |p| p.addr());
+        let mut client = VmClient::connect_with(
+            addr,
+            ClientConfig {
+                read_timeout: Some(Duration::from_secs(5)),
+                write_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+        .map_err(|e| format!("connect gen {gen}: {e}"))?;
+
+        let ops_this_gen = if last {
+            schedule.len()
+        } else {
+            plan_rng.gen_range(0..=schedule.len())
+        };
+        if matches!(scenario, Scenario::Baseline) {
+            // The coalescing fast path: the whole schedule pipelined.
+            let vps: Vec<StoredVp> = schedule.iter().map(|&(m, i)| world[m][i].clone()).collect();
+            let outcomes = client
+                .submit_pipelined(&vps)
+                .map_err(|e| format!("pipelined submit: {e}"))?;
+            for (&(m, i), out) in schedule.iter().zip(&outcomes) {
+                ensure!(out.is_ok(), "baseline rejected ({m},{i}): {out:?}");
+                accepted[m].push(i);
+                present[m].insert(i);
+            }
+            report.ops += vps.len();
+        } else {
+            let faultless = scenario.wire_faults().is_none();
+            for &(m, i) in &schedule[..ops_this_gen] {
+                if matches!(scenario, Scenario::Gray) && nap_rng.gen_bool(0.15) {
+                    // Outlast the server's idle deadline: the session is
+                    // reaped and the next op must recover by reconnect.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                let was_present = present[m].contains(&i);
+                let settled = settle_submit(&mut client, &world[m][i], &mut report.retries)?;
+                if faultless {
+                    // No wire faults → outcomes are exact: survivors
+                    // dedup, lost ops re-accept.
+                    ensure!(
+                        matches!(settled, Settled::Accepted) == !was_present,
+                        "op ({m},{i}): settled {} but {} present",
+                        if matches!(settled, Settled::Accepted) {
+                            "Accepted"
+                        } else {
+                            "Present"
+                        },
+                        if was_present { "was" } else { "was not" },
+                    );
+                }
+                match settled {
+                    Settled::Accepted => {
+                        ensure!(!was_present, "service re-accepted a stored VP ({m},{i})");
+                        accepted[m].push(i);
+                        present[m].insert(i);
+                    }
+                    Settled::Present => {
+                        // Already present — or accepted by an earlier
+                        // attempt of THIS op whose reply was lost.
+                        if !was_present {
+                            accepted[m].push(i);
+                            present[m].insert(i);
+                        }
+                    }
+                }
+                report.ops += 1;
+            }
+        }
+
+        if !last {
+            // ── Crash: tear everything down with no sync, then injure
+            //    the WAL tail at seeded offsets. ───────────────────────
+            drop(client);
+            drop(proxy);
+            drop(handle); // joins workers, releasing their Arc clones
+            let srv = Arc::try_unwrap(srv)
+                .map_err(|_| "service still holds server references".to_string())?;
+            drop(srv); // crash: no sync_wal; Drop releases the dir lock
+            pending = injure(&tmp.0, scenario, &mut accepted, &mut present, &mut plan_rng)?;
+            report.crashes += 1;
+            continue;
+        }
+
+        // ── Final generation: wire investigations vs the oracle, then
+        //    graceful shutdown, reopen, and full equivalence. ──────────
+        let oracle = build_oracle(&world, &accepted, vmcfg)?;
+        for m in 0..minutes {
+            let minute = MinuteId(m as u64);
+            let ids = settle_investigate(&mut client, minute, &mut report.retries)?;
+            ensure!(
+                ids == oracle.investigate(minute, site()),
+                "wire investigation diverged at minute {m}"
+            );
+            report.ops += 1;
+        }
+        drop(client);
+        drop(proxy);
+        drop(handle);
+        let srv = Arc::try_unwrap(srv)
+            .map_err(|_| "service still holds server references".to_string())?;
+        check_equivalence(&srv, &oracle, minutes, "final live")?;
+        srv.sync_wal().map_err(|e| format!("final sync: {e}"))?;
+        drop(srv);
+
+        let mut final_rng = StdRng::seed_from_u64(seed ^ 0xf17a1);
+        let (back, rep) = ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, &tmp.0, store_cfg)
+            .map_err(|e| format!("final reopen: {e}"))?;
+        let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
+        ensure!(
+            rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,
+            "graceful reopen: {} records ({} torn, {}B truncated), expected {want_records} clean",
+            rep.records,
+            rep.torn_segments,
+            rep.truncated_bytes
+        );
+        check_equivalence(&back, &oracle, minutes, "final recovered")?;
+        // The full world must have landed by the end of the run.
+        let want_total: usize = world.iter().map(Vec::len).sum();
+        ensure!(
+            back.total_vps() == want_total,
+            "final server holds {} VPs, world has {want_total}",
+            back.total_vps()
+        );
+        report.final_vps = back.total_vps();
+    }
+
+    Ok(report)
+}

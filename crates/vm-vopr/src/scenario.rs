@@ -1,0 +1,101 @@
+//! The scenario catalog: named fault mixes the driver binary and the CI
+//! smoke sweep iterate over.
+
+use crate::proxy::WireFaults;
+
+/// A named fault mix. Each scenario fixes *which* fault classes are
+/// armed; *where* they strike is drawn from the run seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// No faults: pipelined ingest, graceful shutdown, recovery — the
+    /// harness's own plumbing must hold before anything is injected.
+    Baseline,
+    /// Wire chaos through the proxy: delays, small-chunk trickle,
+    /// per-chunk corruption (killed sessions), connection cuts. The
+    /// client retries through reconnects; the server's dedup absorbs
+    /// the resulting at-least-once duplicates.
+    WireChaos,
+    /// One crash with a mid-frame torn WAL tail (plus whole dropped
+    /// frames): recovery must truncate exactly the torn bytes and
+    /// report them, and the re-driven ops must restore equivalence.
+    TornTail,
+    /// Several crash/recover generations with frame-boundary fsync-loss
+    /// windows: clean truncation, no torn segments, survivors dedup as
+    /// duplicates when ops are re-driven.
+    CrashLoop,
+    /// Gray failure: stalls and one-byte trickle on the wire, an
+    /// idle-timeout-armed server reaping silent sessions, a
+    /// read-deadline-armed client recovering via reconnect.
+    Gray,
+}
+
+impl Scenario {
+    /// Every scenario, in catalog order.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::Baseline,
+            Scenario::WireChaos,
+            Scenario::TornTail,
+            Scenario::CrashLoop,
+            Scenario::Gray,
+        ]
+    }
+
+    /// The catalog name (what `--scenario` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::WireChaos => "wire-chaos",
+            Scenario::TornTail => "torn-tail",
+            Scenario::CrashLoop => "crash-loop",
+            Scenario::Gray => "gray",
+        }
+    }
+
+    /// Parse a catalog name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// The wire fault mix, if this scenario routes traffic through a
+    /// [`crate::proxy::ChaosProxy`] (`None` = direct connection).
+    pub(crate) fn wire_faults(self) -> Option<WireFaults> {
+        match self {
+            Scenario::Baseline | Scenario::TornTail | Scenario::CrashLoop => None,
+            Scenario::WireChaos => Some(WireFaults {
+                delay_us: (0, 300),
+                max_chunk: 256,
+                corrupt_prob: 0.002,
+                cut_prob: 0.004,
+                ..WireFaults::default()
+            }),
+            Scenario::Gray => Some(WireFaults {
+                max_chunk: 1,
+                stall_prob: 0.0003,
+                stall_ms: (40, 80),
+                ..WireFaults::default()
+            }),
+        }
+    }
+
+    /// Crash/recover generations a run drives (1 = no injected crash).
+    pub(crate) fn generations(self, seed_rng: &mut impl rand::Rng) -> usize {
+        match self {
+            Scenario::Baseline | Scenario::WireChaos | Scenario::Gray => 1,
+            Scenario::TornTail => 2,
+            Scenario::CrashLoop => seed_rng.gen_range(3..=5),
+        }
+    }
+
+    /// Whether crashes injure the WAL tail mid-frame (vs clean
+    /// frame-boundary truncation).
+    pub(crate) fn tears_mid_frame(self) -> bool {
+        matches!(self, Scenario::TornTail)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,49 @@
+//! Debug-profile smoke: a few seeds per scenario (CI sweeps hundreds in
+//! release through the binary), plus the determinism pin for a
+//! direct-connection scenario, whose whole fault plan — not just the
+//! injection schedule — must replay bit-identically from the seed.
+
+use vm_vopr::{run_seed, Scenario};
+
+fn sweep(scenario: Scenario) {
+    for seed in 0..3u64 {
+        if let Err(e) = run_seed(scenario, seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn baseline_smoke() {
+    sweep(Scenario::Baseline);
+}
+
+#[test]
+fn wire_chaos_smoke() {
+    sweep(Scenario::WireChaos);
+}
+
+#[test]
+fn torn_tail_smoke() {
+    sweep(Scenario::TornTail);
+}
+
+#[test]
+fn crash_loop_smoke() {
+    sweep(Scenario::CrashLoop);
+}
+
+#[test]
+fn gray_smoke() {
+    sweep(Scenario::Gray);
+}
+
+/// Direct-connection scenarios have no wire nondeterminism at all: the
+/// same seed must produce the same report, counter for counter.
+#[test]
+fn crash_loop_reports_are_deterministic() {
+    let a = run_seed(Scenario::CrashLoop, 7).expect("seed 7 passes");
+    let b = run_seed(Scenario::CrashLoop, 7).expect("seed 7 passes again");
+    assert_eq!(a, b, "identical seed, identical run");
+    assert!(a.crashes >= 2, "crash-loop injects several crashes");
+}
