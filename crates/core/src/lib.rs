@@ -15,6 +15,7 @@
 //! | Anonymous upload (Tor substitute) | [`upload`] |
 //! | Server: sharded VP database (`VpId`-indexed), boards, ledger (§4) | [`server`] |
 //! | Viewmap construction (§5.2.1), zero-copy `Arc` members + per-second spatial grid | [`viewmap`] |
+//! | Incremental viewmap maintenance (delta ingest, bit-identical extraction) | [`maintained`] |
 //! | TrustRank verification (§5.2.2, Alg. 1) on the CSR gather engine | [`trustrank`] |
 //! | Video solicitation & hash validation (§5.2.3) | [`solicit`] |
 //! | Untraceable rewarding (§5.3, App. A) | [`reward`] |
@@ -76,6 +77,7 @@ pub mod analysis;
 pub mod attack;
 pub mod bloom;
 pub mod guard;
+pub mod maintained;
 pub mod neighbor;
 pub mod par;
 pub mod reward;
@@ -91,6 +93,7 @@ pub mod vp;
 pub mod wal;
 
 pub use bloom::BloomFilter;
+pub use maintained::MaintainedViewmap;
 pub use types::{GeoPos, MinuteId, VpId, DSRC_RADIUS_M, SECONDS_PER_VP};
 pub use vd::{VdChain, ViewDigest};
 pub use viewmap::{Viewmap, ViewmapConfig};

@@ -1,0 +1,552 @@
+//! Incremental viewmap maintenance: keep a minute's full viewlink edge
+//! set alive across investigations instead of rebuilding it from scratch
+//! per investigation.
+//!
+//! # Why this is possible bit-identically
+//!
+//! The viewlink edge predicate is purely **pairwise**: two members link
+//! iff (a) their time-aligned claimed positions come within radio range
+//! at some shared second (the exact `f64` scan in the viewmap engine's
+//! `shares_in_range_second`) and (b) the two-way
+//! Bloom membership test passes. Nothing about the rest of the
+//! population enters the predicate — the cold engine's Morton grid,
+//! `r_cap`/`r_max` geometry, and SoA prefilter tables only generate and
+//! prune conservative candidate *supersets*, and every candidate is
+//! settled by the same exact predicate. Two consequences the maintainer
+//! is built on:
+//!
+//! 1. **The full-minute edge set is population-independent.** Adding a
+//!    member never changes whether two existing members link, so ingest
+//!    only has to compute new×old and new×new pairs and splice them in.
+//! 2. **Any admitted subset's viewmap is the induced subgraph.** A cold
+//!    [`Viewmap::build`] first admits members (site coverage), then
+//!    links them; since linking is pairwise, the cold result equals the
+//!    maintained full-minute graph restricted to the admitted members.
+//!    Cold adjacency lists come out fully ascending (pairs are emitted
+//!    and assembled in ascending packed `(i, j)` order), the maintained
+//!    lists are kept ascending by construction, and the admission remap
+//!    is monotone — so extraction is bit-for-bit identical to a cold
+//!    build of the same population, not merely set-equal. The
+//!    churn-equivalence suite in `vm-bench` pins exactly this.
+//!
+//! # Lifecycle
+//!
+//! A [`MaintainedViewmap`] is created lazily by the server on the first
+//! maintained investigation of a minute (one cold-build-priced pass),
+//! lives in the minute's `DbShard` behind the existing stripe lock, is
+//! spliced by [`MaintainedViewmap::ingest`] under the same critical
+//! section that appends to the minute bucket (so it can never observe a
+//! half-committed batch), and is dropped whole when the minute is
+//! evicted or the process restarts — recovery replays the WAL into a
+//! fresh server whose maintained map is empty, so stale maintained
+//! state cannot survive a crash by construction. The `vm-vopr` `churn`
+//! scenario asserts that maintained-vs-cold equality holds after every
+//! recovery.
+//!
+//! # Grid freezing
+//!
+//! The maintainer owns a candidate grid like the cold engine's, but
+//! frozen at creation: `r_cap` (outlier cap) and the cell size are
+//! computed once from the creation population, while `r_max` is a
+//! running maximum over inserted gridded members (queries use the
+//! current value, so reach always covers every gridded member). A later
+//! member whose radius exceeds the frozen cap goes to the off-grid
+//! (`wild`) list and pairs linearly — exactly the cold engine's outlier
+//! route. Freezing changes only *pruning efficiency*, never the edge
+//! set: correctness rests on the settled pairwise predicate alone.
+
+use crate::types::{MinuteId, SECONDS_PER_VP};
+use crate::viewmap::{self, BuildProfile, BuildScratch, MemberGeom, Site, Viewmap, ViewmapConfig};
+use crate::vp::StoredVp;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vm_geo::FxBuildHasher;
+
+/// A minute's incrementally maintained full-population viewlink graph.
+///
+/// Members mirror the server's minute bucket 1:1 (same `Arc`s, same
+/// append order); the adjacency lists cover the *whole* stored minute.
+/// [`extract`](Self::extract) restricts that graph to a site's admitted
+/// members, reproducing a cold [`Viewmap::build`] bit for bit.
+pub struct MaintainedViewmap {
+    minute: MinuteId,
+    /// The radio range the edges were computed under; a config change
+    /// invalidates the whole structure (the server recreates it).
+    dsrc_radius_m: f64,
+    /// Bucket mirror: `members[i]` is bucket position `i`.
+    members: Vec<Arc<StoredVp>>,
+    /// Per-member scan geometry, aligned with `members`.
+    geom: Vec<MemberGeom>,
+    /// Append-only compact-window coordinate arena; member `i`'s window
+    /// is `arena[arena_off[i]..][..2 * geom[i].len]`.
+    arena: Vec<f64>,
+    arena_off: Vec<u32>,
+    /// Ascending full-minute adjacency lists (indices into `members`).
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+    /// Frozen grid geometry (see module docs) + running `r_max`.
+    r_cap: f64,
+    cell: f64,
+    r_max: f64,
+    /// Cell Z-code → gridded member indices (each member in exactly one
+    /// cell, so candidate collection never yields duplicates).
+    cells: HashMap<u64, Vec<u32>, FxBuildHasher>,
+    /// Off-grid members: active but fixed-point-overflowing or above
+    /// `r_cap`; paired linearly against every active member.
+    wild: Vec<u32>,
+    /// Scratch for per-member candidate collection during ingest.
+    cand: Vec<u32>,
+}
+
+impl MaintainedViewmap {
+    /// Build the maintained graph for a minute's current bucket. Costs
+    /// one cold `build_viewlinks` pass (the engine computes the initial
+    /// edge set) plus one geometry re-scan for the grid state; every
+    /// later delta splices in at [`ingest`](Self::ingest) cost instead.
+    pub fn create(
+        members: Vec<Arc<StoredVp>>,
+        minute: MinuteId,
+        cfg: &ViewmapConfig,
+        threads: usize,
+        scratch: &mut BuildScratch,
+    ) -> MaintainedViewmap {
+        let n = members.len();
+        let threads = if threads == 0 {
+            crate::par::auto_threads(n, viewmap::PARALLEL_MEMBER_THRESHOLD)
+        } else {
+            threads.clamp(1, crate::par::MAX_THREADS)
+        };
+        let mut profile = BuildProfile::default();
+        let adj: Vec<Vec<u32>> =
+            viewmap::build_viewlinks(&members, minute, cfg, threads, &mut profile, scratch, true)
+                .into_iter()
+                .map(|nbrs| nbrs.into_iter().map(|j| j as u32).collect())
+                .collect();
+        let edges = adj.iter().map(|n| n.len()).sum::<usize>() / 2;
+
+        // Re-scan for the maintainer's own geometry rows and coordinate
+        // arena (the engine's rank-ordered arena is laid out for the SoA
+        // pair loop, not for per-member appends).
+        let start = minute.start_second();
+        let mut arena = Vec::new();
+        let mut arena_off = Vec::with_capacity(n);
+        let mut geom = Vec::with_capacity(n);
+        for vp in &members {
+            arena_off.push(arena.len() as u32);
+            geom.push(MemberGeom::scan(vp, start, &mut arena));
+        }
+
+        let radius = cfg.dsrc_radius_m;
+        let mut active_radii: Vec<f64> = geom.iter().filter(|g| g.active()).map(|g| g.r).collect();
+        let r_cap = viewmap::radius_cap(&mut active_radii, radius);
+        let r_max = geom
+            .iter()
+            .filter(|g| g.active() && g.fp_exact && g.r <= r_cap)
+            .map(|g| g.r)
+            .fold(0.0f64, f64::max);
+        let cell = viewmap::cell_size(radius, r_max);
+
+        let mut mv = MaintainedViewmap {
+            minute,
+            dsrc_radius_m: radius,
+            members,
+            geom,
+            arena,
+            arena_off,
+            adj,
+            edges,
+            r_cap,
+            cell,
+            r_max,
+            cells: HashMap::default(),
+            wild: Vec::new(),
+            cand: Vec::new(),
+        };
+        for i in 0..n {
+            mv.index_member(i);
+        }
+        mv
+    }
+
+    /// Route member `i` (already scanned) into the grid or wild list.
+    fn index_member(&mut self, i: usize) {
+        let g = &self.geom[i];
+        if !g.active() {
+            return;
+        }
+        if g.fp_exact && g.r <= self.r_cap {
+            let code = self.cell_code(g);
+            self.cells.entry(code).or_default().push(i as u32);
+            self.r_max = self.r_max.max(g.r);
+        } else {
+            self.wild.push(i as u32);
+        }
+    }
+
+    /// Z-code of the (frozen-size) grid cell holding `g`'s circle
+    /// center — the same wrapped-`i64` coding the cold engine uses.
+    fn cell_code(&self, g: &MemberGeom) -> u64 {
+        let cx = (g.cx / self.cell).floor() as i64 as u32;
+        let cy = (g.cy / self.cell).floor() as i64 as u32;
+        viewmap::morton_code(cx, cy)
+    }
+
+    /// Splice newly committed bucket entries into the maintained graph.
+    ///
+    /// `new` must be exactly the bucket's freshly appended tail
+    /// (`bucket[old_len..]`, same `Arc`s, same order) — the server calls
+    /// this under the minute shard's write lock right after the append,
+    /// so the mirror can never drift from the bucket. Each new member
+    /// pairs against the existing grid (new×old) and against the new
+    /// members already spliced before it (new×new), keeping every
+    /// adjacency list ascending.
+    pub fn ingest(&mut self, new: &[Arc<StoredVp>]) {
+        let start = self.minute.start_second();
+        let radius = self.dsrc_radius_m;
+        let radius_c = radius.ceil() as i64;
+        let r2 = radius * radius;
+        for vp in new {
+            let j = self.members.len();
+            // Same scale envelope as the cold engine's SoA tables.
+            assert!(
+                (j as u64 + 1) * 4 * SECONDS_PER_VP <= u32::MAX as u64,
+                "maintained viewmap of {} members exceeds u32 indexing",
+                j + 1
+            );
+            self.arena_off.push(self.arena.len() as u32);
+            let g = MemberGeom::scan(vp, start, &mut self.arena);
+            self.members.push(Arc::clone(vp));
+
+            let mut partners: Vec<u32> = Vec::new();
+            if g.active() {
+                // Candidate collection: the frozen grid for gridded
+                // members (plus every wild member), a full linear pass
+                // for wild ones — mirroring the cold engine's routes.
+                let mut cand = std::mem::take(&mut self.cand);
+                cand.clear();
+                if g.fp_exact && g.r <= self.r_cap {
+                    let rc = ((radius + g.r + self.r_max) / self.cell).ceil() as i64;
+                    let cx0 = (g.cx / self.cell).floor() as i64 as u32;
+                    let cy0 = (g.cy / self.cell).floor() as i64 as u32;
+                    for dy in -rc..=rc {
+                        let cy = cy0.wrapping_add(dy as u32);
+                        for dx in -rc..=rc {
+                            let cx = cx0.wrapping_add(dx as u32);
+                            if let Some(list) = self.cells.get(&viewmap::morton_code(cx, cy)) {
+                                cand.extend_from_slice(list);
+                            }
+                        }
+                    }
+                    cand.extend_from_slice(&self.wild);
+                } else {
+                    cand.extend((0..j as u32).filter(|&i| self.geom[i as usize].active()));
+                }
+
+                let wj = &self.arena[self.arena_off[j] as usize..][..2 * g.len as usize];
+                let vp_keys = vp.link_keys();
+                for &iu in &cand {
+                    let i = iu as usize;
+                    let gi = &self.geom[i];
+                    // Pair center prefilter (the cold engine's per-pair
+                    // check), then the shared exact predicate.
+                    if gi.fp_exact && g.fp_exact {
+                        let (dx, dy) = ((gi.cxf - g.cxf) as i64, (gi.cyf - g.cyf) as i64);
+                        let lim = radius_c + gi.rf as i64 + g.rf as i64 + 2;
+                        if dx * dx + dy * dy > lim * lim {
+                            continue;
+                        }
+                    }
+                    let wi = &self.arena[self.arena_off[i] as usize..][..2 * gi.len as usize];
+                    if !viewmap::settle_pair(gi, wi, &g, wj, radius_c, r2) {
+                        continue;
+                    }
+                    // The paper's two-way Bloom test — the same
+                    // `BloomFilter` probe sequence the cold engine's
+                    // flat-arena pass evaluates.
+                    let other = &self.members[i];
+                    if other.links_to_keys(vp_keys) && vp.links_to_keys(other.link_keys()) {
+                        partners.push(iu);
+                    }
+                }
+                cand.clear();
+                self.cand = cand;
+
+                partners.sort_unstable();
+                for &iu in &partners {
+                    // `j` exceeds every index already present, so the
+                    // existing ascending order is preserved.
+                    self.adj[iu as usize].push(j as u32);
+                }
+                self.edges += partners.len();
+            }
+            self.adj.push(partners);
+            self.geom.push(g);
+            self.index_member(j);
+        }
+    }
+
+    /// Extract the viewmap a cold [`Viewmap::build`] of the current
+    /// bucket would produce for `site`: replicate the admission pass
+    /// (trusted anchoring, coverage radius, input-order admit) over the
+    /// bucket mirror, then restrict the maintained graph to the admitted
+    /// members via a monotone index remap. Bit-identical to the cold
+    /// build — members, adjacency lists (contents *and* order), and
+    /// trusted indices.
+    pub fn extract(&self, site: Site, cfg: &ViewmapConfig) -> Viewmap {
+        let minute = self.minute;
+        let n = self.members.len();
+        let in_minute: Vec<u32> = (0..n as u32)
+            .filter(|&i| {
+                let vp = &self.members[i as usize];
+                vp.minute() == minute && !vp.vds.is_empty()
+            })
+            .collect();
+
+        // Trusted VP(s) closest to the site — same stable sort, same
+        // squared-distance comparator as `build_impl`.
+        let mut trusted_refs: Vec<u32> = in_minute
+            .iter()
+            .copied()
+            .filter(|&i| self.members[i as usize].trusted)
+            .collect();
+        trusted_refs.sort_by(|&a, &b| {
+            let da = viewmap::nearest_approach_sq(&self.members[a as usize], &site.center);
+            let db = viewmap::nearest_approach_sq(&self.members[b as usize], &site.center);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let coverage_radius = trusted_refs
+            .first()
+            .map(|&i| viewmap::nearest_approach_sq(&self.members[i as usize], &site.center).sqrt())
+            .unwrap_or(0.0)
+            .max(site.radius_m)
+            + cfg.coverage_margin_m;
+
+        let mut vps: Vec<Arc<StoredVp>> = Vec::with_capacity(in_minute.len());
+        let mut new_of: Vec<u32> = vec![u32::MAX; n];
+        for &i in &in_minute {
+            let vp = &self.members[i as usize];
+            let admit = vp.trusted
+                || vp
+                    .vds
+                    .iter()
+                    .any(|vd| vd.loc.distance(&site.center) <= coverage_radius);
+            if admit {
+                new_of[i as usize] = vps.len() as u32;
+                vps.push(Arc::clone(vp));
+            }
+        }
+
+        // Induced subgraph under the monotone remap: filtering an
+        // ascending list and remapping through an order-preserving map
+        // keeps it ascending, which is exactly the cold assembly order.
+        // Full admission (a site covering the minute — the common
+        // investigation shape) makes the remap the identity, so the
+        // rows are straight exact-size widening copies.
+        let mut adj: Vec<Vec<usize>> = Vec::with_capacity(vps.len());
+        if vps.len() == n {
+            adj.extend(
+                self.adj
+                    .iter()
+                    .map(|row| row.iter().map(|&jj| jj as usize).collect::<Vec<_>>()),
+            );
+        } else {
+            for i in 0..n {
+                if new_of[i] == u32::MAX {
+                    continue;
+                }
+                let mut row = Vec::with_capacity(self.adj[i].len());
+                for &jj in &self.adj[i] {
+                    let nj = new_of[jj as usize];
+                    if nj != u32::MAX {
+                        row.push(nj as usize);
+                    }
+                }
+                adj.push(row);
+            }
+        }
+        let trusted = vps
+            .iter()
+            .enumerate()
+            .filter(|(_, vp)| vp.trusted)
+            .map(|(i, _)| i)
+            .collect();
+        Viewmap {
+            vps,
+            adj,
+            trusted,
+            minute,
+        }
+    }
+
+    /// The minute this graph covers.
+    pub fn minute(&self) -> MinuteId {
+        self.minute
+    }
+
+    /// The radio range the edges were computed under.
+    pub fn dsrc_radius_m(&self) -> f64 {
+        self.dsrc_radius_m
+    }
+
+    /// Members mirrored from the bucket.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff no members are mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Undirected viewlink count over the full minute.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GeoPos;
+    use crate::vp::{VpBuilder, VpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A cluster of mutually witnessing vehicles around `(x0, 0)`, the
+    /// first one trusted when `trusted_first`.
+    fn cluster(n: usize, x0: f64, seed: u64, trusted_first: bool) -> Vec<Arc<StoredVp>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builders: Vec<VpBuilder> = (0..n)
+            .map(|i| {
+                let kind = if i == 0 && trusted_first {
+                    VpKind::Trusted
+                } else {
+                    VpKind::Actual
+                };
+                VpBuilder::new(&mut rng, 0, GeoPos::new(x0 + i as f64 * 120.0, 0.0), kind)
+            })
+            .collect();
+        for s in 0..SECONDS_PER_VP {
+            let now = s + 1;
+            let locs: Vec<GeoPos> = (0..n)
+                .map(|i| GeoPos::new(x0 + i as f64 * 120.0 + s as f64, 0.0))
+                .collect();
+            let vds: Vec<_> = builders
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| b.record_second(&(s * 131).to_le_bytes(), locs[i]))
+                .collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && locs[i].distance(&locs[j]) <= 380.0 {
+                        builders[i].accept_neighbor_vd(vds[j], now, locs[i]);
+                    }
+                }
+            }
+        }
+        builders
+            .into_iter()
+            .map(|b| Arc::new(b.finalize().profile.into_stored()))
+            .collect()
+    }
+
+    fn assert_identical(a: &Viewmap, b: &Viewmap) {
+        assert_eq!(a.vps.len(), b.vps.len(), "member count");
+        for (x, y) in a.vps.iter().zip(&b.vps) {
+            assert_eq!(x.id, y.id, "member order");
+        }
+        assert_eq!(a.adj, b.adj, "adjacency lists (contents and order)");
+        assert_eq!(a.trusted, b.trusted, "trusted indices");
+        assert_eq!(a.minute, b.minute);
+    }
+
+    fn site(x: f64, r: f64) -> Site {
+        Site {
+            center: GeoPos::new(x, 0.0),
+            radius_m: r,
+        }
+    }
+
+    #[test]
+    fn incremental_ingest_matches_cold_build() {
+        let cfg = ViewmapConfig::default();
+        let all = cluster(12, 0.0, 7, true);
+        let s = site(600.0, 250.0);
+        for split in [0usize, 1, 5, 11, 12] {
+            let mut mv = MaintainedViewmap::create(
+                all[..split].to_vec(),
+                MinuteId(0),
+                &cfg,
+                0,
+                &mut BuildScratch::new(),
+            );
+            mv.ingest(&all[split..]);
+            let cold = Viewmap::build(&all, s, MinuteId(0), &cfg);
+            assert_identical(&mv.extract(s, &cfg), &cold);
+            assert_eq!(
+                mv.edge_count(),
+                Viewmap::build(&all, site(600.0, 1.0e7), MinuteId(0), &cfg).edge_count(),
+                "full-minute edge count (split {split})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one_ingest_matches_cold_build() {
+        let cfg = ViewmapConfig::default();
+        let all = cluster(9, 0.0, 11, true);
+        let mut mv =
+            MaintainedViewmap::create(Vec::new(), MinuteId(0), &cfg, 0, &mut BuildScratch::new());
+        for vp in &all {
+            mv.ingest(std::slice::from_ref(vp));
+        }
+        let s = site(400.0, 300.0);
+        assert_identical(
+            &mv.extract(s, &cfg),
+            &Viewmap::build(&all, s, MinuteId(0), &cfg),
+        );
+    }
+
+    #[test]
+    fn empty_and_single_member_degenerates() {
+        let cfg = ViewmapConfig::default();
+        let s = site(0.0, 200.0);
+        let empty =
+            MaintainedViewmap::create(Vec::new(), MinuteId(0), &cfg, 0, &mut BuildScratch::new());
+        assert!(empty.is_empty());
+        assert_identical(
+            &empty.extract(s, &cfg),
+            &Viewmap::build(&[], s, MinuteId(0), &cfg),
+        );
+
+        let one = cluster(1, 0.0, 3, true);
+        let mv =
+            MaintainedViewmap::create(one.clone(), MinuteId(0), &cfg, 0, &mut BuildScratch::new());
+        assert_eq!(mv.len(), 1);
+        assert_eq!(mv.edge_count(), 0);
+        assert_identical(
+            &mv.extract(s, &cfg),
+            &Viewmap::build(&one, s, MinuteId(0), &cfg),
+        );
+    }
+
+    #[test]
+    fn two_separated_clusters_ingested_across_the_gap() {
+        // Second cluster lands far from the first: the frozen grid must
+        // route its members correctly (new cells, unchanged r_cap) and
+        // produce no cross-cluster edges.
+        let cfg = ViewmapConfig::default();
+        let a = cluster(6, 0.0, 21, true);
+        let b = cluster(6, 50_000.0, 22, false);
+        let mut all = a.clone();
+        all.extend(b.iter().cloned());
+        let mut mv = MaintainedViewmap::create(a, MinuteId(0), &cfg, 0, &mut BuildScratch::new());
+        mv.ingest(&b);
+        // Coverage wide enough to admit both clusters.
+        let s = site(25_000.0, 40_000.0);
+        assert_identical(
+            &mv.extract(s, &cfg),
+            &Viewmap::build(&all, s, MinuteId(0), &cfg),
+        );
+    }
+}

@@ -140,6 +140,15 @@ struct VpSlot {
 #[derive(Default)]
 struct DbShard {
     by_minute: HashMap<MinuteId, Vec<Arc<StoredVp>>>,
+    /// Incrementally maintained viewlink graphs, one per minute that has
+    /// been investigated through the maintained path
+    /// ([`ViewMapServer::build_viewmap_maintained`]). Created lazily on
+    /// first maintained investigation, spliced under this shard's write
+    /// lock in the same critical section that appends to the bucket, and
+    /// dropped whole on eviction — so a maintained graph always mirrors
+    /// its bucket exactly and can never outlive it. Minutes only ever
+    /// ingested (never investigated) pay nothing.
+    maintained: HashMap<MinuteId, crate::maintained::MaintainedViewmap>,
 }
 
 fn minute_stripe(minute: MinuteId) -> usize {
@@ -340,6 +349,13 @@ impl ViewMapServer {
                     }
                 }
             }
+            // Maintained viewlink graphs die with their minutes — whole
+            // structures, never partial retirement, so a later
+            // resubmission of the minute starts from a fresh cold build
+            // instead of trusting any pre-eviction edge. Swept by its
+            // own key set (not `expired`) to also clear graphs created
+            // for minutes that never had a bucket.
+            sh.maintained.retain(|m, _| m.0 >= cutoff.0);
         }
         // Sweep the log while still holding every id stripe: all ingest
         // paths take an id stripe before touching memory or the log, so
@@ -425,7 +441,8 @@ impl ViewMapServer {
                 guards.push(self.id_index[s].write());
             }
             let mut shard = self.db[minute_stripe(minute)].write();
-            let bucket = shard.by_minute.entry(minute).or_default();
+            let sh = &mut *shard;
+            let bucket = sh.by_minute.entry(minute).or_default();
             let first_new = bucket.len();
             for (idx, vp) in group {
                 let ids = &mut guards[guard_of[id_stripe(&vp.id)]];
@@ -450,6 +467,15 @@ impl ViewMapServer {
                         .expect("WAL append failed; durable state would diverge");
                 }
             }
+            // Splice the accepted tail into the minute's maintained
+            // viewlink graph (if one exists) in the same critical
+            // section, so the maintained mirror can never observe a
+            // half-committed batch or miss an append.
+            if bucket.len() > first_new {
+                if let Some(mv) = sh.maintained.get_mut(&minute) {
+                    mv.ingest(&bucket[first_new..]);
+                }
+            }
         }
         results
     }
@@ -466,7 +492,8 @@ impl ViewMapServer {
             return Err(SubmitError::Duplicate);
         }
         let mut shard = self.db[minute_stripe(minute)].write();
-        let bucket = shard.by_minute.entry(minute).or_default();
+        let sh = &mut *shard;
+        let bucket = sh.by_minute.entry(minute).or_default();
         let pos = bucket.len() as u32;
         bucket.push(Arc::new(vp));
         ids.insert(id, VpSlot { minute, pos });
@@ -475,6 +502,11 @@ impl ViewMapServer {
         if let Some(wal) = &self.wal {
             wal.append(&[bucket[pos as usize].as_ref()])
                 .expect("WAL append failed; durable state would diverge");
+        }
+        // Keep the maintained viewlink graph (if any) mirroring the
+        // bucket under the same critical section.
+        if let Some(mv) = sh.maintained.get_mut(&minute) {
+            mv.ingest(&bucket[pos as usize..]);
         }
         Ok(())
     }
@@ -567,6 +599,79 @@ impl ViewMapServer {
             board.insert(*id);
         }
         ids
+    }
+
+    /// As [`build_viewmap`](Self::build_viewmap), served from the
+    /// minute's incrementally maintained viewlink graph
+    /// ([`crate::maintained::MaintainedViewmap`]).
+    ///
+    /// The first call for a minute creates the maintained graph (one
+    /// cold-build-priced pass, under the minute shard's write lock — it
+    /// briefly blocks ingest for that one stripe). Every later call
+    /// costs only the admission pass plus an index remap of the
+    /// already-maintained edges, because batch/single ingest splices new
+    /// members in as they commit and eviction drops the graph with its
+    /// bucket. The result is **bit-identical** to
+    /// [`build_viewmap`](Self::build_viewmap) of the same stored state —
+    /// members, adjacency order, trusted indices — which the
+    /// churn-equivalence suite in `vm-bench` pins across random
+    /// submit/evict interleavings.
+    ///
+    /// Recovery safety: maintained graphs live only in memory and are
+    /// never persisted, so a recovered server starts with none and
+    /// rebuilds on first use — stale maintained state cannot survive a
+    /// crash by construction.
+    pub fn build_viewmap_maintained(&self, minute: MinuteId, site: Site) -> Viewmap {
+        let mut shard = self.db[minute_stripe(minute)].write();
+        let sh = &mut *shard;
+        // A radio-range config change would invalidate the edge set;
+        // recreate rather than trust it (cfg is fixed per server today,
+        // so this is a guard, not a hot path).
+        if sh
+            .maintained
+            .get(&minute)
+            .is_some_and(|mv| mv.dsrc_radius_m() != self.cfg.dsrc_radius_m)
+        {
+            sh.maintained.remove(&minute);
+        }
+        if !sh.maintained.contains_key(&minute) {
+            let members = sh.by_minute.get(&minute).cloned().unwrap_or_default();
+            let mv = crate::maintained::MaintainedViewmap::create(
+                members,
+                minute,
+                &self.cfg,
+                0,
+                &mut crate::viewmap::BuildScratch::new(),
+            );
+            sh.maintained.insert(minute, mv);
+        }
+        sh.maintained
+            .get(&minute)
+            .expect("just inserted")
+            .extract(site, &self.cfg)
+    }
+
+    /// As [`investigate`](Self::investigate), served from the maintained
+    /// viewlink graph: identical verdicts and board postings at
+    /// incremental cost once the minute's graph exists.
+    pub fn investigate_maintained(&self, minute: MinuteId, site: Site) -> Vec<VpId> {
+        let vm = self.build_viewmap_maintained(minute, site);
+        let (_, ids) = vm.verify(&site, &self.cfg);
+        let mut board = self.solicited.write();
+        for id in &ids {
+            board.insert(*id);
+        }
+        ids
+    }
+
+    /// Is a maintained viewlink graph currently alive for `minute`?
+    /// Observability hook for tests and the fault harness (which asserts
+    /// that recovery never resurrects maintained state).
+    pub fn has_maintained(&self, minute: MinuteId) -> bool {
+        self.db[minute_stripe(minute)]
+            .read()
+            .maintained
+            .contains_key(&minute)
     }
 
     /// Post a solicitation directly (investigator action: request the

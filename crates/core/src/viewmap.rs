@@ -365,7 +365,7 @@ pub const PARALLEL_MEMBER_THRESHOLD: usize = 4096;
 /// granularity for a full minute. Finer segments reject more
 /// temporally-misaligned near-crossings; coarser ones cost fewer circle
 /// checks — 6 measured best at the 100k tier.
-const TRAJ_SEGMENTS: usize = 6;
+pub(crate) const TRAJ_SEGMENTS: usize = 6;
 
 /// Coordinates whose bounding box stays within ±`FP_MAX_M` meters get
 /// exact (non-saturating) fixed-point prefilter geometry. A member
@@ -441,39 +441,44 @@ impl BuildScratch {
 /// conservative fixed-point prefilter forms. The member's claimed
 /// positions go to a shared coordinate slab, not into this struct — the
 /// pair loop later reads them from the rank-ordered arena.
-struct MemberGeom {
+///
+/// Crate-visible (not just module-local) because the incremental
+/// maintainer ([`crate::maintained`]) runs the same scan and the same
+/// pairwise predicates over per-member geometry rows instead of the
+/// engine's rank-gathered SoA tables.
+pub(crate) struct MemberGeom {
     /// First in-window offset (1-based); 0 when no in-window VDs exist.
-    first: u32,
+    pub(crate) first: u32,
     /// Slots in the compact window (incl. `NaN` gaps).
-    len: u32,
+    pub(crate) len: u32,
     /// Bloom-occupancy gate: fewer than `k` set bits can never pass a
     /// membership query, so this member can never hold up a viewlink.
-    can_link: bool,
+    pub(crate) can_link: bool,
     /// Fixed-point forms are exact (see [`FP_MAX_M`]); false routes the
     /// member off-grid and straight to the exact scan.
-    fp_exact: bool,
+    pub(crate) fp_exact: bool,
     /// Bounding-circle center (bbox midpoint) and radius (half-diagonal)
     /// in `f64` — the grid geometry (`r_cap`, `r_max`, cell size, cell
     /// assignment) derives from these, as before the SoA rewrite.
-    cx: f64,
-    cy: f64,
-    r: f64,
+    pub(crate) cx: f64,
+    pub(crate) cy: f64,
+    pub(crate) r: f64,
     /// `(min_x, min_y, max_x, max_y)`, mins floored / maxes ceiled.
-    bb: [i32; 4],
+    pub(crate) bb: [i32; 4],
     /// Rounded circle center + ceiled radius; comparisons add slack to
     /// cover the rounding, so the integer check admits a superset.
-    cxf: i32,
-    cyf: i32,
-    rf: i32,
+    pub(crate) cxf: i32,
+    pub(crate) cyf: i32,
+    pub(crate) rf: i32,
     /// Per-time-segment circles `(cx, cy, r)` in the same fixed-point
     /// form; a pair can share an in-range second only if some pair of
     /// segments with overlapping offset windows comes within
     /// `dsrc + r_a + r_b`. Empty segments carry the never-overlapping
     /// `(0, 0)` window below and are skipped.
-    segs: [(i32, i32, i32); TRAJ_SEGMENTS],
+    pub(crate) segs: [(i32, i32, i32); TRAJ_SEGMENTS],
     /// Absolute offset window `[lo, hi)` of each segment (values ≤ 121,
     /// so `u8` keeps the row at 12 bytes).
-    seg_win: [(u8, u8); TRAJ_SEGMENTS],
+    pub(crate) seg_win: [(u8, u8); TRAJ_SEGMENTS],
 }
 
 impl MemberGeom {
@@ -505,7 +510,7 @@ impl MemberGeom {
     /// VDs claim the same second the first one wins (the server rejects
     /// such VPs at ingest — this only matters for hand-built populations
     /// fed to `build` directly).
-    fn scan(vp: &StoredVp, start: u64, coords: &mut Vec<f64>) -> MemberGeom {
+    pub(crate) fn scan(vp: &StoredVp, start: u64, coords: &mut Vec<f64>) -> MemberGeom {
         const WINDOW: usize = 2 * SECONDS_PER_VP as usize;
         let base = coords.len();
         // Fast path — every real VP: VD times strictly consecutive and
@@ -642,9 +647,140 @@ impl MemberGeom {
 
     /// Usable for candidate generation (has in-window VDs and passes the
     /// occupancy gate)?
-    fn active(&self) -> bool {
+    pub(crate) fn active(&self) -> bool {
         self.first != 0 && self.can_link
     }
+}
+
+// ── Shared pairwise predicates ──────────────────────────────────────────
+//
+// The viewlink edge predicate is purely *pairwise*: whether two members
+// link depends only on the two trajectories (exact shared-second scan)
+// and the two Bloom filters — never on the rest of the population. The
+// grid, Morton order, and SoA tables above only generate/prune candidate
+// supersets. These free functions are that predicate, factored out so the
+// cold engine (`build_viewlinks`, reading rank-indexed SoA columns) and
+// the incremental maintainer (`crate::maintained`, reading per-member
+// `MemberGeom` rows) run byte-for-byte the same comparisons — the
+// bit-identity the churn-equivalence suite pins rests on this sharing.
+
+/// Conservative integer bbox prefilter: are the boxes provably farther
+/// apart than the radio range? Mins are floored / maxes ceiled at
+/// construction, so the computed gap underestimates the true gap and a
+/// `true` here can never reject a real edge.
+#[inline]
+pub(crate) fn bbox_gap_beyond(ba: &[i32; 4], bb: &[i32; 4], radius_c: i64) -> bool {
+    let dx = ((bb[0] - ba[2]) as i64).max((ba[0] - bb[2]) as i64).max(0);
+    let dy = ((bb[1] - ba[3]) as i64).max((ba[1] - bb[3]) as i64).max(0);
+    dx * dx + dy * dy > radius_c * radius_c
+}
+
+/// Conservative temporal-segment prefilter: can any pair of segments
+/// with overlapping offset windows come within radio range (+2 m slack
+/// for the rounded centers)? `false` proves no shared in-range second
+/// exists.
+#[inline]
+pub(crate) fn segments_may_touch(
+    sa: &[(i32, i32, i32); TRAJ_SEGMENTS],
+    wa: &[(u8, u8); TRAJ_SEGMENTS],
+    sb: &[(i32, i32, i32); TRAJ_SEGMENTS],
+    wb: &[(u8, u8); TRAJ_SEGMENTS],
+    radius_c: i64,
+) -> bool {
+    for s in 0..TRAJ_SEGMENTS {
+        let (alo, ahi) = wa[s];
+        if ahi == 0 {
+            continue;
+        }
+        let (ax, ay, ar) = sa[s];
+        for t in 0..TRAJ_SEGMENTS {
+            let (blo, bhi) = wb[t];
+            if bhi <= alo || ahi <= blo {
+                continue;
+            }
+            let (bx, by, br) = sb[t];
+            let lim = radius_c + ar as i64 + br as i64 + 2;
+            let (dx, dy) = ((ax - bx) as i64, (ay - by) as i64);
+            if dx * dx + dy * dy <= lim * lim {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The exact location-proximity test: did the two members come within
+/// `sqrt(r2)` of each other at any shared in-window second? `wa`/`wb`
+/// are the members' compact windows — interleaved `(x, y)` pairs with
+/// `NaN` gap slots (which compare false and drop out on their own) —
+/// starting at 1-based offsets `first_a`/`first_b`.
+#[inline]
+pub(crate) fn shares_in_range_second(
+    first_a: u32,
+    len_a: u32,
+    wa: &[f64],
+    first_b: u32,
+    len_b: u32,
+    wb: &[f64],
+    r2: f64,
+) -> bool {
+    let lo = first_a.max(first_b);
+    let hi = (first_a + len_a).min(first_b + len_b);
+    let mut t = lo;
+    while t < hi {
+        let ia = (2 * (t - first_a)) as usize;
+        let ib = (2 * (t - first_b)) as usize;
+        let dx = wa[ia] - wb[ib];
+        let dy = wa[ia + 1] - wb[ib + 1];
+        if dx * dx + dy * dy <= r2 {
+            return true;
+        }
+        t += 1;
+    }
+    false
+}
+
+/// The full exact pair predicate over two members' geometry rows and
+/// compact windows: conservative integer prefilters (only when both
+/// members' fixed-point forms are exact), then the bit-exact `f64`
+/// shared-second scan. The engine's per-candidate settling closure and
+/// the incremental maintainer both resolve to this.
+#[inline]
+pub(crate) fn settle_pair(
+    ga: &MemberGeom,
+    wa: &[f64],
+    gb: &MemberGeom,
+    wb: &[f64],
+    radius_c: i64,
+    r2: f64,
+) -> bool {
+    if ga.fp_exact
+        && gb.fp_exact
+        && (bbox_gap_beyond(&ga.bb, &gb.bb, radius_c)
+            || !segments_may_touch(&ga.segs, &ga.seg_win, &gb.segs, &gb.seg_win, radius_c))
+    {
+        return false;
+    }
+    shares_in_range_second(ga.first, ga.len, wa, gb.first, gb.len, wb, r2)
+}
+
+/// Grid radius cap from a population's active bounding-circle radii:
+/// 4× the 95th-percentile radius, floored by the radio range. Members
+/// above the cap are handled off-grid (see the cold engine's candidate
+/// phase) so one city-spanning forgery cannot inflate every member's
+/// query reach. Sorts `active_radii` in place.
+pub(crate) fn radius_cap(active_radii: &mut [f64], radius: f64) -> f64 {
+    active_radii.sort_unstable_by(f64::total_cmp);
+    active_radii
+        .get(active_radii.len().saturating_mul(95) / 100)
+        .or(active_radii.last())
+        .map_or(0.0, |&p95| (4.0 * p95).max(radius))
+}
+
+/// Grid cell size for a given radio range and capped max member radius.
+#[inline]
+pub(crate) fn cell_size(radius: f64, r_max: f64) -> f64 {
+    ((radius + 2.0 * r_max) / 4.0).max(1.0)
 }
 
 /// Spread the 32 bits of `v` into the even bit positions of a `u64`.
@@ -664,7 +800,7 @@ fn morton_spread(v: u32) -> u64 {
 /// that do collide only add candidates the center prefilter rejects, so
 /// correctness never depends on the wrap (mirroring how the hash grid
 /// this replaces tolerated arbitrary coordinates).
-fn morton_code(cx: u32, cy: u32) -> u64 {
+pub(crate) fn morton_code(cx: u32, cy: u32) -> u64 {
     morton_spread(cx) | (morton_spread(cy) << 1)
 }
 
@@ -674,7 +810,7 @@ fn morton_code(cx: u32, cy: u32) -> u64 {
 /// order-restoring sorts after the spatially-reordered passes), so the
 /// result is identical for any `threads`.
 #[allow(clippy::too_many_arguments)]
-fn build_viewlinks(
+pub(crate) fn build_viewlinks(
     vps: &[Arc<StoredVp>],
     minute: MinuteId,
     cfg: &ViewmapConfig,
@@ -761,18 +897,14 @@ fn build_viewlinks(
     // member through the same filter pipeline — exact, deterministic,
     // and linear per outlier.
     let mut active_radii: Vec<f64> = geom.iter().filter(|g| g.active()).map(|g| g.r).collect();
-    active_radii.sort_unstable_by(f64::total_cmp);
-    let r_cap = active_radii
-        .get(active_radii.len().saturating_mul(95) / 100)
-        .or(active_radii.last())
-        .map_or(0.0, |&p95| (4.0 * p95).max(radius));
+    let r_cap = radius_cap(&mut active_radii, radius);
     let gridded = |g: &MemberGeom| g.active() && g.fp_exact && g.r <= r_cap;
     let r_max = geom
         .iter()
         .filter(|g| gridded(g))
         .map(|g| g.r)
         .fold(0.0f64, f64::max);
-    let cell = ((radius + 2.0 * r_max) / 4.0).max(1.0);
+    let cell = cell_size(radius, r_max);
     let rf_max = geom
         .iter()
         .filter(|g| gridded(g))
@@ -902,66 +1034,28 @@ fn build_viewlinks(
     // covers the center rounding; members without exact fixed-point
     // forms skip straight to the f64 scan), and the settling scan is the
     // bit-exact f64 shared-second walk — so the surviving pair set is
-    // identical to the reference definition's.
-    let bbox_gap_beyond = |a: usize, b: usize| -> bool {
-        let (ba, bbx) = (&bb[a], &bb[b]);
-        let dx = ((bbx[0] - ba[2]) as i64)
-            .max((ba[0] - bbx[2]) as i64)
-            .max(0);
-        let dy = ((bbx[1] - ba[3]) as i64)
-            .max((ba[1] - bbx[3]) as i64)
-            .max(0);
-        dx * dx + dy * dy > radius_c * radius_c
-    };
-    let segments_may_touch = |a: usize, b: usize| -> bool {
-        let (sa, sb) = (&segs[a], &segs[b]);
-        let (wa, wb) = (&seg_win[a], &seg_win[b]);
-        for s in 0..TRAJ_SEGMENTS {
-            let (alo, ahi) = wa[s];
-            if ahi == 0 {
-                continue;
-            }
-            let (ax, ay, ar) = sa[s];
-            for t in 0..TRAJ_SEGMENTS {
-                let (blo, bhi) = wb[t];
-                if bhi <= alo || ahi <= blo {
-                    continue;
-                }
-                let (bx, by, br) = sb[t];
-                let lim = radius_c + ar as i64 + br as i64 + 2;
-                let (dx, dy) = ((ax - bx) as i64, (ay - by) as i64);
-                if dx * dx + dy * dy <= lim * lim {
-                    return true;
-                }
-            }
-        }
-        false
-    };
-    // Did ranks a and b come within `sqrt(r2)` of each other at any
-    // shared in-window second? NaN slots (missing seconds) compare false
-    // and drop out on their own.
-    let shares_in_range_second = |a: usize, b: usize| -> bool {
-        let lo = first[a].max(first[b]);
-        let hi = (first[a] + len_of[a]).min(first[b] + len_of[b]);
-        let (oa, ob) = (arena_off[a], arena_off[b]);
-        let mut t = lo;
-        while t < hi {
-            let ia = (oa + 2 * (t - first[a])) as usize;
-            let ib = (ob + 2 * (t - first[b])) as usize;
-            let dx = arena[ia] - arena[ib];
-            let dy = arena[ia + 1] - arena[ib + 1];
-            if dx * dx + dy * dy <= r2 {
-                return true;
-            }
-            t += 1;
-        }
-        false
-    };
+    // identical to the reference definition's. The comparisons live in
+    // the shared pairwise-predicate functions above (also the
+    // incremental maintainer's edge test); this closure only adapts them
+    // to the rank-indexed SoA columns.
     let settle = |a: usize, b: usize| -> bool {
-        if fpe[a] && fpe[b] && (bbox_gap_beyond(a, b) || !segments_may_touch(a, b)) {
+        if fpe[a]
+            && fpe[b]
+            && (bbox_gap_beyond(&bb[a], &bb[b], radius_c)
+                || !segments_may_touch(&segs[a], &seg_win[a], &segs[b], &seg_win[b], radius_c))
+        {
             return false;
         }
-        shares_in_range_second(a, b)
+        let (oa, ob) = (arena_off[a] as usize, arena_off[b] as usize);
+        shares_in_range_second(
+            first[a],
+            len_of[a],
+            &arena[oa..oa + 2 * len_of[a] as usize],
+            first[b],
+            len_of[b],
+            &arena[ob..ob + 2 * len_of[b] as usize],
+            r2,
+        )
     };
 
     // Pairs are emitted as packed `i << 32 | j` with `i < j` in member
@@ -1160,7 +1254,7 @@ fn build_viewlinks(
 /// populations; callers that need the distance take a single `sqrt` of
 /// the result, which is bit-identical because `GeoPos::distance` is
 /// `distance_sq().sqrt()` and `sqrt` is monotone.
-fn nearest_approach_sq(vp: &StoredVp, p: &GeoPos) -> f64 {
+pub(crate) fn nearest_approach_sq(vp: &StoredVp, p: &GeoPos) -> f64 {
     vp.vds
         .iter()
         .map(|vd| vd.loc.distance_sq(p))

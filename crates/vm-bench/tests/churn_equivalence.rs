@@ -1,0 +1,243 @@
+//! Churn equivalence: the incrementally maintained viewmap must be
+//! bit-identical to a cold build at **every** point of **any** ingest /
+//! evict history.
+//!
+//! The maintained graph (`viewmap_core::maintained`) is spliced under
+//! the server's commit lock on every submit path and dropped on
+//! eviction, so the property to hold is strong: after each operation of
+//! a randomized history — single submits, cold and key-warm batches,
+//! trusted batches, retention sweeps — extraction from the live graph
+//! must equal a cold `Viewmap::build` over the same bucket in members,
+//! adjacency, trusted set, edge checksum, and (bit-for-bit) TrustRank
+//! scores. The suite drives seeded random interleavings plus the
+//! degenerate shapes a fuzzer finds last: the empty minute, the single
+//! member, and a minute fully evicted and then resubmitted.
+//!
+//! Runs in the threaded release matrix alongside `parallel_equivalence`;
+//! the probes call the auto-parallel engines, so both harness thread
+//! counts exercise the same equality.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::types::{GeoPos, MinuteId};
+use viewmap_core::upload::AnonymousSubmission;
+use viewmap_core::viewmap::{Site, ViewmapConfig};
+use viewmap_core::vp::StoredVp;
+use vm_bench::worlds::{linked_minute, viewmap_checksum};
+
+/// Minutes the random histories spread their traffic across.
+const MINUTES: u64 = 3;
+
+/// VPs per minute pool (enough for real edges, small enough that a
+/// 40-step history with a cold build per probe stays fast in debug).
+const POOL: usize = 12;
+
+/// A site covering every `linked_minute` trajectory, so probes verify
+/// the whole graph.
+fn wide_site() -> Site {
+    Site {
+        center: GeoPos::new(POOL as f64 * vm_bench::worlds::LINKED_SPACING_M / 2.0, 0.0),
+        radius_m: 1_000_000.0,
+    }
+}
+
+fn anon(vp: StoredVp) -> AnonymousSubmission {
+    AnonymousSubmission { session_id: 0, vp }
+}
+
+/// The oracle: cold-build the minute from the bucket, extract the same
+/// minute from the maintained graph, and require the two identical in
+/// every observable — then require the investigation entry points to
+/// agree on the answer they would hand an authority.
+fn probe(srv: &ViewMapServer, minute: MinuteId, cfg: &ViewmapConfig, ctx: &str) {
+    let site = wide_site();
+    let cold = srv.build_viewmap(minute, site);
+    let maintained = srv.build_viewmap_maintained(minute, site);
+    assert!(srv.has_maintained(minute), "{ctx}: graph kept alive");
+
+    assert_eq!(maintained.len(), cold.len(), "{ctx}: member count");
+    assert_eq!(maintained.minute, cold.minute, "{ctx}: minute");
+    assert_eq!(maintained.trusted, cold.trusted, "{ctx}: trusted set");
+    for i in 0..cold.len() {
+        assert_eq!(
+            maintained.vps[i].id, cold.vps[i].id,
+            "{ctx}: member order at {i}"
+        );
+        assert_eq!(maintained.adj[i], cold.adj[i], "{ctx}: adjacency at {i}");
+    }
+    assert_eq!(
+        viewmap_checksum(&maintained),
+        viewmap_checksum(&cold),
+        "{ctx}: edge checksum"
+    );
+
+    // TrustRank outcomes, bit for bit: identical graphs must produce
+    // identical score vectors, top pick, and legitimate set.
+    let (vc, _) = cold.verify(&site, cfg);
+    let (vm, _) = maintained.verify(&site, cfg);
+    assert_eq!(vc.scores.len(), vm.scores.len(), "{ctx}: score length");
+    for (i, (a, b)) in vc.scores.iter().zip(&vm.scores).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: score bits at {i}");
+    }
+    assert_eq!(vc.top, vm.top, "{ctx}: top member");
+    assert_eq!(vc.legitimate, vm.legitimate, "{ctx}: legitimate set");
+
+    // And the public entry points agree end to end.
+    assert_eq!(
+        srv.investigate_maintained(minute, site),
+        srv.investigate(minute, site),
+        "{ctx}: investigation ids"
+    );
+}
+
+/// One seeded random history: deal each minute's pool out across
+/// singles, cold batches, warm batches, and trusted batches, interleave
+/// retention sweeps (which make evicted pools dealable again), and
+/// probe a random minute after every step.
+fn run_history(seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = ViewmapConfig::default();
+    let mut key_rng = StdRng::seed_from_u64(seed ^ 0x5e_17e5);
+    let srv = ViewMapServer::new(&mut key_rng, 512, cfg);
+
+    let pools: Vec<Vec<StoredVp>> = (0..MINUTES).map(|m| linked_minute(POOL, m, seed)).collect();
+    // Next undealt index per pool; eviction rewinds it so the same VPs
+    // flow in again (their ids left the dedup index with the sweep).
+    let mut next = vec![0usize; MINUTES as usize];
+
+    for step in 0..steps {
+        let m = rng.gen_range(0..MINUTES) as usize;
+        let ctx = format!("seed {seed} step {step}");
+        match rng.gen_range(0..5u32) {
+            // Single submit of the pool's next VP (authority channel for
+            // the trusted anchor at index 0).
+            0 => {
+                if next[m] < POOL {
+                    let vp = pools[m][next[m]].clone();
+                    next[m] += 1;
+                    if vp.trusted {
+                        srv.submit_trusted(vp).expect("trusted stored");
+                    } else {
+                        srv.submit(anon(vp)).expect("stored");
+                    }
+                }
+            }
+            // Cold or key-warm batch of the next few VPs.
+            1 | 2 => {
+                let k = rng.gen_range(1..=4usize).min(POOL - next[m]);
+                let chunk: Vec<StoredVp> = pools[m][next[m]..next[m] + k].to_vec();
+                next[m] += k;
+                let (trusted, plain): (Vec<_>, Vec<_>) =
+                    chunk.into_iter().partition(|vp| vp.trusted);
+                if !trusted.is_empty() {
+                    let r = srv.submit_trusted_batch(trusted);
+                    assert!(r.iter().all(|x| x.is_ok()), "{ctx}: trusted batch");
+                }
+                if !plain.is_empty() {
+                    let subs = plain.into_iter().map(anon);
+                    let r = if rng.gen_bool(0.5) {
+                        srv.submit_batch(subs)
+                    } else {
+                        srv.submit_batch_warm(subs)
+                    };
+                    assert!(r.iter().all(|x| x.is_ok()), "{ctx}: batch");
+                }
+            }
+            // Trusted batch: re-anchor with a fresh authority VP drawn
+            // from a disjoint pool (minute offset past the history's
+            // range keeps its ids unique per draw).
+            3 => {
+                let extra = linked_minute(1, m as u64, seed ^ (0x7ab0 + step as u64));
+                let r = srv.submit_trusted_batch(extra);
+                assert!(r.iter().all(|x| x.is_ok()), "{ctx}: extra trusted");
+            }
+            // Retention sweep; evicted minutes become resubmittable.
+            _ => {
+                let cutoff = MinuteId(rng.gen_range(0..=MINUTES));
+                srv.evict_minutes_before(cutoff);
+                for (em, n) in next.iter_mut().enumerate() {
+                    if (em as u64) < cutoff.0 {
+                        assert!(
+                            !srv.has_maintained(MinuteId(em as u64)),
+                            "{ctx}: maintained graph survived eviction"
+                        );
+                        *n = 0;
+                    }
+                }
+            }
+        }
+        probe(&srv, MinuteId(rng.gen_range(0..MINUTES)), &cfg, &ctx);
+    }
+}
+
+#[test]
+fn random_churn_histories_stay_equivalent() {
+    for seed in 0..4u64 {
+        run_history(seed, 40);
+    }
+}
+
+#[test]
+fn longer_history_one_seed() {
+    run_history(0xc0ffee, 80);
+}
+
+#[test]
+fn empty_minute_probe_is_equivalent() {
+    let cfg = ViewmapConfig::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let srv = ViewMapServer::new(&mut rng, 512, cfg);
+    // Nothing was ever submitted for this minute: both paths must agree
+    // on the empty viewmap (and the maintained graph must exist after).
+    probe(&srv, MinuteId(7), &cfg, "empty minute");
+    assert_eq!(
+        srv.build_viewmap_maintained(MinuteId(7), wide_site()).len(),
+        0
+    );
+}
+
+#[test]
+fn single_member_minute_is_equivalent() {
+    let cfg = ViewmapConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let srv = ViewMapServer::new(&mut rng, 512, cfg);
+    let pool = linked_minute(1, 0, 9);
+    srv.submit_trusted(pool[0].clone()).expect("stored");
+    probe(&srv, MinuteId(0), &cfg, "single member");
+    // Growing the singleton afterwards splices instead of rebuilding.
+    let grown = linked_minute(3, 0, 10);
+    let r = srv.submit_batch_warm(grown.into_iter().filter(|vp| !vp.trusted).map(anon));
+    assert!(r.iter().all(|x| x.is_ok()));
+    probe(&srv, MinuteId(0), &cfg, "singleton grown");
+}
+
+#[test]
+fn fully_evicted_then_resubmitted_minute_is_equivalent() {
+    let cfg = ViewmapConfig::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let srv = ViewMapServer::new(&mut rng, 512, cfg);
+    let pool = linked_minute(POOL, 0, 11);
+
+    let (trusted, plain): (Vec<_>, Vec<_>) = pool.clone().into_iter().partition(|vp| vp.trusted);
+    let r = srv.submit_trusted_batch(trusted.clone());
+    assert!(r.iter().all(|x| x.is_ok()));
+    let r = srv.submit_batch_warm(plain.clone().into_iter().map(anon));
+    assert!(r.iter().all(|x| x.is_ok()));
+    probe(&srv, MinuteId(0), &cfg, "before eviction");
+
+    assert_eq!(srv.evict_minutes_before(MinuteId(1)), POOL);
+    assert!(
+        !srv.has_maintained(MinuteId(0)),
+        "graph dropped with minute"
+    );
+    probe(&srv, MinuteId(0), &cfg, "after full eviction");
+
+    // The same VPs flow back in (eviction forgot their ids); the fresh
+    // maintained graph must match a fresh cold build exactly.
+    let r = srv.submit_trusted_batch(trusted);
+    assert!(r.iter().all(|x| x.is_ok()));
+    let r = srv.submit_batch_warm(plain.into_iter().map(anon));
+    assert!(r.iter().all(|x| x.is_ok()));
+    probe(&srv, MinuteId(0), &cfg, "resubmitted after eviction");
+}

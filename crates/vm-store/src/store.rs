@@ -151,6 +151,33 @@ const MAX_OPEN_SEGMENTS: usize = 8;
 /// overhead beats the fan-out).
 const APPEND_PARALLEL_THRESHOLD: usize = 2048;
 
+/// Per-worker byte budget of one commit chunk. A group commit streams
+/// the batch through encode→checksum→write in runs of roughly this many
+/// bytes instead of materializing the whole batch in one buffer: a
+/// city-scale batch (100k records ≈ 150 MB framed) otherwise spills
+/// every stage out of cache and pays a cold first touch on ~40k fresh
+/// pages — measured at ~10× the per-byte cost of the 10k tier, the
+/// `wal_append_ms` regression the bench gate now watches at every tier.
+/// Chunking keeps each run cache-resident end to end and bounds the
+/// retained encode scratch at a few MB instead of the largest batch
+/// ever seen. Commit semantics are unchanged: the records of one
+/// `append` still land contiguously, in order, with at most one fsync —
+/// a crash between chunk writes truncates to a record boundary exactly
+/// as a torn single write would.
+const COMMIT_CHUNK_BYTES: usize = 4 << 20;
+
+/// End index of the byte-budgeted chunk starting at `lo` (always at
+/// least one record, conservative via [`crate::codec::encoded_size_hint`]).
+fn chunk_end(vps: &[&StoredVp], lo: usize, budget: usize) -> usize {
+    let mut hi = lo;
+    let mut bytes = 0usize;
+    while hi < vps.len() && bytes < budget {
+        bytes += segment::FRAME_HEADER_BYTES + crate::codec::encoded_size_hint(vps[hi]);
+        hi += 1;
+    }
+    hi
+}
+
 /// Frame a run of records — header placeholders, delta-encoded bodies,
 /// one multi-buffer checksum pass, headers backpatched — into one
 /// buffer. The group-commit unit of work, chunked across workers for
@@ -422,16 +449,17 @@ impl VpWal for VpStore {
             vps.iter().all(|vp| vp.minute() == minute),
             "one append call spans one minute"
         );
-        // Group commit: frame the whole batch into one buffer, one
-        // write, at most one fsync. Framing fans out over contiguous
-        // VP chunks (one scoped worker per chunk, merged in chunk order
-        // so the on-disk record order is exactly `vps` order on any
-        // thread count); within each chunk the bodies are encoded first
-        // and checksummed together through the multi-buffer engine
-        // (`checksum64_many` — interleaved SHA streams), then the frame
-        // headers are backpatched. Large batches therefore frame at
-        // near kernel-bound hash throughput per core instead of one
-        // serial SHA per record.
+        // Group commit: stream the batch through encode→checksum→write
+        // in cache-resident chunks ([`COMMIT_CHUNK_BYTES`] per worker),
+        // at most one fsync at the end. Within each chunk the bodies
+        // are encoded first and checksummed together through the
+        // multi-buffer engine (`checksum64_many` — interleaved SHA
+        // streams), then the frame headers are backpatched; large
+        // chunks fan out over scoped workers whose buffers are written
+        // in chunk order, so the on-disk record order is exactly `vps`
+        // order on any thread count. Chunking (rather than one
+        // batch-sized buffer) is what keeps the per-byte cost flat from
+        // the 10k to the 100k tier — see [`COMMIT_CHUNK_BYTES`].
         let threads = viewmap_core::par::auto_threads(vps.len(), APPEND_PARALLEL_THRESHOLD);
         // Borrow the retained scratch allocation by *taking* it — the
         // scratch mutex is held only for the swap, never across framing
@@ -442,20 +470,25 @@ impl VpWal for VpStore {
             let mut scratch = self.scratch.lock();
             std::mem::take(&mut *scratch)
         };
-        frames.clear();
-        if threads <= 1 {
-            frame_batch_into(vps, &mut frames);
-        } else {
-            let cuts = viewmap_core::par::even_cuts(vps.len(), threads);
-            let chunks =
-                viewmap_core::par::map_ranges(&cuts, |_t, lo, hi| frame_batch(&vps[lo..hi]));
-            frames.reserve(chunks.iter().map(|c| c.len()).sum());
-            for chunk in &chunks {
-                frames.extend_from_slice(chunk);
-            }
-        }
         let result = self.with_writer(minute, |w| {
-            w.append(&frames)?;
+            let mut lo = 0usize;
+            while lo < vps.len() {
+                let hi = chunk_end(vps, lo, COMMIT_CHUNK_BYTES * threads);
+                if threads <= 1 {
+                    frames.clear();
+                    frame_batch_into(&vps[lo..hi], &mut frames);
+                    w.append(&frames)?;
+                } else {
+                    let cuts = viewmap_core::par::even_cuts(hi - lo, threads);
+                    let chunks = viewmap_core::par::map_ranges(&cuts, |_t, a, b| {
+                        frame_batch(&vps[lo + a..lo + b])
+                    });
+                    for chunk in &chunks {
+                        w.append(chunk)?;
+                    }
+                }
+                lo = hi;
+            }
             if self.fsync == Fsync::Always {
                 w.sync()?;
             }

@@ -418,6 +418,25 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
             }
             let oracle = build_oracle(&world, &accepted, vmcfg)?;
             check_equivalence(&srv, &oracle, minutes, &format!("post-crash gen {gen}"))?;
+            if matches!(scenario, Scenario::Churn) {
+                // Recovery must never trust maintained state stale: a
+                // reopened server starts with no maintained graphs
+                // (they are in-memory splices of a dead process), and
+                // the first maintained investigation of each minute
+                // must rebuild one that equals the oracle's cold build.
+                for m in 0..minutes {
+                    let minute = MinuteId(m as u64);
+                    ensure!(
+                        !srv.has_maintained(minute),
+                        "gen {gen}: recovered server holds a maintained graph for {minute:?}"
+                    );
+                    ensure!(
+                        viewmap_checksum(&srv.build_viewmap_maintained(minute, site()))
+                            == viewmap_checksum(&oracle.build_viewmap(minute, site())),
+                        "gen {gen}: post-crash maintained viewmap diverged at {minute:?}"
+                    );
+                }
+            }
         }
 
         // ── Serve and drive the (re-driven) op schedule. ─────────────
@@ -506,6 +525,18 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
                     }
                 }
                 report.ops += 1;
+                if matches!(scenario, Scenario::Churn) && report.ops.is_multiple_of(5) {
+                    // Investigation racing ingest: the maintained graph
+                    // (created on the first probe, spliced by every
+                    // submit since) must equal a cold build of the same
+                    // bucket at any point of the history.
+                    let minute = MinuteId(m as u64);
+                    ensure!(
+                        viewmap_checksum(&srv.build_viewmap_maintained(minute, site()))
+                            == viewmap_checksum(&srv.build_viewmap(minute, site())),
+                        "mid-ingest maintained viewmap diverged at {minute:?}"
+                    );
+                }
             }
         }
 
@@ -521,6 +552,51 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
             pending = injure(&tmp.0, scenario, &mut accepted, &mut present, &mut plan_rng)?;
             report.crashes += 1;
             continue;
+        }
+
+        if matches!(scenario, Scenario::Churn) {
+            // ── Retention sweep racing the maintained graphs: evict
+            //    minute 0 (memory + WAL segment + maintained graph in
+            //    one atomic sweep), then re-drive its whole population
+            //    through the wire and require the rebuilt maintained
+            //    graph to equal a cold build again. ───────────────────
+            let evicted = srv.evict_minutes_before(MinuteId(1));
+            ensure!(
+                evicted == 1 + accepted[0].len(),
+                "sweep evicted {evicted} VPs, expected {}",
+                1 + accepted[0].len()
+            );
+            ensure!(
+                !srv.has_maintained(MinuteId(0)),
+                "maintained graph outlived its evicted minute"
+            );
+            accepted[0].clear();
+            present[0].clear();
+            let r = srv.submit_trusted(world[0][0].clone());
+            ensure!(r.is_ok(), "re-anchor after sweep rejected: {r:?}");
+            for &(m, i) in schedule.iter().filter(|&&(m, _)| m == 0) {
+                let was_present = present[m].contains(&i);
+                let settled = settle_submit(&mut client, &world[m][i], &mut report.retries)?;
+                match settled {
+                    Settled::Accepted => {
+                        ensure!(!was_present, "service re-accepted a stored VP ({m},{i})");
+                        accepted[m].push(i);
+                        present[m].insert(i);
+                    }
+                    Settled::Present => {
+                        if !was_present {
+                            accepted[m].push(i);
+                            present[m].insert(i);
+                        }
+                    }
+                }
+                report.ops += 1;
+            }
+            ensure!(
+                viewmap_checksum(&srv.build_viewmap_maintained(MinuteId(0), site()))
+                    == viewmap_checksum(&srv.build_viewmap(MinuteId(0), site())),
+                "maintained viewmap diverged after evict-and-resubmit"
+            );
         }
 
         // ── Final generation: wire investigations vs the oracle, then

@@ -27,17 +27,26 @@ pub enum Scenario {
     /// idle-timeout-armed server reaping silent sessions, a
     /// read-deadline-armed client recovering via reconnect.
     Gray,
+    /// Churn: continuous ingest racing maintained-viewmap
+    /// investigations and a retention sweep under mild wire chaos,
+    /// across crash/recover generations. The oracle asserts the
+    /// incrementally maintained viewmap equals a cold build at probe
+    /// points mid-ingest, right after every recovery (the recovered
+    /// server must rebuild maintained state from scratch, never trust
+    /// it stale), and after an evicted minute is fully resubmitted.
+    Churn,
 }
 
 impl Scenario {
     /// Every scenario, in catalog order.
-    pub fn all() -> [Scenario; 5] {
+    pub fn all() -> [Scenario; 6] {
         [
             Scenario::Baseline,
             Scenario::WireChaos,
             Scenario::TornTail,
             Scenario::CrashLoop,
             Scenario::Gray,
+            Scenario::Churn,
         ]
     }
 
@@ -49,6 +58,7 @@ impl Scenario {
             Scenario::TornTail => "torn-tail",
             Scenario::CrashLoop => "crash-loop",
             Scenario::Gray => "gray",
+            Scenario::Churn => "churn",
         }
     }
 
@@ -75,6 +85,16 @@ impl Scenario {
                 stall_ms: (40, 80),
                 ..WireFaults::default()
             }),
+            // Milder than WireChaos: the scenario's point is the
+            // maintained-graph lifecycle under churn, so faults spice
+            // the ingest without drowning the run in retries.
+            Scenario::Churn => Some(WireFaults {
+                delay_us: (0, 200),
+                max_chunk: 512,
+                corrupt_prob: 0.001,
+                cut_prob: 0.003,
+                ..WireFaults::default()
+            }),
         }
     }
 
@@ -84,6 +104,7 @@ impl Scenario {
             Scenario::Baseline | Scenario::WireChaos | Scenario::Gray => 1,
             Scenario::TornTail => 2,
             Scenario::CrashLoop => seed_rng.gen_range(3..=5),
+            Scenario::Churn => seed_rng.gen_range(2..=3),
         }
     }
 

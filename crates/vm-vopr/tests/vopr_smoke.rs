@@ -38,6 +38,11 @@ fn gray_smoke() {
     sweep(Scenario::Gray);
 }
 
+#[test]
+fn churn_smoke() {
+    sweep(Scenario::Churn);
+}
+
 /// Direct-connection scenarios have no wire nondeterminism at all: the
 /// same seed must produce the same report, counter for counter.
 #[test]

@@ -9,8 +9,10 @@
 //! hosts the runnable examples and cross-crate integration tests:
 //!
 //! * [`core`] — view digests, view profiles, guard VPs,
-//!   viewmap construction, TrustRank verification, solicitation,
-//!   blind-signature rewarding, the tracking adversary, attack toolkit.
+//!   viewmap construction (cold four-phase engine plus the incremental
+//!   maintainer behind `ViewMapServer::investigate_maintained`),
+//!   TrustRank verification, solicitation, blind-signature rewarding,
+//!   the tracking adversary, attack toolkit.
 //! * [`crypto`] — SHA-256, big integers, RSA blind signatures
 //!   (all from scratch).
 //! * [`geo`] — planar geometry, road networks, routing, building
