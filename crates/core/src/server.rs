@@ -180,6 +180,18 @@ pub struct ViewMapServer {
 impl ViewMapServer {
     /// Stand up a server with a fresh signing key of `key_bits`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, key_bits: usize, cfg: ViewmapConfig) -> Self {
+        Self::with_key(RsaKeyPair::generate(rng, key_bits), cfg)
+    }
+
+    /// Stand up a server around an operator-supplied signing key.
+    ///
+    /// This is the constructor real deployments (and replication) want:
+    /// a restarted node, or a follower promoted after its primary died,
+    /// must keep honoring virtual cash minted under the old key, which
+    /// only works if the key outlives any single process. The `vm-store`
+    /// recovery path persists the key beside the log and feeds it back
+    /// through here on reopen.
+    pub fn with_key(key: RsaKeyPair, cfg: ViewmapConfig) -> Self {
         ViewMapServer {
             db: (0..DB_SHARDS)
                 .map(|_| RwLock::new(DbShard::default()))
@@ -190,10 +202,16 @@ impl ViewMapServer {
             solicited: RwLock::new(HashSet::new()),
             reward_board: RwLock::new(HashMap::new()),
             ledger: RwLock::new(HashSet::new()),
-            key: RsaKeyPair::generate(rng, key_bits),
+            key,
             cfg,
             wal: None,
         }
+    }
+
+    /// The full signing key pair, for persistence (vm-store's keyfile)
+    /// and for handing an identical key to a replica.
+    pub fn signing_key(&self) -> &RsaKeyPair {
+        &self.key
     }
 
     /// Attach a durable append log. From this point on every accepted VP
@@ -202,6 +220,19 @@ impl ViewMapServer {
     /// attaching, or replayed records would be appended twice.
     pub fn attach_wal(&mut self, wal: Box<dyn VpWal>) {
         self.wal = Some(wal);
+    }
+
+    /// Swap the attached log, returning the previous one (if any).
+    ///
+    /// Replication hook: a follower being promoted keeps appending to
+    /// the same durable store, but the layer *around* that store changes
+    /// — e.g. `vm-repl` wraps the plain `VpStore` log in a teeing
+    /// `ReplicatedWal` that ships every committed frame to the new
+    /// follower set. Same double-logging caveat as
+    /// [`attach_wal`](Self::attach_wal): the replacement must already
+    /// contain (or knowingly skip) everything replayed into this server.
+    pub fn replace_wal(&mut self, wal: Box<dyn VpWal>) -> Option<Box<dyn VpWal>> {
+        self.wal.replace(wal)
     }
 
     /// Is a durable log attached?
@@ -309,6 +340,17 @@ impl ViewMapServer {
     /// so the replayed records are not appended to the log a second time.
     pub fn submit_replay_batch(&self, vps: Vec<StoredVp>) -> Vec<Result<(), SubmitError>> {
         self.store_batch(vps, true)
+    }
+
+    /// As [`submit_replay_batch`](Self::submit_replay_batch) but
+    /// without the link-key warm: the apply path for a replication
+    /// standby, which must log and index shipped records at ingest
+    /// speed but serves no investigations until promoted. Link keys
+    /// hash lazily on first use, so the first investigation after a
+    /// promotion pays the key phase the warm would have prepaid — the
+    /// stored state is identical either way.
+    pub fn submit_replay_batch_cold(&self, vps: Vec<StoredVp>) -> Vec<Result<(), SubmitError>> {
+        self.store_batch(vps, false)
     }
 
     /// Bounded-retention sweep: drop every stored minute strictly before

@@ -39,6 +39,16 @@
 //! measured as medians of [`INGEST_RUNS`] fresh-server runs so ±10%
 //! single-shot host noise cannot fail a build with no regression in it.
 //!
+//! A fourth pair runs the same ingest through a **replicated** primary
+//! (`vm-repl`, one loopback follower, every WAL append shipped as it
+//! commits) and measures `repl_ack_ms`: the drain from the ingest
+//! returning (locally durable, frames shipped) to the commit watermark
+//! reaching the last shipped op — the follower has validated, replayed,
+//! logged, and acked every record. That drain is the burst replication
+//! lag an operator watches: how long "committed here" trails "safe to
+//! fail over". At the 10k tier it must stay within 2× `wal_append_ms`,
+//! asserted in-binary and gated again by the CI benchmark check.
+//!
 //! Environment knobs:
 //! * `VM_BENCH_TIERS` — comma-separated VP counts (default
 //!   `1000,10000,100000`); the naive baseline runs only at tiers ≤ 10k
@@ -58,6 +68,8 @@ use viewmap_core::types::{GeoPos, SECONDS_PER_VP};
 use viewmap_core::viewmap::{BuildProfile, Viewmap, ViewmapConfig};
 use viewmap_core::vp::{VpBuilder, VpKind};
 use vm_bench::investigate::{naive_build, naive_verify, SynthWorld};
+use vm_crypto::RsaKeyPair;
+use vm_repl::{Follower, FollowerConfig, Primary, ReplicationConfig};
 use vm_service::{ServiceConfig, VmClient, VmService};
 use vm_store::{Fsync, PersistentServer, StoreConfig};
 
@@ -77,6 +89,17 @@ const WAL_ASSERT_TIER: usize = 10_000;
 
 /// WAL ingest must stay within this factor of in-memory batch ingest.
 const WAL_OVERHEAD_LIMIT: f64 = 1.5;
+
+/// The post-ingest ack drain (ingest returned → commit watermark at the
+/// last shipped op, i.e. every op validated, replayed, logged, and
+/// acked by the loopback follower) must stay within this factor of
+/// plain WAL ingest. The follower's replay is a cold re-run of the
+/// ingest the primary already paid for, so the drain is bounded by one
+/// WAL-ingest-equivalent of work plus wire overhead (framing, decode,
+/// checksum revalidation, acks); 2× leaves that overhead real headroom
+/// and the ratio only drifts past it if the shipping path itself starts
+/// costing more than the replay it delivers.
+const REPL_ACK_LIMIT: f64 = 2.0;
 
 /// Ingest runs per side at the assert tier; both `batch_submit_ms` and
 /// `wal_append_ms` are then medians, so the asserted ratio reflects the
@@ -111,6 +134,7 @@ struct TierResult {
     submit_ms: f64,
     batch_submit_ms: f64,
     wal_append_ms: f64,
+    repl_ack_ms: f64,
     recover_ms: f64,
     service_rt_ms: f64,
     build_ms: f64,
@@ -304,6 +328,88 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
             wal_append_ms <= batch_submit_ms * WAL_OVERHEAD_LIMIT,
             "tier {n}: WAL ingest {wal_append_ms:.1} ms exceeds \
              {WAL_OVERHEAD_LIMIT}× in-memory batch {batch_submit_ms:.1} ms"
+        );
+    }
+
+    // ── Submit path C′: the same durable ingest on a replicated
+    //    primary shipping every WAL append to a loopback follower.
+    //    `repl_ack_ms` is the **ack drain**: the time from the ingest
+    //    returning (all records committed locally, all frames shipped)
+    //    until the commit watermark reaches the last shipped op — the
+    //    follower has validated, replayed, logged, and acked every
+    //    record. This is the burst replication lag an operator watches:
+    //    how long "committed here" trails "safe to fail over", and the
+    //    completeness assert below is what the drained watermark buys:
+    //    the replica holds every record the moment it hits zero. ──────
+    let mut repl_times = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let pdir = store_base.join(format!("vm_bench_repl_p_{}_{n}_{run}", std::process::id()));
+        let fdir = store_base.join(format!("vm_bench_repl_f_{}_{n}_{run}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&fdir);
+        let key = RsaKeyPair::generate(&mut rng, 512);
+        let (primary, _) = Primary::open(
+            &pdir,
+            key.clone(),
+            cfg,
+            scfg,
+            ReplicationConfig::default(),
+            "127.0.0.1:0",
+        )
+        .expect("open replicated primary");
+        let (follower, _) = Follower::open(
+            &fdir,
+            key,
+            cfg,
+            scfg,
+            primary.repl_addr(),
+            FollowerConfig::default(),
+        )
+        .expect("open follower");
+        while primary.hub().follower_count() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let trusted = trusted_wal_vp.clone();
+        let body = wal_vps.clone();
+        let genuine_vp = genuine.profile.clone().into_stored();
+        let r = primary.server().submit_trusted_batch(vec![trusted]);
+        assert!(r.iter().all(|x| x.is_ok()), "trusted repl batch stored");
+        let subs = body
+            .into_iter()
+            .chain(std::iter::once(genuine_vp))
+            .map(|vp| viewmap_core::upload::AnonymousSubmission { session_id: 0, vp });
+        let results = primary.server().submit_batch_warm(subs);
+        assert!(results.iter().all(|x| x.is_ok()), "repl batch stored");
+        // The ingest has returned: every record is locally durable and
+        // every frame is shipped. Time the drain to the commit
+        // watermark — the follower acking the last shipped op.
+        repl_times.push(time_ms(|| {
+            let deadline = Instant::now() + std::time::Duration::from_secs(120);
+            while primary.hub().watermark() < primary.hub().shipped_ops() {
+                assert!(
+                    Instant::now() < deadline,
+                    "follower never drained the shipped ops"
+                );
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }));
+        assert_eq!(primary.server().total_vps(), n + 1);
+        assert_eq!(
+            follower.server().total_vps(),
+            n + 1,
+            "drained watermark left the follower incomplete"
+        );
+        drop(follower);
+        drop(primary);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+    let repl_ack_ms = median_ms(&mut repl_times);
+    if n == WAL_ASSERT_TIER {
+        assert!(
+            repl_ack_ms <= wal_append_ms * REPL_ACK_LIMIT,
+            "tier {n}: replication ack drain {repl_ack_ms:.1} ms exceeds \
+             {REPL_ACK_LIMIT}× WAL ingest {wal_append_ms:.1} ms"
         );
     }
 
@@ -512,6 +618,7 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         submit_ms,
         batch_submit_ms,
         wal_append_ms,
+        repl_ack_ms,
         recover_ms,
         service_rt_ms,
         build_ms,
@@ -537,8 +644,8 @@ fn run_tier_reported(n: usize) -> String {
 fn report_tier(r: &TierResult) {
     let n = r.n_vps;
     eprintln!(
-        "tier {n}: submit {:.1} ms (batch {:.1} ms, wal {:.1} ms, recover {:.1} ms, \
-             service {:.1} ms) | \
+        "tier {n}: submit {:.1} ms (batch {:.1} ms, wal {:.1} ms, repl-ack {:.1} ms, \
+             recover {:.1} ms, service {:.1} ms) | \
              build {:.1} ms (parallel {:.1} ms, incremental {:.1} ms after \
              {:.1} ms create) | \
              phases tables {:.1} / candidates {:.1} / keys {:.1} / linkage {:.1} ms | \
@@ -546,6 +653,7 @@ fn report_tier(r: &TierResult) {
         r.submit_ms,
         r.batch_submit_ms,
         r.wal_append_ms,
+        r.repl_ack_ms,
         r.recover_ms,
         r.service_rt_ms,
         r.build_ms,
@@ -569,7 +677,7 @@ fn tier_row_json(r: &TierResult) -> String {
         concat!(
             "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
             "\"submit_ms\": {:.3}, \"batch_submit_ms\": {:.3}, ",
-            "\"wal_append_ms\": {:.3}, \"recover_ms\": {:.3}, ",
+            "\"wal_append_ms\": {:.3}, \"repl_ack_ms\": {:.3}, \"recover_ms\": {:.3}, ",
             "\"service_rt_ms\": {:.3}, ",
             "\"build_ms\": {:.3}, ",
             "\"phase_ms\": {{\"tables\": {:.3}, \"candidates\": {:.3}, ",
@@ -587,6 +695,7 @@ fn tier_row_json(r: &TierResult) -> String {
         r.submit_ms,
         r.batch_submit_ms,
         r.wal_append_ms,
+        r.repl_ack_ms,
         r.recover_ms,
         r.service_rt_ms,
         r.build_ms,
@@ -653,8 +762,14 @@ fn main() {
          batch_submit_ms is one submit_batch call (includes ingest-side link-key precompute); \
          wal_append_ms is the same batch ingest through the vm-store append log \
          (group commit, fsync=never) and recover_ms is a cold ViewMapServer::open \
-         replaying that log (decode + re-ingest + parallel key warm); at the 10k \
-         assert tier batch_submit_ms and wal_append_ms are medians of 3 runs; \
+         replaying that log (decode + re-ingest + parallel key warm); \
+         repl_ack_ms is the post-ingest ack drain on a vm-repl primary with one \
+         loopback follower: the time from the durable ingest returning until the \
+         commit watermark reaches the last shipped op (every WAL append validated, \
+         replayed, logged, and acked by the follower), i.e. how long committed-here \
+         trails safe-to-fail-over after a burst; it must stay within 2x \
+         wal_append_ms at the 10k tier; at the 10k \
+         assert tier batch_submit_ms, wal_append_ms, and repl_ack_ms are medians of 3 runs; \
          service_rt_ms is the same population ingested through the vm-service TCP \
          front-end — 8 concurrent pipelining VmClient sessions over loopback \
          (server-side coalescing into warm batches) plus one investigation round \

@@ -1,0 +1,586 @@
+//! The primary side: a replication hub that ships committed WAL frames
+//! to connected followers, and the [`ReplicatedWal`] decorator that
+//! feeds it from the server's normal logging path.
+//!
+//! # Shipping order is the correctness backbone
+//!
+//! The server appends to its WAL under the committing minute's shard
+//! lock, so per-minute append order equals bucket order. The hub adds
+//! one global invariant on top: every shipped message — live append,
+//! catch-up chunk, eviction — is assigned its op number and written to
+//! follower sockets **under one stream mutex**. A follower therefore
+//! observes a single serialized message sequence whose per-minute
+//! record order equals the primary's bucket order, which is exactly
+//! what replaying through [`ViewMapServer::submit_replay_batch`] needs
+//! to rebuild byte-identical buckets, indexes, and segments.
+//!
+//! Catch-up runs under the same mutex: while a joining follower's
+//! missing segment tails are being streamed, no live append can ship,
+//! so there is no gap between "what catch-up read from disk" and "what
+//! the live stream sends next". (Local durability is *not* behind the
+//! mutex — `ReplicatedWal::append` writes to the local store first and
+//! only then takes the stream lock, so an overlap where catch-up reads
+//! a record the live path also ships is possible. Overlap is benign:
+//! the follower's replay dedup drops the second copy before it touches
+//! the follower's log.)
+//!
+//! # Acknowledgment and the commit watermark
+//!
+//! Each follower session runs an ACK-reader thread that advances the
+//! session's acked-op cell. [`ReplHub::watermark`] is the smallest
+//! acked op across live sessions — the op up to which *every* live
+//! follower has validated, replayed, and locally logged the stream.
+//! With [`ReplicationConfig::sync_ack`] the shipping path blocks until
+//! the shipped op is acked everywhere (bounded by `ack_timeout`; a
+//! follower that can't keep up is detached, never waited on forever —
+//! availability over a sick replica, and the vopr failover torture
+//! only promotes followers whose acks the primary actually saw).
+
+use crate::wire::{ReplMsg, MAX_FRAMES_MSG_BYTES};
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Duration;
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::types::MinuteId;
+use viewmap_core::viewmap::ViewmapConfig;
+use viewmap_core::vp::StoredVp;
+use viewmap_core::wal::VpWal;
+use vm_crypto::RsaKeyPair;
+use vm_store::segment::{parse_segment_file_name, segment_path};
+use vm_store::{tail_frames, RecoveryReport, StoreConfig, VpStore};
+
+/// Replication policy for a primary.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationConfig {
+    /// The primary's epoch (fenced against follower hellos).
+    pub epoch: u64,
+    /// Block each shipped append until every live follower acks it.
+    /// Off by default: asynchronous shipping, bounded only by socket
+    /// buffers, is the paper-faithful "follower trails by shipping
+    /// latency" mode (callers who need "committed means on the
+    /// replica" without serializing per append can drain to
+    /// [`ReplHub::watermark`] instead); per-append synchronous acks are
+    /// for failover tests, where a crash may follow any single op.
+    pub sync_ack: bool,
+    /// How long a synchronous append waits for a follower's ack before
+    /// detaching it.
+    pub ack_timeout: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            epoch: 1,
+            sync_ack: false,
+            ack_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One follower's ack state, shared with its ACK-reader thread.
+struct AckCell {
+    /// std (not parking_lot) because the ack wait needs a Condvar.
+    acked: StdMutex<u64>,
+    advanced: Condvar,
+}
+
+struct FollowerSession {
+    /// Write half (the ACK reader owns a cloned read half).
+    stream: TcpStream,
+    ack: Arc<AckCell>,
+    alive: Arc<AtomicBool>,
+}
+
+/// Everything serialized by the stream mutex.
+struct StreamState {
+    next_op: u64,
+    sessions: Vec<FollowerSession>,
+}
+
+/// The shipping side of a replicated cell: listener, follower
+/// sessions, op counter, watermark.
+pub struct ReplHub {
+    dir: PathBuf,
+    cfg: ReplicationConfig,
+    addr: SocketAddr,
+    stream: Mutex<StreamState>,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ReplHub {
+    /// Bind `listen_addr` and start accepting followers that will be
+    /// caught up from the segment directory `dir`.
+    pub fn spawn(
+        dir: impl AsRef<Path>,
+        listen_addr: impl ToSocketAddrs,
+        cfg: ReplicationConfig,
+    ) -> std::io::Result<Arc<ReplHub>> {
+        let listener = TcpListener::bind(listen_addr)?;
+        let addr = listener.local_addr()?;
+        let hub = Arc::new(ReplHub {
+            dir: dir.as_ref().to_path_buf(),
+            cfg,
+            addr,
+            stream: Mutex::new(StreamState {
+                next_op: 0,
+                sessions: Vec::new(),
+            }),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_hub = Arc::clone(&hub);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_hub.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                // A misbehaving joiner must not wedge the accept loop.
+                if let Err(e) = accept_hub.admit_follower(stream) {
+                    let _ = e; // refused or died mid-handshake; it can redial
+                }
+            }
+        });
+        hub.threads.lock().push(accept);
+        Ok(hub)
+    }
+
+    /// The address followers dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live follower sessions right now.
+    pub fn follower_count(&self) -> usize {
+        let mut stream = self.stream.lock();
+        stream.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        stream.sessions.len()
+    }
+
+    /// The commit watermark: the highest op every live follower has
+    /// acked (0 with no live followers — nothing is remotely
+    /// committed).
+    pub fn watermark(&self) -> u64 {
+        let mut stream = self.stream.lock();
+        stream.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        stream
+            .sessions
+            .iter()
+            .map(|s| *s.ack.acked.lock().expect("ack cell poisoned"))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Ops shipped so far.
+    pub fn shipped_ops(&self) -> u64 {
+        self.stream.lock().next_op
+    }
+
+    /// Stop accepting, drop every follower session, join the threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway dial.
+        let _ = TcpStream::connect(self.addr);
+        {
+            let mut stream = self.stream.lock();
+            for s in stream.sessions.drain(..) {
+                s.alive.store(false, Ordering::Release);
+                let _ = s.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Handshake + catch-up + registration for one dialing follower.
+    fn admit_follower(self: &Arc<Self>, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nodelay(true).ok();
+        // Bound the handshake read so a silent dialer can't pin the
+        // accept loop (and with it, shutdown); cleared again below —
+        // an idle ACK channel is normal, a mute join is not.
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let Some(ReplMsg::Hello { epoch, cursors }) = ReplMsg::read_from(&mut reader)? else {
+            return Err(std::io::Error::other("follower closed before HELLO"));
+        };
+        stream.set_read_timeout(None)?;
+        // Epoch fence: a follower from a *later* configuration means
+        // this primary is the stale node; it must not feed it.
+        if epoch > self.cfg.epoch {
+            return Err(std::io::Error::other(format!(
+                "follower epoch {epoch} ahead of primary epoch {} — refusing",
+                self.cfg.epoch
+            )));
+        }
+        let mut writer = stream.try_clone()?;
+        ReplMsg::HelloOk {
+            epoch: self.cfg.epoch,
+        }
+        .write_to(&mut writer)?;
+
+        // Under the stream mutex: stream the missing segment tails,
+        // then register for live shipping. Holding the lock across
+        // both is what closes the catch-up/live gap (see module docs).
+        let mut state = self.stream.lock();
+        self.catch_up(&mut state, &mut writer, &cursors)?;
+        let ack = Arc::new(AckCell {
+            acked: StdMutex::new(0),
+            advanced: Condvar::new(),
+        });
+        let alive = Arc::new(AtomicBool::new(true));
+        let session = FollowerSession {
+            stream,
+            ack: Arc::clone(&ack),
+            alive: Arc::clone(&alive),
+        };
+        state.sessions.push(session);
+        drop(state);
+
+        let reader_thread = std::thread::spawn(move || {
+            // Anything that isn't an ACK — EOF, garbage, an unexpected
+            // opcode — falls out of the `while let` and ends the session.
+            while let Ok(Some(ReplMsg::Ack { op })) = ReplMsg::read_from(&mut reader) {
+                let mut acked = ack.acked.lock().expect("ack cell poisoned");
+                if op > *acked {
+                    *acked = op;
+                }
+                drop(acked);
+                ack.advanced.notify_all();
+            }
+            alive.store(false, Ordering::Release);
+            ack.advanced.notify_all();
+        });
+        self.threads.lock().push(reader_thread);
+        Ok(())
+    }
+
+    /// Stream every committed segment frame past the follower's
+    /// cursors, chunked, assigning ops from the shared counter. Called
+    /// with the stream mutex held.
+    fn catch_up(
+        &self,
+        state: &mut StreamState,
+        writer: &mut TcpStream,
+        cursors: &[(u64, u64)],
+    ) -> std::io::Result<()> {
+        let mut minutes: Vec<MinuteId> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_file_name(&e.file_name().to_string_lossy()))
+            .collect();
+        minutes.sort_unstable();
+        for minute in minutes {
+            let skip = cursors
+                .iter()
+                .find(|(m, _)| *m == minute.0)
+                .map_or(0, |(_, records)| *records) as usize;
+            let path = segment_path(&self.dir, minute);
+            // `None` marks a foreign file recovery would quarantine;
+            // the store can't have written it, so there is nothing of
+            // ours to ship. `Some(empty)` covers a racing eviction.
+            let Some(frames) = tail_frames(&path, minute, skip)? else {
+                continue;
+            };
+            let mut chunk: Vec<Vec<u8>> = Vec::new();
+            let mut chunk_bytes = 0usize;
+            for frame in frames {
+                if chunk_bytes + frame.len() > MAX_FRAMES_MSG_BYTES && !chunk.is_empty() {
+                    self.ship_chunk(state, writer, minute, std::mem::take(&mut chunk))?;
+                    chunk_bytes = 0;
+                }
+                chunk_bytes += frame.len();
+                chunk.push(frame);
+            }
+            if !chunk.is_empty() {
+                self.ship_chunk(state, writer, minute, chunk)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ship_chunk(
+        &self,
+        state: &mut StreamState,
+        writer: &mut TcpStream,
+        minute: MinuteId,
+        frames: Vec<Vec<u8>>,
+    ) -> std::io::Result<()> {
+        state.next_op += 1;
+        ReplMsg::Frames {
+            op: state.next_op,
+            minute: minute.0,
+            frames,
+        }
+        .write_to(writer)
+    }
+
+    /// Ship one committed append to every live follower (called by
+    /// [`ReplicatedWal::append`] *after* local durability).
+    ///
+    /// Encoding runs on worker threads through the store's group-commit
+    /// framer ([`vm_store::frame_records`]) *before* the stream lock is
+    /// taken, and a large append ships as several
+    /// [`MAX_FRAMES_MSG_BYTES`]-bounded ops rather than one giant
+    /// message — so a follower starts validating and replaying the
+    /// first chunk while later chunks are still being written, and the
+    /// ack watermark advances incrementally instead of only at the end.
+    /// A follower admitted between the encode and the send sees these
+    /// records twice (once via catch-up, once shipped); its replay
+    /// dedup eats the overlap, as for any catch-up/stream overlap.
+    fn ship_append(&self, minute: MinuteId, vps: &[&StoredVp]) {
+        {
+            // Don't pay the encode with nobody listening.
+            let mut state = self.stream.lock();
+            state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+            if state.sessions.is_empty() {
+                return;
+            }
+        }
+        let frames = vm_store::frame_records(vps);
+        let mut state = self.stream.lock();
+        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        if state.sessions.is_empty() {
+            return;
+        }
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        for frame in frames {
+            if chunk_bytes + frame.len() > MAX_FRAMES_MSG_BYTES && !chunk.is_empty() {
+                state.next_op += 1;
+                let msg = ReplMsg::Frames {
+                    op: state.next_op,
+                    minute: minute.0,
+                    frames: std::mem::take(&mut chunk),
+                };
+                self.broadcast(&mut state, &msg);
+                chunk_bytes = 0;
+            }
+            chunk_bytes += frame.len();
+            chunk.push(frame);
+        }
+        if !chunk.is_empty() {
+            state.next_op += 1;
+            let msg = ReplMsg::Frames {
+                op: state.next_op,
+                minute: minute.0,
+                frames: chunk,
+            };
+            self.broadcast(&mut state, &msg);
+        }
+    }
+
+    /// Mirror a retention sweep.
+    fn ship_evict(&self, cutoff: MinuteId) {
+        let mut state = self.stream.lock();
+        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        if state.sessions.is_empty() {
+            return;
+        }
+        state.next_op += 1;
+        let msg = ReplMsg::Evict {
+            op: state.next_op,
+            cutoff: cutoff.0,
+        };
+        self.broadcast(&mut state, &msg);
+    }
+
+    /// Write `msg` to every session; under `sync_ack`, wait for each
+    /// to ack it (detaching on timeout). Shipping failures detach the
+    /// session — replication never fails the primary's local commit.
+    fn broadcast(&self, state: &mut StreamState, msg: &ReplMsg) {
+        let op = state.next_op;
+        for s in &mut state.sessions {
+            let mut writer = &s.stream;
+            if msg.write_to(&mut writer).is_err() {
+                s.alive.store(false, Ordering::Release);
+                let _ = s.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if self.cfg.sync_ack {
+            for s in &state.sessions {
+                if !s.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                let deadline = std::time::Instant::now() + self.cfg.ack_timeout;
+                let mut acked = s.ack.acked.lock().expect("ack cell poisoned");
+                while *acked < op && s.alive.load(Ordering::Acquire) {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        // Too slow for synchronous replication: detach
+                        // rather than stall every future commit.
+                        s.alive.store(false, Ordering::Release);
+                        let _ = s.stream.shutdown(std::net::Shutdown::Both);
+                        break;
+                    }
+                    let (guard, timeout) = s
+                        .ack
+                        .advanced
+                        .wait_timeout(acked, deadline - now)
+                        .expect("ack cell poisoned");
+                    acked = guard;
+                    if timeout.timed_out() && *acked < op {
+                        s.alive.store(false, Ordering::Release);
+                        let _ = s.stream.shutdown(std::net::Shutdown::Both);
+                        break;
+                    }
+                }
+            }
+        }
+        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+    }
+}
+
+impl Drop for ReplHub {
+    fn drop(&mut self) {
+        // Arc'd hubs shut down via the method; this is the last-resort
+        // path when the final clone drops without one.
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            let _ = TcpStream::connect(self.addr);
+            let mut stream = self.stream.lock();
+            for s in stream.sessions.drain(..) {
+                let _ = s.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A [`VpWal`] decorator: local durability first, then log shipping.
+///
+/// Attach one to a server (`attach_wal` / `replace_wal`) and every
+/// committed append flows to the hub's followers; eviction sweeps ship
+/// too, so follower retention mirrors the primary's. `sync` is purely
+/// local — the remote equivalent is the ack watermark.
+pub struct ReplicatedWal {
+    inner: Box<dyn VpWal>,
+    hub: Arc<ReplHub>,
+}
+
+impl ReplicatedWal {
+    /// Wrap `inner` so its committed appends also ship through `hub`.
+    pub fn new(inner: Box<dyn VpWal>, hub: Arc<ReplHub>) -> Self {
+        ReplicatedWal { inner, hub }
+    }
+
+    /// The hub this WAL ships through.
+    pub fn hub(&self) -> &Arc<ReplHub> {
+        &self.hub
+    }
+}
+
+impl VpWal for ReplicatedWal {
+    fn append(&self, vps: &[&StoredVp]) -> std::io::Result<()> {
+        let Some(first) = vps.first() else {
+            return Ok(());
+        };
+        // Local first: a record is never on a follower before it is on
+        // the primary's own disk.
+        self.inner.append(vps)?;
+        self.hub.ship_append(first.minute(), vps);
+        Ok(())
+    }
+
+    fn evict_minutes_before(&self, cutoff: MinuteId) -> std::io::Result<usize> {
+        let removed = self.inner.evict_minutes_before(cutoff)?;
+        self.hub.ship_evict(cutoff);
+        Ok(removed)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// A serving primary: a durable [`ViewMapServer`] whose WAL ships to
+/// followers through an embedded [`ReplHub`].
+pub struct Primary {
+    server: Arc<ViewMapServer>,
+    hub: Arc<ReplHub>,
+}
+
+impl Primary {
+    /// Open (or recover) the store in `dir` under the operator's
+    /// signing `key`, start the replication listener on `listen_addr`,
+    /// and wire the server's WAL through it.
+    ///
+    /// The key rules are [`vm_store::PersistentServer::open_with_key`]'s: an
+    /// existing keyfile must match (re-keying orphans outstanding
+    /// cash); a missing one is persisted from `key`. The whole
+    /// replication group shares one key — that is what lets a promoted
+    /// follower keep redeeming cash the old primary minted.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        key: RsaKeyPair,
+        vmcfg: ViewmapConfig,
+        store_cfg: StoreConfig,
+        repl_cfg: ReplicationConfig,
+        listen_addr: impl ToSocketAddrs,
+    ) -> std::io::Result<(Primary, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        // Assemble by hand instead of `open_with_key`: the store must
+        // end up *inside* a ReplicatedWal, not attached bare.
+        let (store, vps, mut report) = VpStore::open(&dir, store_cfg)?;
+        match vm_store::keyfile::load(store.dir())? {
+            Some(existing) if existing != key => {
+                return Err(std::io::Error::other(format!(
+                    "store {} already holds a different signing key — refusing to re-key",
+                    store.dir().display()
+                )));
+            }
+            Some(_) => {}
+            None => vm_store::keyfile::save(store.dir(), &key)?,
+        }
+        let mut srv = ViewMapServer::with_key(key, vmcfg);
+        let results = srv.submit_replay_batch(vps);
+        report.rejected = results.iter().filter(|r| r.is_err()).count();
+        let hub = ReplHub::spawn(&dir, listen_addr, repl_cfg)?;
+        srv.attach_wal(Box::new(ReplicatedWal::new(
+            Box::new(store),
+            Arc::clone(&hub),
+        )));
+        Ok((
+            Primary {
+                server: Arc::new(srv),
+                hub,
+            },
+            report,
+        ))
+    }
+
+    /// The serving server (share it with a `VmService` front-end).
+    pub fn server(&self) -> &Arc<ViewMapServer> {
+        &self.server
+    }
+
+    /// The replication hub.
+    pub fn hub(&self) -> &Arc<ReplHub> {
+        &self.hub
+    }
+
+    /// The address followers dial.
+    pub fn repl_addr(&self) -> SocketAddr {
+        self.hub.addr()
+    }
+
+    /// Kill the replication side (listener, sessions) without touching
+    /// the local server — the "primary crashed" half of a failover.
+    /// Dropping the `Primary` does the same.
+    pub fn shutdown_replication(&self) {
+        self.hub.shutdown();
+    }
+}
+
+impl Drop for Primary {
+    fn drop(&mut self) {
+        self.hub.shutdown();
+    }
+}

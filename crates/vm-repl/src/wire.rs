@@ -1,0 +1,508 @@
+//! The replication wire protocol: typed messages over the service's
+//! frame codec, carrying the store's segment frames verbatim.
+//!
+//! Replication adds **no third codec**. The outer envelope is the
+//! vm-service frame ([`vm_service::proto::Frame`]: magic `VMS1`,
+//! length, checksum64, `request_id | opcode | payload`) with
+//! replication opcodes in the `0x20` range and `request_id` pinned to
+//! 0 — a replication link is a dedicated connection, not a pipelined
+//! session, so there is nothing to correlate. The records *inside* a
+//! [`ReplMsg::Frames`] payload are raw **segment frames** — the exact
+//! bytes [`vm_store`] appends to disk (`VMR1` header + delta-compressed
+//! body) — so the follower validates and decodes shipped records with
+//! the same rules recovery applies to its own log, and a shipped byte
+//! stream is bit-identical to the primary's segment tail.
+//!
+//! # Messages
+//!
+//! | op | message | direction | payload |
+//! |---|---|---|---|
+//! | `0x20` | `HELLO` | follower → primary | `epoch u64`, `n u32`, n × (`minute u64`, `records u64`) |
+//! | `0x21` | `FRAMES` | primary → follower | `op u64`, `minute u64`, `n u32`, n × (`len u32`, segment frame) |
+//! | `0x22` | `EVICT` | primary → follower | `op u64`, `cutoff u64` |
+//! | `0x23` | `ACK` | follower → primary | `op u64` |
+//! | `0x24` | `HELLO_OK` | primary → follower | `epoch u64` |
+//!
+//! `HELLO` carries the follower's **per-minute cursors** — how many
+//! committed records its own log already holds for each minute — which
+//! is all the primary needs to stream exactly the missing tail of each
+//! segment ([`vm_store::tail_frames`]). Cursors make catch-up robust
+//! to retention: an evicted minute simply has no segment left to tail.
+//! Overlap (a cursor behind what was actually shipped) is safe because
+//! the follower applies through the server's replay path, whose dedup
+//! rejects records it already holds *before* they reach its log.
+//!
+//! `op` numbers are assigned by the primary, monotonically per hub
+//! lifetime, one per shipped message; `ACK` echoes the highest op the
+//! follower has fully applied (validated, replayed, logged). The
+//! primary's commit watermark is the smallest acked op across live
+//! followers.
+
+use std::io::{BufRead, Write};
+use viewmap_core::types::MinuteId;
+use viewmap_core::vp::StoredVp;
+use vm_service::proto::Frame;
+use vm_store::FRAME_HEADER_BYTES as SEGMENT_FRAME_HEADER_BYTES;
+
+/// Follower → primary: identify, prove epoch, describe what's held.
+pub const OP_REPL_HELLO: u8 = 0x20;
+/// Primary → follower: one op's worth of raw segment frames.
+pub const OP_REPL_FRAMES: u8 = 0x21;
+/// Primary → follower: a retention sweep to mirror.
+pub const OP_REPL_EVICT: u8 = 0x22;
+/// Follower → primary: highest fully-applied op.
+pub const OP_REPL_ACK: u8 = 0x23;
+/// Primary → follower: stream accepted; primary's epoch.
+pub const OP_REPL_HELLO_OK: u8 = 0x24;
+
+/// One typed replication message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Follower's epoch plus per-minute `(minute, committed records)`
+    /// cursors for catch-up positioning.
+    Hello {
+        /// The follower's current epoch.
+        epoch: u64,
+        /// `(minute, committed record count)` for every minute the
+        /// follower's own log holds.
+        cursors: Vec<(u64, u64)>,
+    },
+    /// Primary accepts the stream.
+    HelloOk {
+        /// The primary's epoch (must be ≥ the follower's).
+        epoch: u64,
+    },
+    /// Raw segment frames for one minute, in bucket order.
+    Frames {
+        /// This message's op number.
+        op: u64,
+        /// The minute every carried frame belongs to.
+        minute: u64,
+        /// Raw segment frames (`VMR1` header + body), disk bytes
+        /// verbatim.
+        frames: Vec<Vec<u8>>,
+    },
+    /// Mirror `evict_minutes_before(cutoff)`.
+    Evict {
+        /// This message's op number.
+        op: u64,
+        /// Exclusive minute cutoff.
+        cutoff: u64,
+    },
+    /// Highest op the follower has fully applied.
+    Ack {
+        /// The op number.
+        op: u64,
+    },
+}
+
+/// A replication message that failed to parse. The connection is not
+/// recoverable; the receiver drops it and (for a follower) resyncs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replication wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+fn take_u32(buf: &[u8], at: &mut usize) -> Result<u32, WireError> {
+    let bytes = buf
+        .get(*at..*at + 4)
+        .ok_or_else(|| err("truncated u32"))?
+        .try_into()
+        .expect("4 bytes");
+    *at += 4;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn take_u64(buf: &[u8], at: &mut usize) -> Result<u64, WireError> {
+    let bytes = buf
+        .get(*at..*at + 8)
+        .ok_or_else(|| err("truncated u64"))?
+        .try_into()
+        .expect("8 bytes");
+    *at += 8;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+impl ReplMsg {
+    /// The message's opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            ReplMsg::Hello { .. } => OP_REPL_HELLO,
+            ReplMsg::HelloOk { .. } => OP_REPL_HELLO_OK,
+            ReplMsg::Frames { .. } => OP_REPL_FRAMES,
+            ReplMsg::Evict { .. } => OP_REPL_EVICT,
+            ReplMsg::Ack { .. } => OP_REPL_ACK,
+        }
+    }
+
+    /// Wrap the message in a service frame (request id 0).
+    pub fn to_frame(&self) -> Frame {
+        let mut payload = Vec::new();
+        match self {
+            ReplMsg::Hello { epoch, cursors } => {
+                payload.extend_from_slice(&epoch.to_le_bytes());
+                payload.extend_from_slice(&(cursors.len() as u32).to_le_bytes());
+                for (minute, records) in cursors {
+                    payload.extend_from_slice(&minute.to_le_bytes());
+                    payload.extend_from_slice(&records.to_le_bytes());
+                }
+            }
+            ReplMsg::HelloOk { epoch } => payload.extend_from_slice(&epoch.to_le_bytes()),
+            ReplMsg::Frames { op, minute, frames } => {
+                payload.extend_from_slice(&op.to_le_bytes());
+                payload.extend_from_slice(&minute.to_le_bytes());
+                payload.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+                for f in frames {
+                    payload.extend_from_slice(&(f.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(f);
+                }
+            }
+            ReplMsg::Evict { op, cutoff } => {
+                payload.extend_from_slice(&op.to_le_bytes());
+                payload.extend_from_slice(&cutoff.to_le_bytes());
+            }
+            ReplMsg::Ack { op } => payload.extend_from_slice(&op.to_le_bytes()),
+        }
+        Frame {
+            request_id: 0,
+            opcode: self.opcode(),
+            payload,
+        }
+    }
+
+    /// Parse a service frame back into a typed message.
+    pub fn from_frame(frame: &Frame) -> Result<ReplMsg, WireError> {
+        let buf = frame.payload.as_slice();
+        let mut at = 0usize;
+        let msg = match frame.opcode {
+            OP_REPL_HELLO => {
+                let epoch = take_u64(buf, &mut at)?;
+                let n = take_u32(buf, &mut at)? as usize;
+                if n > buf.len() / 16 + 1 {
+                    return Err(err(format!("hello cursor count {n} exceeds payload")));
+                }
+                let mut cursors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let minute = take_u64(buf, &mut at)?;
+                    let records = take_u64(buf, &mut at)?;
+                    cursors.push((minute, records));
+                }
+                ReplMsg::Hello { epoch, cursors }
+            }
+            OP_REPL_HELLO_OK => ReplMsg::HelloOk {
+                epoch: take_u64(buf, &mut at)?,
+            },
+            OP_REPL_FRAMES => {
+                let op = take_u64(buf, &mut at)?;
+                let minute = take_u64(buf, &mut at)?;
+                let n = take_u32(buf, &mut at)? as usize;
+                if n > buf.len() / SEGMENT_FRAME_HEADER_BYTES + 1 {
+                    return Err(err(format!("frame count {n} exceeds payload")));
+                }
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = take_u32(buf, &mut at)? as usize;
+                    let bytes = buf
+                        .get(at..at + len)
+                        .ok_or_else(|| err("truncated segment frame"))?;
+                    at += len;
+                    frames.push(bytes.to_vec());
+                }
+                ReplMsg::Frames { op, minute, frames }
+            }
+            OP_REPL_EVICT => ReplMsg::Evict {
+                op: take_u64(buf, &mut at)?,
+                cutoff: take_u64(buf, &mut at)?,
+            },
+            OP_REPL_ACK => ReplMsg::Ack {
+                op: take_u64(buf, &mut at)?,
+            },
+            other => return Err(err(format!("unknown replication opcode {other:#04x}"))),
+        };
+        if at != buf.len() {
+            return Err(err(format!(
+                "trailing garbage: {} of {} payload bytes consumed",
+                at,
+                buf.len()
+            )));
+        }
+        Ok(msg)
+    }
+
+    /// Write the message as one service frame and flush.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        self.to_frame().write_to(w)?;
+        w.flush()
+    }
+
+    /// Read one message. `Ok(None)` is a clean EOF at a frame boundary.
+    pub fn read_from(r: &mut impl BufRead) -> std::io::Result<Option<ReplMsg>> {
+        let Some(frame) = Frame::read_from(r)? else {
+            return Ok(None);
+        };
+        ReplMsg::from_frame(&frame)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Validate one shipped segment frame with exactly the rules recovery
+/// applies to a frame read off disk — magic, declared length, checksum,
+/// decodable body, minute agreement — and return the decoded record.
+///
+/// A frame that fails here is an **injury**, not a protocol state: the
+/// follower applies the valid prefix of the message, counts the injury,
+/// and drops the connection to resync via catch-up. It must never panic
+/// and must never let a corrupt record reach the follower's store.
+pub fn validate_segment_frame(bytes: &[u8], minute: MinuteId) -> Result<StoredVp, WireError> {
+    if bytes.len() < SEGMENT_FRAME_HEADER_BYTES {
+        return Err(err("segment frame shorter than its header"));
+    }
+    if bytes[..4] != vm_store::segment::FRAME_MAGIC {
+        return Err(err("bad segment frame magic"));
+    }
+    let body_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if bytes.len() != SEGMENT_FRAME_HEADER_BYTES + body_len {
+        return Err(err(format!(
+            "declared body {body_len} B, carried {} B",
+            bytes.len() - SEGMENT_FRAME_HEADER_BYTES
+        )));
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let body = &bytes[SEGMENT_FRAME_HEADER_BYTES..];
+    if vm_crypto::checksum64(body) != declared {
+        return Err(err("segment frame checksum mismatch"));
+    }
+    let vp = vm_store::decode_record(body).map_err(|e| err(format!("undecodable body: {e}")))?;
+    if vp.minute() != minute {
+        return Err(err(format!(
+            "record minute {} inside a minute-{} message",
+            vp.minute().0,
+            minute.0
+        )));
+    }
+    Ok(vp)
+}
+
+/// Validate a whole `FRAMES` payload with exactly
+/// [`validate_segment_frame`]'s rules, batched for the apply path's hot
+/// loop: structural header checks first, every body checksum through
+/// the multi-buffer engine ([`vm_crypto::checksum64_many`]), then the
+/// surviving bodies decoded on worker threads. Returns the decoded
+/// records and, if any frame is injured, the first injury — in which
+/// case the records are exactly the **valid prefix** before it, the
+/// same contract the serial validator gives the follower (apply the
+/// prefix, count the injury, drop the connection, resync).
+pub fn validate_segment_frames(
+    frames: &[Vec<u8>],
+    minute: MinuteId,
+) -> (Vec<StoredVp>, Option<WireError>) {
+    // Structural + checksum screen: find the first frame the serial
+    // validator would reject before decoding.
+    let mut structurally_ok = frames.len();
+    for (i, bytes) in frames.iter().enumerate() {
+        let ok = bytes.len() >= SEGMENT_FRAME_HEADER_BYTES
+            && bytes[..4] == vm_store::segment::FRAME_MAGIC
+            && bytes.len()
+                == SEGMENT_FRAME_HEADER_BYTES
+                    + u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if !ok {
+            structurally_ok = i;
+            break;
+        }
+    }
+    let bodies: Vec<&[u8]> = frames[..structurally_ok]
+        .iter()
+        .map(|b| &b[SEGMENT_FRAME_HEADER_BYTES..])
+        .collect();
+    let mut clean = structurally_ok;
+    for (i, sum) in vm_crypto::checksum64_many(&bodies).into_iter().enumerate() {
+        let declared = u64::from_le_bytes(
+            frames[i][8..SEGMENT_FRAME_HEADER_BYTES]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        if sum != declared {
+            clean = i;
+            break;
+        }
+    }
+    // Decode the clean prefix in parallel; injuries past `clean` are
+    // re-diagnosed serially below for the exact per-frame error.
+    let decoded = if clean == 0 {
+        Vec::new()
+    } else {
+        let cuts = viewmap_core::par::even_cuts(
+            clean,
+            viewmap_core::par::auto_threads(clean, DECODE_PARALLEL_THRESHOLD),
+        );
+        viewmap_core::par::map_ranges(&cuts, |_t, lo, hi| {
+            frames[lo..hi]
+                .iter()
+                .map(|b| vm_store::decode_record(&b[SEGMENT_FRAME_HEADER_BYTES..]))
+                .collect::<Vec<_>>()
+        })
+    };
+    let mut records = Vec::with_capacity(clean);
+    for result in decoded.into_iter().flatten() {
+        match result {
+            Ok(vp) if vp.minute() == minute => records.push(vp),
+            Ok(vp) => {
+                return (
+                    records,
+                    Some(err(format!(
+                        "record minute {} inside a minute-{} message",
+                        vp.minute().0,
+                        minute.0
+                    ))),
+                );
+            }
+            Err(e) => return (records, Some(err(format!("undecodable body: {e}")))),
+        }
+    }
+    if clean < frames.len() {
+        // Re-run the serial validator on the injured frame for its
+        // precise diagnosis (and as the single source of truth).
+        let injury = validate_segment_frame(&frames[clean], minute)
+            .err()
+            .unwrap_or_else(|| err("batched validation disagrees with serial validator"));
+        return (records, Some(injury));
+    }
+    (records, None)
+}
+
+/// Batches below this decode on the caller's thread. Lower than the
+/// store's append threshold: decode is the apply path's biggest single
+/// cost, so even a few hundred records repay the spawn/join.
+const DECODE_PARALLEL_THRESHOLD: usize = 512;
+
+/// Ceiling on segment-frame bytes per `FRAMES` message: catch-up chunks
+/// a long segment tail rather than building one giant payload (the
+/// outer codec's `MAX_BODY_BYTES` is 64 MiB; staying far under it keeps
+/// per-message buffers cache-friendly on both ends).
+pub const MAX_FRAMES_MSG_BYTES: usize = 2 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewmap_core::bloom::BloomFilter;
+    use viewmap_core::types::{GeoPos, VpId, SECONDS_PER_VP};
+    use viewmap_core::vd::ViewDigest;
+
+    fn vp(tag: u64, minute: u64) -> StoredVp {
+        let mut id = [0u8; 16];
+        id[..8].copy_from_slice(&tag.to_le_bytes());
+        id[8..].copy_from_slice(&minute.to_le_bytes());
+        let vp_id = VpId(vm_crypto::Digest16(id));
+        let start = minute * SECONDS_PER_VP;
+        let vds: Vec<ViewDigest> = (1..=SECONDS_PER_VP as u16)
+            .map(|seq| ViewDigest {
+                seq,
+                flags: 0,
+                time: start + seq as u64,
+                loc: GeoPos::new(seq as f64 * 8.0, tag as f64),
+                file_size: seq as u64 * 64,
+                initial_loc: GeoPos::new(0.0, tag as f64),
+                vp_id,
+                hash: vm_crypto::Digest16(id),
+            })
+            .collect();
+        StoredVp::new(vp_id, vds, BloomFilter::default(), false)
+    }
+
+    fn segment_frame(tag: u64, minute: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        vm_store::segment::append_frame(&mut buf, &vp(tag, minute));
+        buf
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = [
+            ReplMsg::Hello {
+                epoch: 7,
+                cursors: vec![(0, 12), (9, 1)],
+            },
+            ReplMsg::HelloOk { epoch: 7 },
+            ReplMsg::Frames {
+                op: 41,
+                minute: 9,
+                frames: vec![segment_frame(1, 9), segment_frame(2, 9)],
+            },
+            ReplMsg::Evict { op: 42, cutoff: 5 },
+            ReplMsg::Ack { op: 41 },
+        ];
+        for msg in msgs {
+            let mut wire = Vec::new();
+            msg.write_to(&mut wire).unwrap();
+            let mut r = std::io::BufReader::new(wire.as_slice());
+            assert_eq!(ReplMsg::read_from(&mut r).unwrap().unwrap(), msg);
+            assert!(ReplMsg::read_from(&mut r).unwrap().is_none(), "clean EOF");
+        }
+    }
+
+    #[test]
+    fn shipped_frames_are_disk_bytes_and_validate() {
+        let frame = segment_frame(3, 4);
+        let rec = validate_segment_frame(&frame, MinuteId(4)).unwrap();
+        let mut rebuilt = Vec::new();
+        vm_store::segment::append_frame(&mut rebuilt, &rec);
+        assert_eq!(rebuilt, frame, "validate→re-encode is bit-identical");
+        assert!(matches!(
+            validate_segment_frame(&frame, MinuteId(5)),
+            Err(WireError(e)) if e.contains("minute")
+        ));
+    }
+
+    #[test]
+    fn single_byte_corruption_never_validates_and_never_panics() {
+        let frame = segment_frame(8, 2);
+        for i in 0..frame.len() {
+            let mut hurt = frame.clone();
+            hurt[i] ^= 0x40;
+            assert!(
+                validate_segment_frame(&hurt, MinuteId(2)).is_err(),
+                "byte {i} flip passed validation"
+            );
+        }
+        // Torn at every boundary: shorter slices must also fail cleanly.
+        for cut in 0..frame.len() {
+            assert!(validate_segment_frame(&frame[..cut], MinuteId(2)).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_frames_error_instead_of_parsing() {
+        let frame = Frame {
+            request_id: 0,
+            opcode: OP_REPL_FRAMES,
+            payload: vec![1, 2, 3],
+        };
+        assert!(ReplMsg::from_frame(&frame).is_err());
+        let frame = Frame {
+            request_id: 0,
+            opcode: 0x55,
+            payload: Vec::new(),
+        };
+        assert!(ReplMsg::from_frame(&frame).is_err());
+        // An ACK with trailing bytes is a framing bug, not an ack.
+        let mut payload = 9u64.to_le_bytes().to_vec();
+        payload.push(0);
+        let frame = Frame {
+            request_id: 0,
+            opcode: OP_REPL_ACK,
+            payload,
+        };
+        assert!(ReplMsg::from_frame(&frame).is_err());
+    }
+}

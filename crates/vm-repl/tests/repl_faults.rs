@@ -1,0 +1,472 @@
+//! Replication torture: live shipping, catch-up after disconnects and
+//! fresh joins, byte-equivalent promotion that redeems pre-failover
+//! cash, and — the robustness core — injured wire frames that
+//! quarantine the connection and resync via catch-up without ever
+//! poisoning the follower's store.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use viewmap_core::bloom::BloomFilter;
+use viewmap_core::server::ViewMapServer;
+use viewmap_core::types::{GeoPos, MinuteId, VpId, SECONDS_PER_VP};
+use viewmap_core::upload::AnonymousSubmission;
+use viewmap_core::vd::ViewDigest;
+use viewmap_core::viewmap::ViewmapConfig;
+use viewmap_core::vp::StoredVp;
+use vm_crypto::RsaKeyPair;
+use vm_repl::{Follower, FollowerConfig, Primary, ReplMsg, ReplicationConfig};
+use vm_store::StoreConfig;
+
+const KEY_BITS: usize = 512;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("vm_repl_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn synthetic_vp(tag: u64, minute: u64) -> StoredVp {
+    let mut id_bytes = [0u8; 16];
+    id_bytes[..8].copy_from_slice(&tag.to_le_bytes());
+    id_bytes[8..].copy_from_slice(&minute.to_le_bytes());
+    let id = VpId(vm_crypto::Digest16(id_bytes));
+    let start = minute * SECONDS_PER_VP;
+    let vds: Vec<ViewDigest> = (1..=SECONDS_PER_VP as u16)
+        .map(|seq| ViewDigest {
+            seq,
+            flags: 0,
+            time: start + seq as u64,
+            loc: GeoPos::new(tag as f64 % 400.0 + seq as f64 * 8.0, (tag % 37) as f64),
+            file_size: seq as u64 * 64,
+            initial_loc: GeoPos::new(tag as f64 % 400.0, 0.0),
+            vp_id: id,
+            hash: vm_crypto::Digest16(id_bytes),
+        })
+        .collect();
+    StoredVp::new(id, vds, BloomFilter::default(), false)
+}
+
+fn submit(srv: &ViewMapServer, vp: StoredVp) {
+    srv.submit(AnonymousSubmission { session_id: 0, vp })
+        .expect("synthetic VP admitted");
+}
+
+fn wait_until(what: &str, timeout: Duration, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn assert_state_equal(a: &ViewMapServer, b: &ViewMapServer, minutes: u64, ctx: &str) {
+    assert_eq!(a.state_digest(), b.state_digest(), "{ctx}: state digest");
+    for m in 0..minutes {
+        let ia: Vec<VpId> = a.minute_vps(MinuteId(m)).iter().map(|vp| vp.id).collect();
+        let ib: Vec<VpId> = b.minute_vps(MinuteId(m)).iter().map(|vp| vp.id).collect();
+        assert_eq!(ia, ib, "{ctx}: minute {m} bucket order");
+    }
+}
+
+fn segment_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".vmseg"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn live_shipping_catch_up_and_rejoin_converge_bytewise() {
+    let ptmp = TempDir::new("p_live");
+    let ftmp = TempDir::new("f_live");
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = RsaKeyPair::generate(&mut rng, KEY_BITS);
+
+    let (primary, _) = Primary::open(
+        &ptmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        ReplicationConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // Records written *before* any follower exists: fresh-join catch-up.
+    for t in 0..10 {
+        submit(primary.server(), synthetic_vp(t, t % 2));
+    }
+
+    let (follower, _) = Follower::open(
+        &ftmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        primary.repl_addr(),
+        FollowerConfig {
+            backoff_seed: 0x5eed,
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+    wait_until("fresh-join catch-up", Duration::from_secs(10), || {
+        follower.server().state_digest() == primary.server().state_digest()
+    });
+
+    // Live shipping on an established stream.
+    for t in 10..20 {
+        submit(primary.server(), synthetic_vp(t, t % 2));
+    }
+    wait_until("live convergence", Duration::from_secs(10), || {
+        follower.server().state_digest() == primary.server().state_digest()
+    });
+    assert_state_equal(follower.server(), primary.server(), 2, "live");
+    assert!(follower.stats().wire_injuries.load(Ordering::Relaxed) == 0);
+
+    // Disconnect (drop the follower entirely), keep writing, rejoin on
+    // the same directory: cursors position catch-up at the stale tail.
+    follower.server().sync_wal().unwrap();
+    drop(follower);
+    for t in 20..30 {
+        submit(primary.server(), synthetic_vp(t, t % 2));
+    }
+    let (follower, report) = Follower::open(
+        &ftmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        primary.repl_addr(),
+        FollowerConfig {
+            backoff_seed: 0x5eed + 1,
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.records, 20, "replica recovered its own log");
+    assert!(!report.fresh_signing_key, "shared keyfile persisted");
+    wait_until("rejoin catch-up", Duration::from_secs(10), || {
+        follower.server().state_digest() == primary.server().state_digest()
+    });
+    assert_state_equal(follower.server(), primary.server(), 2, "rejoin");
+
+    // The replica's segments are the primary's, byte for byte.
+    primary.server().sync_wal().unwrap();
+    follower.server().sync_wal().unwrap();
+    assert_eq!(
+        segment_bytes(&ptmp.0),
+        segment_bytes(&ftmp.0),
+        "segment files diverge"
+    );
+}
+
+#[test]
+fn promotion_is_byte_equivalent_and_redeems_prefailover_cash() {
+    let ptmp = TempDir::new("p_promote");
+    let ftmp = TempDir::new("f_promote");
+    let mut rng = StdRng::seed_from_u64(2);
+    let key = RsaKeyPair::generate(&mut rng, KEY_BITS);
+
+    let (primary, _) = Primary::open(
+        &ptmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        ReplicationConfig {
+            sync_ack: true,
+            ..ReplicationConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let (follower, _) = Follower::open(
+        &ftmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        primary.repl_addr(),
+        FollowerConfig::default(),
+    )
+    .unwrap();
+    wait_until("follower attach", Duration::from_secs(10), || {
+        primary.hub().follower_count() == 1
+    });
+
+    // Acked writes: sync_ack means every returned submit is on the
+    // follower before the next one starts.
+    let accepted: Vec<StoredVp> = (0..12).map(|t| synthetic_vp(t, t % 3)).collect();
+    for vp in &accepted {
+        submit(primary.server(), vp.clone());
+    }
+
+    // A pre-failover reward round under the shared key: the wallet's
+    // unblinded cash must survive the primary's death.
+    let genuine = synthetic_vp(900, 0);
+    let secret = *b"QuSecret";
+    let vp_id = VpId::from_secret(&secret);
+    let mut reward_vp = genuine.clone();
+    reward_vp.id = vp_id;
+    for vd in &mut reward_vp.vds {
+        vd.vp_id = vp_id;
+    }
+    submit(primary.server(), reward_vp.clone());
+    primary.server().post_reward(vp_id, 2);
+    let mut wallet = viewmap_core::reward::Wallet::new();
+    let (pending, blinded) = wallet.prepare(&mut rng, primary.server().public_key(), 2);
+    let signed = primary
+        .server()
+        .issue_blind_signatures(vp_id, &secret, &blinded)
+        .unwrap();
+    assert_eq!(
+        wallet.accept_signed(primary.server().public_key(), pending, &signed),
+        2
+    );
+
+    let shipped = primary.hub().shipped_ops();
+    wait_until("acks drained", Duration::from_secs(10), || {
+        primary.hub().watermark() >= shipped
+    });
+
+    // The primary dies abruptly: replication sockets and listener go
+    // away; nothing tells the follower anything.
+    drop(primary);
+
+    let (promoted, epoch) = follower.promote().unwrap();
+    assert_eq!(epoch, 2, "promotion entered the next epoch");
+
+    // Zero acked-write loss, byte-equivalence against an oracle fed
+    // exactly the acked operations in accepted order.
+    let oracle = ViewMapServer::with_key(key.clone(), ViewmapConfig::default());
+    for vp in &accepted {
+        submit(&oracle, vp.clone());
+    }
+    submit(&oracle, reward_vp);
+    assert_state_equal(&promoted, &oracle, 3, "promoted vs oracle");
+
+    // The promoted follower shares the dead primary's RSA identity, so
+    // pre-failover cash redeems — once.
+    assert_eq!(wallet.cash.len(), 2);
+    promoted.redeem(&wallet.cash[0]).unwrap();
+    assert!(matches!(
+        promoted.redeem(&wallet.cash[0]),
+        Err(viewmap_core::server::RedeemError::DoubleSpend)
+    ));
+    promoted.redeem(&wallet.cash[1]).unwrap();
+
+    // And it serves writes: the store stayed attached through
+    // promotion, logging to the segments replication built.
+    submit(&promoted, synthetic_vp(901, 0));
+    promoted.sync_wal().unwrap();
+}
+
+/// A scripted peer standing in for the primary: speaks just enough of
+/// the protocol to inject precisely-injured `FRAMES` payloads.
+fn fake_primary_session(
+    listener: &TcpListener,
+    serve: impl FnOnce(&mut dyn FnMut(ReplMsg), ReplMsg) -> Vec<ReplMsg>,
+) -> Vec<ReplMsg> {
+    let (stream, _) = listener.accept().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let hello = ReplMsg::read_from(&mut reader)
+        .unwrap()
+        .expect("follower HELLO");
+    let mut writer = stream.try_clone().unwrap();
+    let mut send = |msg: ReplMsg| msg.write_to(&mut writer).unwrap();
+    send(ReplMsg::HelloOk { epoch: 1 });
+    let expect_acks = serve(&mut send, hello);
+    let mut acks = Vec::new();
+    for _ in &expect_acks {
+        match ReplMsg::read_from(&mut reader) {
+            Ok(Some(msg)) => acks.push(msg),
+            _ => break,
+        }
+    }
+    acks
+}
+
+#[test]
+fn injured_wire_frames_quarantine_the_connection_not_the_store() {
+    let ftmp = TempDir::new("f_injury");
+    let mut rng = StdRng::seed_from_u64(3);
+    let key = RsaKeyPair::generate(&mut rng, KEY_BITS);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let (follower, _) = Follower::open(
+        &ftmp.0,
+        key,
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        addr,
+        FollowerConfig {
+            backoff_seed: 7,
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let frame = |tag: u64| {
+        let mut buf = Vec::new();
+        vm_store::segment::append_frame(&mut buf, &synthetic_vp(tag, 0));
+        buf
+    };
+
+    // Session 1: one good frame, then a corrupted one, then another
+    // good one the injury must mask.
+    let mut corrupt = frame(1);
+    let len = corrupt.len();
+    corrupt[len / 2] ^= 0x80;
+    let acks = fake_primary_session(&listener, |send, hello| {
+        assert!(matches!(&hello, ReplMsg::Hello { cursors, .. } if cursors.is_empty()));
+        send(ReplMsg::Frames {
+            op: 1,
+            minute: 0,
+            frames: vec![frame(0), corrupt, frame(2)],
+        });
+        Vec::new() // the injury drops the connection; no ack comes
+    });
+    assert!(acks.is_empty());
+    wait_until("valid prefix applied", Duration::from_secs(10), || {
+        follower.server().total_vps() == 1
+    });
+    assert_eq!(follower.stats().wire_injuries.load(Ordering::Relaxed), 1);
+    assert!(
+        follower.server().lookup_vp(synthetic_vp(0, 0).id).is_some(),
+        "the frame before the injury is committed data"
+    );
+
+    // Session 2 (the redial): the follower's cursor says it already
+    // holds 1 record of minute 0 — catch-up positioning survived the
+    // injury. Re-ship the tail, overlapping the committed record to
+    // prove dedup keeps overlap harmless.
+    let acks = fake_primary_session(&listener, |send, hello| {
+        match &hello {
+            ReplMsg::Hello { cursors, .. } => {
+                assert_eq!(cursors.as_slice(), &[(0, 1)], "cursor after injury")
+            }
+            other => panic!("expected HELLO, got {other:?}"),
+        }
+        let msg = ReplMsg::Frames {
+            op: 1,
+            minute: 0,
+            frames: vec![frame(0), frame(1), frame(2)],
+        };
+        send(msg.clone());
+        vec![msg]
+    });
+    assert_eq!(acks, vec![ReplMsg::Ack { op: 1 }]);
+    wait_until("resync converged", Duration::from_secs(10), || {
+        follower.server().total_vps() == 3
+    });
+    assert_eq!(follower.stats().wire_injuries.load(Ordering::Relaxed), 1);
+    assert!(follower.stats().resyncs.load(Ordering::Relaxed) >= 1);
+
+    // The store took only valid records: reopen it clean.
+    follower.server().sync_wal().unwrap();
+    drop(follower);
+    let mut rng2 = StdRng::seed_from_u64(4);
+    let (srv, report) = <ViewMapServer as vm_store::PersistentServer>::open(
+        &mut rng2,
+        KEY_BITS,
+        ViewmapConfig::default(),
+        &ftmp.0,
+        StoreConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.records, 3);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.torn_segments, 0, "no injury reached the log");
+    assert_eq!(srv.total_vps(), 3);
+}
+
+#[test]
+fn torn_and_corrupted_primary_segments_ship_only_the_committed_prefix() {
+    let ptmp = TempDir::new("p_torn");
+    let ftmp = TempDir::new("f_torn");
+    let mut rng = StdRng::seed_from_u64(5);
+    let key = RsaKeyPair::generate(&mut rng, KEY_BITS);
+
+    // Write a log, then injure it the way vm-store's fault tooling
+    // does: tear the last frame of minute 0, flip a byte inside the
+    // last frame of minute 1.
+    {
+        let (srv, _) = <ViewMapServer as vm_store::PersistentServer>::open_with_key(
+            key.clone(),
+            ViewmapConfig::default(),
+            &ptmp.0,
+            StoreConfig::default(),
+        )
+        .unwrap();
+        for t in 0..8 {
+            submit(&srv, synthetic_vp(t, t % 2));
+        }
+        srv.sync_wal().unwrap();
+    }
+    for minute in 0..2u64 {
+        let path = vm_store::segment::segment_path(&ptmp.0, MinuteId(minute));
+        let spans = vm_store::fault::segment_frames(&path).unwrap();
+        let last = spans.last().unwrap();
+        if minute == 0 {
+            vm_store::fault::tear_at(&path, last.offset + last.len / 2).unwrap();
+        } else {
+            vm_store::fault::corrupt_at(&path, last.offset + last.len / 2).unwrap();
+        }
+    }
+
+    // The primary recovers the committed prefix (3 + 3 records), and
+    // that prefix is all a joining follower ever sees.
+    let (primary, report) = Primary::open(
+        &ptmp.0,
+        key.clone(),
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        ReplicationConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    assert_eq!(report.records, 6, "one record truncated per segment");
+    assert_eq!(report.torn_segments, 2);
+
+    let (follower, _) = Follower::open(
+        &ftmp.0,
+        key,
+        ViewmapConfig::default(),
+        StoreConfig::default(),
+        primary.repl_addr(),
+        FollowerConfig::default(),
+    )
+    .unwrap();
+    wait_until("injured-log catch-up", Duration::from_secs(10), || {
+        follower.server().state_digest() == primary.server().state_digest()
+    });
+    assert_eq!(follower.server().total_vps(), 6);
+    assert_eq!(follower.stats().wire_injuries.load(Ordering::Relaxed), 0);
+    assert_state_equal(follower.server(), primary.server(), 2, "injured log");
+}

@@ -11,6 +11,8 @@
 //! session.
 
 use crate::proto::{ErrorCode, Frame, Reply, Request, OP_SUBMIT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -86,6 +88,12 @@ pub struct ClientConfig {
     /// Deadline for each socket write (trips when the peer stops
     /// draining and both windows fill).
     pub write_timeout: Option<Duration>,
+    /// Seed for the reconnect-backoff jitter stream
+    /// ([`VmClient::reconnect_with_backoff`]). `None` (the default)
+    /// derives a per-client seed from a process-global counter — every
+    /// client object gets a distinct, decorrelated stream. Seeded
+    /// harnesses (vopr) pin it for bit-reproducible retry schedules.
+    pub backoff_seed: Option<u64>,
 }
 
 /// A blocking session with a [`crate::server::VmService`].
@@ -96,6 +104,12 @@ pub struct VmClient {
     /// The resolved address we connected to, for reconnects.
     peer: SocketAddr,
     cfg: ClientConfig,
+    /// Deterministic per-client jitter stream for reconnect backoff.
+    /// Seeded per *client object*, so a fleet of clients retrying after
+    /// the same server crash fans out instead of thundering back in
+    /// lockstep — while any single client's retry schedule is still
+    /// reproducible (the vopr harness replays crash loops by seed).
+    backoff_rng: StdRng,
 }
 
 impl VmClient {
@@ -119,12 +133,25 @@ impl VmClient {
         conn.set_nodelay(true).ok();
         conn.set_read_timeout(cfg.read_timeout)?;
         conn.set_write_timeout(cfg.write_timeout)?;
+        // Distinct per client object, fixed within it: decorrelated
+        // across a fleet, reproducible under a pinned seed. Golden-ratio
+        // mixing keeps consecutive counter values far apart in seed
+        // space (StdRng streams from adjacent raw seeds correlate).
+        static NEXT_BACKOFF_SEED: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(0);
+        let seed = cfg.backoff_seed.unwrap_or_else(|| {
+            0x5eed_bacc_0ff5_0001u64
+                ^ NEXT_BACKOFF_SEED
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        });
         Ok(VmClient {
             reader: BufReader::new(conn.try_clone()?),
             writer: BufWriter::new(conn),
             next_id: 1,
             peer,
             cfg,
+            backoff_rng: StdRng::seed_from_u64(seed),
         })
     }
 
@@ -134,30 +161,45 @@ impl VmClient {
     }
 
     /// Replace a dead or poisoned session with a fresh connection to
-    /// the same address, retrying up to `attempts` times with doubling
-    /// sleeps starting at `initial` (so a restarting server gets time
-    /// to come back). Keeps the configured deadlines. On success the
-    /// old socket is dropped and request ids continue from where they
-    /// were; on failure returns the last connect error and leaves the
-    /// (dead) session in place.
+    /// the same address, retrying up to `attempts` times with
+    /// exponential backoff starting at `initial`, each sleep jittered
+    /// uniformly over `[0.5×, 1.5×]` of its nominal value (so a
+    /// restarting server gets time to come back). The jitter is drawn
+    /// from this client's seeded stream ([`ClientConfig::backoff_seed`]):
+    /// fixed steps would march every client that died in the same crash
+    /// back onto the server at the same instants — a thundering herd
+    /// re-killing it on cue — while decorrelated streams spread the
+    /// retries out, and a pinned seed keeps any single client's
+    /// schedule reproducible. Keeps the configured deadlines. On
+    /// success the old socket is dropped and request ids continue from
+    /// where they were; on failure returns the last connect error and
+    /// leaves the (dead) session in place.
     pub fn reconnect_with_backoff(
         &mut self,
         attempts: usize,
         initial: Duration,
     ) -> Result<(), ClientError> {
         assert!(attempts >= 1, "at least one reconnect attempt");
-        let mut delay = initial;
+        let mut base = initial;
         let mut last_err: Option<std::io::Error> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
+                // Uniform per-mille factor in [500, 1500] — full ±50%
+                // jitter. The *base* doubles undisturbed, so the
+                // expected schedule is still exponential.
+                let per_mille: u32 = self.backoff_rng.gen_range(500..=1500);
+                std::thread::sleep(base.saturating_mul(per_mille) / 1000);
+                base = base.saturating_mul(2);
             }
             match TcpStream::connect(self.peer)
                 .and_then(|conn| Self::from_stream(conn, self.peer, self.cfg))
             {
                 Ok(mut fresh) => {
                     fresh.next_id = self.next_id;
+                    // The fresh session continues — not restarts — this
+                    // client's jitter stream: reconnect #2 must not
+                    // replay reconnect #1's sleeps.
+                    fresh.backoff_rng = self.backoff_rng.clone();
                     *self = fresh;
                     return Ok(());
                 }

@@ -25,6 +25,13 @@
 //!   windowed pipelining, used by the `service_session` example, the
 //!   multi-client integration suite, and `vm-bench`'s `service_rt_ms`
 //!   tier.
+//! * [`role`] — replication role/epoch state ([`role::RoleCell`]).
+//!   A front-end spawned over a **follower** replica
+//!   ([`server::VmService::spawn_with_role`]) serves reads —
+//!   investigate, public-key, total-VPs — from the replica state but
+//!   rejects every mutating opcode with
+//!   [`proto::ErrorCode::NotPrimary`]; promoting the cell flips live
+//!   sessions to full service without a listener restart.
 //!
 //! The front-end serves **anonymous public traffic** only: there is no
 //! wire operation for trusted (authority) VPs and none for posting
@@ -42,8 +49,10 @@
 
 pub mod client;
 pub mod proto;
+pub mod role;
 pub mod server;
 
 pub use client::{ClientConfig, ClientError, VmClient};
 pub use proto::{ErrorCode, Frame, FrameError, Reply, Request};
+pub use role::{Role, RoleCell};
 pub use server::{ServiceConfig, ServiceHandle, VmService};

@@ -297,6 +297,11 @@ pub enum ErrorCode {
     BadRequest = 40,
     /// The opcode is not one this server understands.
     UnknownOpcode = 41,
+    /// This node is a replication follower: it serves reads but rejects
+    /// every mutating opcode. The detail string carries the node's
+    /// current epoch; clients should redial the primary (or wait for
+    /// this node's promotion).
+    NotPrimary = 50,
 }
 
 impl ErrorCode {
@@ -316,6 +321,7 @@ impl ErrorCode {
             31 => DoubleSpend,
             40 => BadRequest,
             41 => UnknownOpcode,
+            50 => NotPrimary,
             _ => return None,
         })
     }
@@ -817,6 +823,7 @@ mod tests {
             ErrorCode::DoubleSpend,
             ErrorCode::BadRequest,
             ErrorCode::UnknownOpcode,
+            ErrorCode::NotPrimary,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
         }

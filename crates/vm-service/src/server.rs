@@ -38,6 +38,7 @@
 //! admitted.
 
 use crate::proto::{ErrorCode, Frame, Reply, Request, OP_SUBMIT};
+use crate::role::{Role, RoleCell};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -93,6 +94,10 @@ impl Default for ServiceConfig {
 struct Shared {
     server: Arc<ViewMapServer>,
     cfg: ServiceConfig,
+    /// Replication role gate; `None` (a standalone cell) serves
+    /// everything. Shared with the failover machinery so a promotion
+    /// flips live sessions' behavior without a listener restart.
+    role: Option<Arc<RoleCell>>,
     shutdown: AtomicBool,
     /// Accepted, not-yet-claimed connections (capped at
     /// [`ServiceConfig::max_backlog`] by the acceptor).
@@ -125,6 +130,21 @@ impl VmService {
         addr: impl ToSocketAddrs,
         cfg: ServiceConfig,
     ) -> std::io::Result<ServiceHandle> {
+        Self::spawn_with_role(server, addr, cfg, None)
+    }
+
+    /// As [`spawn`](Self::spawn), gated by a replication [`RoleCell`]:
+    /// while the cell says [`Role::Follower`], every mutating opcode is
+    /// rejected with [`ErrorCode::NotPrimary`] (the detail carries the
+    /// node's epoch) and only reads — investigate, public-key,
+    /// total-VPs — are served. Promoting the cell flips live sessions
+    /// to full service without restarting the listener.
+    pub fn spawn_with_role(
+        server: Arc<ViewMapServer>,
+        addr: impl ToSocketAddrs,
+        cfg: ServiceConfig,
+        role: Option<Arc<RoleCell>>,
+    ) -> std::io::Result<ServiceHandle> {
         assert!(cfg.workers >= 1, "a service needs at least one worker");
         assert!(cfg.max_coalesce >= 1, "coalescing window must be nonzero");
         let listener = TcpListener::bind(addr)?;
@@ -132,6 +152,7 @@ impl VmService {
         let shared = Arc::new(Shared {
             server,
             cfg,
+            role,
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -348,12 +369,34 @@ fn read_next(
 
 /// Commit one coalesced run of `SUBMIT` frames through
 /// `submit_batch_warm` and reply to each frame in arrival order.
+/// The `NotPrimary` rejection for this node, if mutations are currently
+/// gated off (the role cell says follower). Checked per frame, so a
+/// promotion takes effect on live sessions' next request.
+fn follower_reject(shared: &Shared) -> Option<Reply> {
+    match &shared.role {
+        Some(cell) if cell.role() == Role::Follower => Some(Reply::Err(
+            ErrorCode::NotPrimary,
+            format!("follower at epoch {}", cell.epoch()),
+        )),
+        _ => None,
+    }
+}
+
 fn handle_submit_run(
     shared: &Shared,
     session_id: u64,
     run: &[Frame],
     writer: &mut BufWriter<TcpStream>,
 ) -> std::io::Result<()> {
+    // A follower never lets a submit touch the server — the replicated
+    // log's head is the primary, and writes entering anywhere else
+    // would fork it. Each frame still gets its own (error) reply.
+    if let Some(reply) = follower_reject(shared) {
+        for f in run {
+            write_reply(writer, f.request_id, &reply)?;
+        }
+        return Ok(());
+    }
     // Decode first: frames whose payload fails to parse get BadRequest
     // and are excluded from the batch (their slot keeps frame order).
     let mut decode_err: Vec<Option<ErrorCode>> = Vec::with_capacity(run.len());
@@ -401,6 +444,17 @@ fn dispatch(shared: &Shared, session_id: u64, frame: &Frame) -> Reply {
         Ok(req) => req,
         Err(code) => return Reply::Err(code, format!("opcode {:#04x}", frame.opcode)),
     };
+    // Followers serve reads only; every mutating opcode bounces with
+    // the node's epoch so the client can redial the primary.
+    let mutating = !matches!(
+        req,
+        Request::Investigate { .. } | Request::PublicKey | Request::TotalVps
+    );
+    if mutating {
+        if let Some(reply) = follower_reject(shared) {
+            return reply;
+        }
+    }
     let srv = &*shared.server;
     match req {
         // `serve_session` routes every OP_SUBMIT frame into the

@@ -25,7 +25,7 @@ use viewmap_core::viewmap::{Site, ViewmapConfig};
 use viewmap_core::vp::{StoredVp, VpBuilder, VpKind};
 use vm_service::proto::ErrorCode;
 use vm_service::{ServiceConfig, VmClient, VmService};
-use vm_store::{PersistentServer, RecoveryWarning, StoreConfig};
+use vm_store::{PersistentServer, StoreConfig};
 
 const CLIENTS: usize = 8;
 const VPS_PER_CLIENT: u64 = 30;
@@ -147,15 +147,16 @@ fn recovered_server_serves_eight_concurrent_sessions_like_the_oracle() {
         srv.sync_wal().unwrap();
     }
 
-    // ── Generation 2: recover from disk; the fresh-key limitation must
-    //    surface as a typed warning, not silently. ────────────────────
+    // ── Generation 2: recover from disk; the persisted keyfile means a
+    //    clean restart raises no warnings at all. ──────────────────────
     let mut rng = StdRng::seed_from_u64(2);
     let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, store_cfg).unwrap();
     assert_eq!(report.records, 2 * CLIENTS);
-    assert!(matches!(
-        report.warnings().as_slice(),
-        [RecoveryWarning::FreshSigningKey { recovered_records }] if *recovered_records == 2 * CLIENTS
-    ));
+    assert!(
+        report.warnings().is_empty(),
+        "keyfile restart: {:?}",
+        report.warnings()
+    );
     let srv = Arc::new(srv);
 
     // ── Oracle: a single-threaded in-process server fed the identical
@@ -300,7 +301,7 @@ fn shared_minute_hammering_keeps_invariants() {
 }
 
 #[test]
-fn reward_round_trips_over_the_wire_and_old_cash_is_orphaned() {
+fn reward_round_trips_over_the_wire_and_old_cash_survives_restart() {
     let tmp = TempDir::new("reward");
     let store_cfg = StoreConfig::default();
     let vmcfg = ViewmapConfig::default();
@@ -330,7 +331,7 @@ fn reward_round_trips_over_the_wire_and_old_cash_is_orphaned() {
     // server-side) and run the whole round over the wire.
     let mut rng = StdRng::seed_from_u64(21);
     let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, store_cfg).unwrap();
-    assert!(report.fresh_signing_key);
+    assert!(!report.fresh_signing_key, "keyfile persisted the RSA key");
     let srv = Arc::new(srv);
     srv.post_reward(vp_id, 3);
     let handle =
@@ -366,11 +367,12 @@ fn reward_round_trips_over_the_wire_and_old_cash_is_orphaned() {
         other => panic!("expected DoubleSpend, got {other:?}"),
     }
 
-    // The documented fresh-key limitation, observed end to end: cash
-    // issued before the restart does not verify under the new key.
+    // The signing key rode the keyfile across the restart, so cash
+    // issued before the crash still verifies — and still double-spends.
+    client.redeem(&old_cash[0]).unwrap();
     match client.redeem(&old_cash[0]) {
-        Err(vm_service::ClientError::Remote(ErrorCode::BadSignature, _)) => {}
-        other => panic!("expected BadSignature for pre-restart cash, got {other:?}"),
+        Err(vm_service::ClientError::Remote(ErrorCode::DoubleSpend, _)) => {}
+        other => panic!("expected DoubleSpend for replayed pre-restart cash, got {other:?}"),
     }
 }
 

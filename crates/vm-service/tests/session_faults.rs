@@ -179,6 +179,7 @@ fn stalled_server_times_out_the_client() {
         ClientConfig {
             read_timeout: Some(Duration::from_millis(150)),
             write_timeout: Some(Duration::from_millis(150)),
+            ..ClientConfig::default()
         },
     )
     .unwrap();

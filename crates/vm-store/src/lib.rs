@@ -92,10 +92,16 @@
 //! Durability policy is [`Fsync`]: `Always` fsyncs once per group
 //! commit (survives power loss), `Never` leaves flushing to the OS page
 //! cache (survives process crash; the default, and what the benchmarks
-//! measure). The RSA signing key is **not** persisted — cash issued
-//! before a restart verifies only if the operator re-supplies the key;
-//! key storage is a deliberate non-goal of this layer. A recovery that
-//! replays existing records under a freshly generated key flags it
+//! measure). The RSA signing key **is** persisted, beside the segments
+//! as `signing.key` (see [`keyfile`]): cash verifies only against the
+//! key that minted it, so the key must outlive any single process —
+//! and must be *shared* with replication followers, whose promotion
+//! would otherwise orphan every outstanding unit. `open` loads the
+//! keyfile (generating and persisting one on first boot);
+//! [`PersistentServer::open_with_key`] opens around an
+//! operator-supplied key and refuses a mismatch. Only a recovery that
+//! finds records with **no keyfile beside them** (a pre-keyfile
+//! directory, or a deleted key) still generates fresh and flags it
 //! ([`RecoveryReport::fresh_signing_key`] /
 //! [`RecoveryWarning::FreshSigningKey`]) instead of passing silently.
 
@@ -104,10 +110,13 @@
 
 pub mod codec;
 pub mod fault;
+pub mod keyfile;
 pub mod segment;
 pub mod store;
 
 pub use codec::{decode_record, encode_record, CodecError};
 pub use fault::FrameSpan;
-pub use segment::{SegmentMeta, FRAME_HEADER_BYTES, SEGMENT_HEADER_BYTES};
-pub use store::{Fsync, PersistentServer, RecoveryReport, RecoveryWarning, StoreConfig, VpStore};
+pub use segment::{tail_frames, SegmentMeta, FRAME_HEADER_BYTES, SEGMENT_HEADER_BYTES};
+pub use store::{
+    frame_records, Fsync, PersistentServer, RecoveryReport, RecoveryWarning, StoreConfig, VpStore,
+};

@@ -196,6 +196,66 @@ pub fn recover_segment(
     )))
 }
 
+/// Stream the committed frames of a segment for replication catch-up:
+/// validate exactly as [`recover_segment`] does (magic, length,
+/// checksum, decode), skip the first `skip` committed frames, and
+/// return the **raw frame bytes** (header + body) of the rest — the
+/// disk codec doubles as the wire codec, so these go on the
+/// replication link unchanged and the follower re-validates them
+/// frame by frame.
+///
+/// Returns `Ok(None)` for a file that is not a segment this store
+/// wrote under that name (same contract as [`recover_segment`]), and
+/// never mutates the file — a torn tail simply ends the stream, and
+/// the store's own recovery owns truncation.
+pub fn tail_frames(
+    path: &Path,
+    expected: MinuteId,
+    skip: usize,
+) -> std::io::Result<Option<Vec<Vec<u8>>>> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut data)?,
+        // Raced an eviction sweep: the minute is gone, nothing to ship.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Some(Vec::new())),
+        Err(e) => return Err(e),
+    };
+    if data.len() < SEGMENT_HEADER_BYTES || data[..8] != SEGMENT_MAGIC {
+        return Ok(None);
+    }
+    let minute = MinuteId(u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")));
+    if minute != expected {
+        return Ok(None);
+    }
+
+    let mut out = Vec::new();
+    let mut seen = 0usize;
+    let mut off = SEGMENT_HEADER_BYTES;
+    while off < data.len() {
+        let Some(header) = data.get(off..off + FRAME_HEADER_BYTES) else {
+            break;
+        };
+        if header[..4] != FRAME_MAGIC {
+            break;
+        }
+        let body_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let body_at = off + FRAME_HEADER_BYTES;
+        let Some(body) = data.get(body_at..body_at + body_len) else {
+            break;
+        };
+        if checksum64(body) != checksum || decode_record(body).is_err() {
+            break;
+        }
+        if seen >= skip {
+            out.push(data[off..body_at + body_len].to_vec());
+        }
+        seen += 1;
+        off = body_at + body_len;
+    }
+    Ok(Some(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +377,46 @@ mod tests {
                 "{tag}: foreign bytes must be left exactly as found"
             );
         }
+    }
+
+    #[test]
+    fn tail_frames_skips_and_returns_raw_reusable_frames() {
+        let tmp = TempDir::new("tail");
+        let minute = MinuteId(4);
+        let mut w = SegmentWriter::open(&tmp.0, minute).unwrap();
+        let vps: Vec<StoredVp> = (0..4).map(vp).collect();
+        let mut frames = Vec::new();
+        for vp in &vps {
+            append_frame(&mut frames, vp);
+        }
+        w.append(&frames).unwrap();
+        drop(w);
+
+        let path = segment_path(&tmp.0, minute);
+        let all = tail_frames(&path, minute, 0).unwrap().unwrap();
+        assert_eq!(all.len(), 4);
+        // Raw frames concatenate back into exactly the on-disk stream.
+        assert_eq!(all.concat(), frames);
+        // Each raw frame's body decodes to the record it framed — the
+        // property replication relies on (ship bytes, replay records).
+        for (raw, vp) in all.iter().zip(&vps) {
+            let back = decode_record(&raw[FRAME_HEADER_BYTES..]).unwrap();
+            crate::codec::assert_vp_bit_identical(vp, &back, "tail frame");
+        }
+        // Skip positions a catch-up cursor mid-segment.
+        let tail = tail_frames(&path, minute, 3).unwrap().unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0], all[3]);
+        assert!(tail_frames(&path, minute, 9).unwrap().unwrap().is_empty());
+        // Foreign minute: same None contract as recovery.
+        assert!(tail_frames(&path, MinuteId(5), 0).unwrap().is_none());
+        // A vanished segment (eviction race) is an empty stream.
+        assert!(
+            tail_frames(&tmp.0.join("minute-000000000099.vmseg"), MinuteId(99), 0)
+                .unwrap()
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

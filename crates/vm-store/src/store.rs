@@ -2,6 +2,7 @@
 //! [`VpWal`] seam — and the [`PersistentServer`] constructors that put
 //! a recovered [`ViewMapServer`] on top of it.
 
+use crate::keyfile;
 use crate::segment::{self, parse_segment_file_name, recover_segment, segment_path, SegmentWriter};
 use parking_lot::Mutex;
 use rand::Rng;
@@ -11,6 +12,7 @@ use viewmap_core::types::MinuteId;
 use viewmap_core::viewmap::ViewmapConfig;
 use viewmap_core::vp::StoredVp;
 use viewmap_core::wal::VpWal;
+use vm_crypto::RsaKeyPair;
 
 /// How hard a group commit pushes toward stable media.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,13 +70,17 @@ impl StoreConfig {
 /// accept). Produced by [`RecoveryReport::warnings`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveryWarning {
-    /// The store recovered existing records but the server was
-    /// constructed with a **freshly generated** RSA signing key (this
-    /// layer deliberately does not persist keys). Every unit of cash
-    /// issued before the restart verifies only under the *old* key:
-    /// until the operator re-supplies it, outstanding cash is
-    /// unredeemable (`RedeemError::BadSignature`) and rewards issued
-    /// now are signed by a key pre-restart wallets have never seen.
+    /// The store recovered existing records but **no signing keyfile**
+    /// was found beside them, so the server was constructed with a
+    /// freshly generated RSA key (now persisted for the next boot).
+    /// This only happens to directories written before key persistence
+    /// existed, or when an operator deleted `signing.key`. Every unit
+    /// of cash issued before the restart verifies only under the *old*
+    /// key: until the operator re-supplies it (restore the keyfile, or
+    /// reopen via [`PersistentServer::open_with_key`]), outstanding
+    /// cash is unredeemable (`RedeemError::BadSignature`) and rewards
+    /// issued now are signed by a key pre-restart wallets have never
+    /// seen.
     FreshSigningKey {
         /// How many records the replay recovered under the new key.
         recovered_records: usize,
@@ -86,9 +92,9 @@ impl std::fmt::Display for RecoveryWarning {
         match self {
             RecoveryWarning::FreshSigningKey { recovered_records } => write!(
                 f,
-                "recovered {recovered_records} records but the RSA signing key is fresh: \
-                 cash issued before the restart will not verify until the operator \
-                 re-supplies the original key"
+                "recovered {recovered_records} records with no signing keyfile beside them; \
+                 a fresh RSA key was generated and persisted — cash issued before the restart \
+                 will not verify until the operator re-supplies the original key"
             ),
         }
     }
@@ -117,12 +123,12 @@ pub struct RecoveryReport {
     /// (where every later recovery would silently skip them).
     pub quarantined: usize,
     /// Set by [`PersistentServer::open`] when recovered records were
-    /// replayed under a freshly generated signing key — the typed form
-    /// of the "cash issued before a restart needs the operator to
-    /// re-supply the key" limitation (see
+    /// replayed under a freshly generated signing key because no
+    /// `signing.key` file existed beside them (see
     /// [`RecoveryWarning::FreshSigningKey`] and `ARCHITECTURE.md`).
-    /// Always `false` for an empty (first-boot) store: a fresh key
-    /// over no recovered state orphans nothing.
+    /// Always `false` for an empty (first-boot) store — a fresh key
+    /// over no recovered state orphans nothing — and for every boot
+    /// after that, since `open` persists the key it generates.
     pub fresh_signing_key: bool,
 }
 
@@ -220,6 +226,49 @@ fn frame_batch_into(vps: &[&StoredVp], frames: &mut Vec<u8>) {
     for (&(h, l), sum) in spans.iter().zip(sums) {
         segment::patch_frame_header(&mut frames[h..], l, sum);
     }
+}
+
+/// Frame each record as its own standalone segment frame (`VMR1`
+/// header + checksummed body), encoding on worker threads and stamping
+/// checksums through the multi-buffer engine. This is the log-shipping
+/// encoder: a replication hub frames a committed append once more for
+/// the wire at the group-commit path's throughput, and each returned
+/// buffer is one `FRAMES` payload entry verbatim.
+pub fn frame_records(vps: &[&StoredVp]) -> Vec<Vec<u8>> {
+    fn frame_each(vps: &[&StoredVp]) -> Vec<Vec<u8>> {
+        let mut frames: Vec<Vec<u8>> = vps
+            .iter()
+            .map(|vp| {
+                let mut buf = Vec::with_capacity(
+                    segment::FRAME_HEADER_BYTES + crate::codec::encoded_size_hint(vp),
+                );
+                buf.resize(segment::FRAME_HEADER_BYTES, 0);
+                crate::codec::encode_record(vp, &mut buf);
+                buf
+            })
+            .collect();
+        let sums = {
+            let bodies: Vec<&[u8]> = frames
+                .iter()
+                .map(|f| &f[segment::FRAME_HEADER_BYTES..])
+                .collect();
+            vm_crypto::checksum64_many(&bodies)
+        };
+        for (frame, sum) in frames.iter_mut().zip(sums) {
+            let body_len = frame.len() - segment::FRAME_HEADER_BYTES;
+            segment::patch_frame_header(frame, body_len, sum);
+        }
+        frames
+    }
+    let threads = viewmap_core::par::auto_threads(vps.len(), APPEND_PARALLEL_THRESHOLD);
+    if threads <= 1 {
+        return frame_each(vps);
+    }
+    let cuts = viewmap_core::par::even_cuts(vps.len(), threads);
+    viewmap_core::par::map_ranges(&cuts, |_t, lo, hi| frame_each(&vps[lo..hi]))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 struct WriterCache {
@@ -539,9 +588,31 @@ pub trait PersistentServer: Sized {
     /// store so every future accepted VP is logged. The recovered server
     /// is state-equivalent to the one that wrote the log: same minute
     /// buckets in order, same id index, same viewmap edges.
+    ///
+    /// The signing key is durable: a `signing.key` file in `dir` is
+    /// loaded (and `rng`/`key_bits` go unused); absent one, a fresh key
+    /// is generated and persisted for every later boot. Recovering
+    /// records with no keyfile beside them flags
+    /// [`RecoveryReport::fresh_signing_key`].
     fn open<R: Rng + ?Sized>(
         rng: &mut R,
         key_bits: usize,
+        cfg: ViewmapConfig,
+        dir: impl AsRef<Path>,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)>;
+
+    /// As [`open`](Self::open), but around an **operator-supplied**
+    /// signing key — the constructor replication uses so a follower
+    /// shares its primary's key and a promoted follower keeps redeeming
+    /// cash minted before the failover.
+    ///
+    /// If `dir` already holds a keyfile it must match `key`; a mismatch
+    /// is an error (silently re-keying a store orphans outstanding
+    /// cash). A missing keyfile is persisted from `key`, so later
+    /// [`open`](Self::open) calls recover the same identity.
+    fn open_with_key(
+        key: RsaKeyPair,
         cfg: ViewmapConfig,
         dir: impl AsRef<Path>,
         store_cfg: StoreConfig,
@@ -560,6 +631,24 @@ pub trait PersistentServer: Sized {
     }
 }
 
+/// Shared tail of the durable constructors: replay the recovered
+/// records, count rejects, attach the store as the live WAL.
+fn finish_open(
+    key: RsaKeyPair,
+    cfg: ViewmapConfig,
+    store: VpStore,
+    vps: Vec<StoredVp>,
+    mut report: RecoveryReport,
+) -> (ViewMapServer, RecoveryReport) {
+    let mut srv = ViewMapServer::with_key(key, cfg);
+    // Replay precedes attach: the records being replayed are already
+    // on disk, and an attached WAL would double-log them.
+    let results = srv.submit_replay_batch(vps);
+    report.rejected = results.iter().filter(|r| r.is_err()).count();
+    srv.attach_wal(Box::new(store));
+    (srv, report)
+}
+
 impl PersistentServer for ViewMapServer {
     fn open<R: Rng + ?Sized>(
         rng: &mut R,
@@ -569,18 +658,42 @@ impl PersistentServer for ViewMapServer {
         store_cfg: StoreConfig,
     ) -> std::io::Result<(ViewMapServer, RecoveryReport)> {
         let (store, vps, mut report) = VpStore::open(dir, store_cfg)?;
-        let mut srv = ViewMapServer::new(rng, key_bits, cfg);
-        // The key the line above generated is new; if the store held
-        // state, cash signed before the restart is now orphaned until
-        // the operator re-supplies the original key. Say so in the
-        // report instead of letting the fresh key pass silently.
-        report.fresh_signing_key = report.records > 0;
-        // Replay precedes attach: the records being replayed are already
-        // on disk, and an attached WAL would double-log them.
-        let results = srv.submit_replay_batch(vps);
-        report.rejected = results.iter().filter(|r| r.is_err()).count();
-        srv.attach_wal(Box::new(store));
-        Ok((srv, report))
+        let key = match keyfile::load(store.dir())? {
+            Some(key) => key,
+            None => {
+                // No persisted identity. Over recovered records that
+                // means pre-restart cash is orphaned until the operator
+                // re-supplies the old key — say so in the report
+                // instead of letting the fresh key pass silently.
+                report.fresh_signing_key = report.records > 0;
+                let key = RsaKeyPair::generate(rng, key_bits);
+                keyfile::save(store.dir(), &key)?;
+                key
+            }
+        };
+        Ok(finish_open(key, cfg, store, vps, report))
+    }
+
+    fn open_with_key(
+        key: RsaKeyPair,
+        cfg: ViewmapConfig,
+        dir: impl AsRef<Path>,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<(ViewMapServer, RecoveryReport)> {
+        let (store, vps, report) = VpStore::open(dir, store_cfg)?;
+        match keyfile::load(store.dir())? {
+            Some(existing) if existing != key => {
+                return Err(std::io::Error::other(format!(
+                    "store {} already holds a different signing key — refusing to re-key \
+                     (outstanding cash would be orphaned); delete {} only if that is intended",
+                    store.dir().display(),
+                    keyfile::keyfile_path(store.dir()).display(),
+                )));
+            }
+            Some(_) => {}
+            None => keyfile::save(store.dir(), &key)?,
+        }
+        Ok(finish_open(key, cfg, store, vps, report))
     }
 }
 
@@ -811,10 +924,12 @@ mod tests {
 
     #[test]
     fn fresh_signing_key_over_recovered_state_is_warned() {
-        // First boot: empty store, fresh key — nothing orphaned, no
-        // warning. Restart over real records: the key is fresh again
-        // (this layer never persists it), so pre-restart cash is
-        // unredeemable and the report must say so, typed.
+        // First boot: empty store, fresh key persisted — nothing
+        // orphaned, no warning. A normal restart loads the keyfile, so
+        // no warning either. Only a restart over real records with the
+        // keyfile *deleted* (or a pre-keyfile directory) generates a
+        // fresh key over recovered state — and the report must say so,
+        // typed.
         let tmp = TempDir::new("freshkey");
         let vmcfg = ViewmapConfig::default();
         {
@@ -825,7 +940,16 @@ mod tests {
             srv.submit_trusted(synthetic_vp(1, 0)).unwrap();
             srv.sync_wal().unwrap();
         }
-        let mut rng = StdRng::seed_from_u64(8);
+        {
+            let mut rng = StdRng::seed_from_u64(8);
+            let (_srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+            assert!(
+                !report.fresh_signing_key,
+                "persisted key retires the warning for normal restarts"
+            );
+        }
+        std::fs::remove_file(crate::keyfile::keyfile_path(&tmp.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
         let (_srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
         assert!(report.fresh_signing_key);
         assert_eq!(
@@ -838,6 +962,50 @@ mod tests {
             report.warnings()[0].to_string().contains("re-supplies"),
             "warning text tells the operator what to do"
         );
+    }
+
+    #[test]
+    fn signing_key_persists_across_restart_and_honors_old_cash() {
+        // Cash minted before a restart must redeem after it: the key is
+        // loaded from the keyfile, not regenerated.
+        let tmp = TempDir::new("keycash");
+        let vmcfg = ViewmapConfig::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut wallet = viewmap_core::reward::Wallet::new();
+        let old_public = {
+            let (srv, _) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+            let secret = *b"QuSecret";
+            let vp_id = viewmap_core::types::VpId::from_secret(&secret);
+            srv.post_reward(vp_id, 2);
+            let (pending, blinded) = wallet.prepare(&mut rng, srv.public_key(), 2);
+            let signed = srv
+                .issue_blind_signatures(vp_id, &secret, &blinded)
+                .unwrap();
+            assert_eq!(
+                wallet.accept_signed(srv.public_key(), pending, &signed),
+                2,
+                "cash minted pre-restart"
+            );
+            srv.public_key().clone()
+        };
+        let (srv, report) = ViewMapServer::open(&mut rng, 512, vmcfg, &tmp.0, cfg()).unwrap();
+        assert!(!report.fresh_signing_key);
+        assert_eq!(srv.public_key(), &old_public, "same identity after reboot");
+        srv.redeem(&wallet.cash[0])
+            .expect("pre-restart cash redeems after restart");
+
+        // open_with_key: matching key is fine; a different key refuses.
+        drop(srv);
+        let loaded = crate::keyfile::load(&tmp.0).unwrap().unwrap();
+        let (srv, _) = ViewMapServer::open_with_key(loaded, vmcfg, &tmp.0, cfg()).unwrap();
+        assert_eq!(srv.public_key(), &old_public);
+        drop(srv);
+        let other = vm_crypto::RsaKeyPair::generate(&mut rng, 512);
+        let err = match ViewMapServer::open_with_key(other, vmcfg, &tmp.0, cfg()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched key must refuse to open"),
+        };
+        assert!(err.to_string().contains("refusing to re-key"), "{err}");
     }
 
     #[test]

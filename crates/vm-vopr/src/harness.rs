@@ -22,12 +22,15 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use viewmap_core::server::ViewMapServer;
 use viewmap_core::types::{GeoPos, MinuteId, VpId};
+use viewmap_core::upload::AnonymousSubmission;
 use viewmap_core::viewmap::{Site, ViewmapConfig};
 use viewmap_core::vp::StoredVp;
 use vm_bench::worlds::{linked_minute, viewmap_checksum};
+use vm_crypto::RsaKeyPair;
+use vm_repl::{Follower, FollowerConfig, Primary, ReplicationConfig};
 use vm_service::proto::ErrorCode;
 use vm_service::{ClientConfig, ClientError, ServiceConfig, VmClient, VmService};
 use vm_store::{fault, PersistentServer, StoreConfig};
@@ -35,6 +38,15 @@ use vm_store::{fault, PersistentServer, StoreConfig};
 /// RSA modulus width for harness servers: the smallest the crypto layer
 /// accepts, because vopr measures fault tolerance, not key strength.
 const KEY_BITS: usize = 64;
+
+/// Modulus width for the replicated scenarios, whose failover check
+/// runs a real blind-signature reward round across the promotion.
+const REPL_KEY_BITS: usize = 512;
+
+/// How long a convergence poll waits before declaring the follower
+/// wedged. Generous: convergence is normally milliseconds, but a
+/// chaotic replication link can force several backoff-spaced resyncs.
+const CONVERGE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Cap on attempts for one op to settle before the run is declared
 /// wedged (generous: the fault rates leave each attempt likely to
@@ -293,7 +305,12 @@ fn injure(
 /// human-readable reason; callers prepend the scenario and seed so any
 /// failure is reproducible from the message alone.
 pub fn run_seed(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
-    run_inner(scenario, seed).map_err(|e| {
+    let inner = if scenario.replicated() {
+        run_replicated(scenario, seed)
+    } else {
+        run_inner(scenario, seed)
+    };
+    inner.map_err(|e| {
         format!(
             "[scenario={} seed={seed}] {e} — reproduce: \
              cargo run -p vm-vopr -- --scenario {} --seed {seed}",
@@ -374,9 +391,11 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
             recovery.rejected,
             recovery.quarantined
         );
+        // The signing key persists in a keyfile beside the segments, so
+        // no restart — however violent — should ever mint a fresh key.
         ensure!(
-            recovery.fresh_signing_key == (want_records > 0),
-            "gen {gen}: fresh_signing_key flag wrong"
+            !recovery.fresh_signing_key,
+            "gen {gen}: fresh_signing_key raised despite persisted keyfile"
         );
         report.torn_segments += recovery.torn_segments;
         report.truncated_bytes += recovery.truncated_bytes;
@@ -464,6 +483,8 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
             ClientConfig {
                 read_timeout: Some(Duration::from_secs(5)),
                 write_timeout: Some(Duration::from_secs(5)),
+                // Pin the jitter stream: the whole run replays by seed.
+                backoff_seed: Some(seed ^ 0xbac0_0ff5 ^ ((gen as u64) << 16)),
             },
         )
         .map_err(|e| format!("connect gen {gen}: {e}"))?;
@@ -643,4 +664,541 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
     }
 
     Ok(report)
+}
+
+/// Poll `f` every couple of milliseconds until it holds or
+/// [`CONVERGE_TIMEOUT`] expires.
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) -> Result<(), String> {
+    let deadline = Instant::now() + CONVERGE_TIMEOUT;
+    while Instant::now() < deadline {
+        if f() {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Err(format!("timed out waiting for {what}"))
+}
+
+/// Cheap convergence probe: totals and the order-sensitive state
+/// digest. The full [`check_equivalence`] runs once convergence holds.
+fn converged(primary: &ViewMapServer, follower: &ViewMapServer) -> bool {
+    primary.total_vps() == follower.total_vps() && primary.state_digest() == follower.state_digest()
+}
+
+/// Drive `ops` against a live server in-process, recording every
+/// acceptance. The replicated scenarios put their chaos on the
+/// replication link, not the submit path, so in-process acceptance is
+/// exact — any rejection fails the run.
+fn drive_in_process(
+    srv: &ViewMapServer,
+    world: &[Vec<StoredVp>],
+    ops: &[(usize, usize)],
+    accepted: &mut [Vec<usize>],
+    report: &mut RunReport,
+) -> Result<(), String> {
+    for &(m, i) in ops {
+        srv.submit(AnonymousSubmission {
+            session_id: 0,
+            vp: world[m][i].clone(),
+        })
+        .map_err(|e| format!("primary rejected op ({m},{i}): {e:?}"))?;
+        accepted[m].push(i);
+        report.ops += 1;
+    }
+    Ok(())
+}
+
+/// One seeded run of a replicated pair: a [`Primary`] shipping its WAL
+/// to a [`Follower`], with the scenario choosing what goes wrong on the
+/// replication link (chaos, a held partition, or the primary itself
+/// dying and the follower being promoted). The oracle discipline is
+/// `run_inner`'s: the follower must end observably identical to an
+/// in-process server fed exactly the accepted operations.
+fn run_replicated(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
+    use std::sync::atomic::Ordering;
+
+    let tmp = TempDir::new(scenario, seed);
+    let pdir = tmp.0.join("primary");
+    let fdir = tmp.0.join("follower");
+    let vmcfg = ViewmapConfig::default();
+    let store_cfg = StoreConfig::default();
+
+    // ── The seeded plan: same world generator as the single-cell runs.
+    let mut plan_rng = StdRng::seed_from_u64(seed);
+    let minutes = plan_rng.gen_range(2..=3usize);
+    let world: Vec<Vec<StoredVp>> = (0..minutes)
+        .map(|m| linked_minute(plan_rng.gen_range(5..=9), m as u64, seed))
+        .collect();
+    let mut schedule: Vec<(usize, usize)> = Vec::new();
+    let widest = world.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 1..widest {
+        for (m, minute_world) in world.iter().enumerate() {
+            if i < minute_world.len() {
+                schedule.push((m, i));
+            }
+        }
+    }
+    // One operator key for the whole group: promotion must inherit the
+    // signing identity, or pre-failover cash dies with the primary.
+    let mut key_rng = StdRng::seed_from_u64(seed ^ 0x6b65_7921);
+    let key = RsaKeyPair::generate(&mut key_rng, REPL_KEY_BITS);
+
+    let failover = matches!(scenario, Scenario::Failover);
+    let mut accepted: Vec<Vec<usize>> = vec![Vec::new(); minutes];
+    let mut report = RunReport {
+        scenario,
+        seed,
+        generations: if failover { 2 } else { 1 },
+        ops: 0,
+        retries: 0,
+        crashes: usize::from(failover),
+        torn_segments: 0,
+        truncated_bytes: 0,
+        final_vps: 0,
+    };
+
+    let (primary, prep) = Primary::open(
+        &pdir,
+        key.clone(),
+        vmcfg,
+        store_cfg,
+        ReplicationConfig {
+            epoch: 1,
+            // Failover needs acked to mean "on the follower": that is
+            // the zero-acked-write-loss contract the crash tests.
+            sync_ack: failover,
+            ack_timeout: Duration::from_secs(10),
+        },
+        "127.0.0.1:0",
+    )
+    .map_err(|e| format!("open primary: {e}"))?;
+    ensure!(
+        prep.records == 0,
+        "primary store not fresh: {} records",
+        prep.records
+    );
+
+    // Anchors land before the follower exists, so the very first thing
+    // the stream proves is fresh-join catch-up from segment files.
+    for (m, minute_world) in world.iter().enumerate() {
+        let r = primary.server().submit_trusted(minute_world[0].clone());
+        ensure!(r.is_ok(), "anchor {m} rejected: {r:?}");
+    }
+
+    let proxy = match scenario.wire_faults() {
+        Some(faults) => Some(
+            ChaosProxy::spawn(primary.repl_addr(), seed ^ 0x7265_706c, faults)
+                .map_err(|e| format!("spawn repl proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    let dial = proxy.as_ref().map_or(primary.repl_addr(), |p| p.addr());
+    let (follower, frep) = Follower::open(
+        &fdir,
+        key.clone(),
+        vmcfg,
+        store_cfg,
+        dial,
+        FollowerConfig {
+            epoch: 1,
+            backoff_seed: seed ^ 0x00f0_1105,
+            ..FollowerConfig::default()
+        },
+    )
+    .map_err(|e| format!("open follower: {e}"))?;
+    ensure!(
+        frep.records == 0,
+        "follower store not fresh: {} records",
+        frep.records
+    );
+
+    let client_cfg = ClientConfig {
+        read_timeout: Some(Duration::from_secs(5)),
+        write_timeout: Some(Duration::from_secs(5)),
+        backoff_seed: Some(seed ^ 0xbac0_0ff5),
+    };
+
+    match scenario {
+        // ── Chaotic link: converge anyway, then serve fenced reads. ──
+        Scenario::Replica => {
+            drive_in_process(
+                primary.server(),
+                &world,
+                &schedule,
+                &mut accepted,
+                &mut report,
+            )?;
+            wait_until("follower convergence under chaos", || {
+                converged(primary.server(), follower.server())
+            })?;
+            let oracle = build_oracle(&world, &accepted, vmcfg)?;
+            check_equivalence(follower.server(), &oracle, minutes, "converged follower")?;
+
+            // The follower's front-end: reads serve from the replica,
+            // mutations bounce with NotPrimary until a promotion that
+            // never comes in this scenario.
+            let handle = VmService::spawn_with_role(
+                Arc::clone(follower.server()),
+                "127.0.0.1:0",
+                ServiceConfig {
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+                Some(Arc::clone(follower.role())),
+            )
+            .map_err(|e| format!("spawn follower service: {e}"))?;
+            let mut client = VmClient::connect_with(handle.addr(), client_cfg)
+                .map_err(|e| format!("connect follower service: {e}"))?;
+            match client.submit(&world[0][1]) {
+                Err(ClientError::Remote(ErrorCode::NotPrimary, _)) => {}
+                other => return Err(format!("follower accepted a mutation: {other:?}")),
+            }
+            report.ops += 1;
+            for m in 0..minutes {
+                let minute = MinuteId(m as u64);
+                let ids = settle_investigate(&mut client, minute, &mut report.retries)?;
+                ensure!(
+                    ids == oracle.investigate(minute, site()),
+                    "follower wire investigation diverged at minute {m}"
+                );
+                report.ops += 1;
+            }
+            drop(client);
+            drop(handle);
+
+            finish_replica(
+                follower,
+                primary,
+                proxy,
+                &fdir,
+                &oracle,
+                &accepted,
+                minutes,
+                vmcfg,
+                store_cfg,
+                &mut report,
+            )
+        }
+
+        // ── Held partition: stale prefix, then full catch-up, then a
+        //    replicated retention sweep over the healed link. ─────────
+        Scenario::LaggingFollower => {
+            let t1 = schedule.len() / 3;
+            let t2 = 2 * schedule.len() / 3;
+            drive_in_process(
+                primary.server(),
+                &world,
+                &schedule[..t1],
+                &mut accepted,
+                &mut report,
+            )?;
+            wait_until("pre-partition convergence", || {
+                converged(primary.server(), follower.server())
+            })?;
+
+            let valve = proxy
+                .as_ref()
+                .expect("lagging-follower routes replication through the valve");
+            let stale_total = follower.server().total_vps();
+            let stale_digest = follower.server().state_digest();
+            let connects_before = follower.stats().connects.load(Ordering::Relaxed);
+            // Close the valve *before* severing: the follower only
+            // redials once its session dies, so every redial meets a
+            // refusing listener.
+            valve.set_refusing(true);
+            valve.sever_all();
+            wait_until("hub to notice the severed session", || {
+                primary.hub().follower_count() == 0
+            })?;
+
+            drive_in_process(
+                primary.server(),
+                &world,
+                &schedule[t1..t2],
+                &mut accepted,
+                &mut report,
+            )?;
+            // A few backoff cycles against the closed valve.
+            std::thread::sleep(Duration::from_millis(60));
+            ensure!(
+                follower.server().total_vps() == stale_total
+                    && follower.server().state_digest() == stale_digest,
+                "partitioned follower moved past its stale prefix"
+            );
+            ensure!(
+                follower.stats().connects.load(Ordering::Relaxed) == connects_before,
+                "follower completed a handshake through a closed valve"
+            );
+
+            valve.set_refusing(false);
+            drive_in_process(
+                primary.server(),
+                &world,
+                &schedule[t2..],
+                &mut accepted,
+                &mut report,
+            )?;
+            wait_until("post-heal catch-up", || {
+                converged(primary.server(), follower.server())
+            })?;
+            ensure!(
+                follower.stats().resyncs.load(Ordering::Relaxed) >= 1,
+                "partition healed without a single resync"
+            );
+            ensure!(
+                follower.stats().wire_injuries.load(Ordering::Relaxed) == 0,
+                "transparent link produced wire injuries"
+            );
+            let oracle = build_oracle(&world, &accepted, vmcfg)?;
+            check_equivalence(follower.server(), &oracle, minutes, "healed follower")?;
+
+            // Retention sweep over the live link: the eviction must
+            // mirror, and re-driving the minute in its original order
+            // must converge back to the same oracle.
+            let evicted = primary.server().evict_minutes_before(MinuteId(1));
+            ensure!(
+                evicted == 1 + accepted[0].len(),
+                "sweep evicted {evicted} VPs, expected {}",
+                1 + accepted[0].len()
+            );
+            wait_until("eviction mirror", || {
+                !follower.server().stored_minutes().contains(&MinuteId(0))
+            })?;
+            accepted[0].clear();
+            let r = primary.server().submit_trusted(world[0][0].clone());
+            ensure!(r.is_ok(), "re-anchor after sweep rejected: {r:?}");
+            let redrive: Vec<(usize, usize)> =
+                schedule.iter().copied().filter(|&(m, _)| m == 0).collect();
+            drive_in_process(
+                primary.server(),
+                &world,
+                &redrive,
+                &mut accepted,
+                &mut report,
+            )?;
+            wait_until("post-sweep convergence", || {
+                converged(primary.server(), follower.server())
+            })?;
+            check_equivalence(follower.server(), &oracle, minutes, "post-sweep follower")?;
+
+            finish_replica(
+                follower,
+                primary,
+                proxy,
+                &fdir,
+                &oracle,
+                &accepted,
+                minutes,
+                vmcfg,
+                store_cfg,
+                &mut report,
+            )
+        }
+
+        // ── Crash-and-promote with synchronous acks. ─────────────────
+        Scenario::Failover => {
+            wait_until("follower to join", || primary.hub().follower_count() == 1)?;
+            let half = schedule.len() / 2;
+            drive_in_process(
+                primary.server(),
+                &world,
+                &schedule[..half],
+                &mut accepted,
+                &mut report,
+            )?;
+
+            // A reward round on the doomed primary: blind-signed cash
+            // that must survive the failover.
+            let mut secret = [0u8; 8];
+            plan_rng.fill(&mut secret);
+            let vp_id = VpId::from_secret(&secret);
+            primary.server().post_reward(vp_id, 2);
+            let mut wallet = viewmap_core::reward::Wallet::new();
+            let mut cash_rng = StdRng::seed_from_u64(seed ^ 0x0ca5_4000);
+            let (pending, blinded) =
+                wallet.prepare(&mut cash_rng, primary.server().public_key(), 2);
+            let signed = primary
+                .server()
+                .issue_blind_signatures(vp_id, &secret, &blinded)
+                .map_err(|e| format!("blind signing failed: {e:?}"))?;
+            ensure!(
+                wallet.accept_signed(primary.server().public_key(), pending, &signed) == 2,
+                "wallet rejected the primary's blind signatures"
+            );
+
+            // Every shipped op — catch-up chunks included — must be
+            // acked before the crash: what the primary considered
+            // committed is exactly what promotion must preserve.
+            let shipped = primary.hub().shipped_ops();
+            wait_until("acks to drain", || primary.hub().watermark() >= shipped)?;
+            ensure!(
+                primary.hub().follower_count() == 1,
+                "follower detached before the failover"
+            );
+            drop(primary); // abrupt: no sync, no handover
+            drop(proxy);
+
+            let stats = Arc::clone(follower.stats());
+            let role = Arc::clone(follower.role());
+            let handle = VmService::spawn_with_role(
+                Arc::clone(follower.server()),
+                "127.0.0.1:0",
+                ServiceConfig {
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+                Some(role),
+            )
+            .map_err(|e| format!("spawn follower service: {e}"))?;
+            let mut client = VmClient::connect_with(handle.addr(), client_cfg)
+                .map_err(|e| format!("connect follower service: {e}"))?;
+            let (m0, i0) = schedule[half];
+            match client.submit(&world[m0][i0]) {
+                Err(ClientError::Remote(ErrorCode::NotPrimary, _)) => {}
+                other => {
+                    return Err(format!(
+                        "pre-promotion follower accepted a mutation: {other:?}"
+                    ))
+                }
+            }
+            report.ops += 1;
+
+            let (srv2, epoch) = follower.promote().map_err(|e| format!("promotion: {e}"))?;
+            ensure!(epoch == 2, "promotion produced epoch {epoch}, expected 2");
+
+            // Zero acked-write loss: the promoted buckets hold the
+            // anchor plus every acked op, in accepted order.
+            for (m, minute_world) in world.iter().enumerate() {
+                let ids: Vec<VpId> = srv2
+                    .minute_vps(MinuteId(m as u64))
+                    .iter()
+                    .map(|vp| vp.id)
+                    .collect();
+                let want: Vec<VpId> = std::iter::once(minute_world[0].id)
+                    .chain(accepted[m].iter().map(|&i| minute_world[i].id))
+                    .collect();
+                ensure!(
+                    ids == want,
+                    "acked-write loss: promoted minute {m} diverges from the acked prefix"
+                );
+            }
+
+            // The same front-end now accepts: the RoleCell flipped live
+            // under it. Drive the rest of the schedule in epoch 2.
+            for &(m, i) in &schedule[half..] {
+                let settled = settle_submit(&mut client, &world[m][i], &mut report.retries)?;
+                ensure!(
+                    matches!(settled, Settled::Accepted),
+                    "promoted primary deduped a new op ({m},{i})"
+                );
+                accepted[m].push(i);
+                report.ops += 1;
+            }
+            let oracle = build_oracle(&world, &accepted, vmcfg)?;
+            for m in 0..minutes {
+                let minute = MinuteId(m as u64);
+                let ids = settle_investigate(&mut client, minute, &mut report.retries)?;
+                ensure!(
+                    ids == oracle.investigate(minute, site()),
+                    "promoted wire investigation diverged at minute {m}"
+                );
+                report.ops += 1;
+            }
+            drop(client);
+            drop(handle);
+            check_equivalence(&srv2, &oracle, minutes, "promoted live")?;
+
+            // The dead primary's cash redeems exactly once on the new
+            // one — the shared signing identity held across promotion.
+            ensure!(
+                srv2.redeem(&wallet.cash[0]).is_ok(),
+                "promoted primary rejected pre-failover cash"
+            );
+            ensure!(
+                matches!(
+                    srv2.redeem(&wallet.cash[0]),
+                    Err(viewmap_core::server::RedeemError::DoubleSpend)
+                ),
+                "promoted primary re-redeemed spent cash"
+            );
+            ensure!(
+                srv2.redeem(&wallet.cash[1]).is_ok(),
+                "promoted primary rejected the second cash unit"
+            );
+
+            report.retries += stats.resyncs.load(Ordering::Relaxed) as usize;
+            srv2.sync_wal().map_err(|e| format!("promoted sync: {e}"))?;
+            drop(srv2); // last reference: releases the dir lock
+
+            let mut final_rng = StdRng::seed_from_u64(seed ^ 0x000f_17a1);
+            let (back, rep) =
+                ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, &fdir, store_cfg)
+                    .map_err(|e| format!("promoted reopen: {e}"))?;
+            let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
+            ensure!(
+                rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,
+                "promoted reopen: {} records ({} torn, {}B truncated), expected {want_records} clean",
+                rep.records,
+                rep.torn_segments,
+                rep.truncated_bytes
+            );
+            ensure!(
+                !rep.fresh_signing_key,
+                "promoted reopen minted a fresh key over the group keyfile"
+            );
+            check_equivalence(&back, &oracle, minutes, "promoted recovered")?;
+            report.final_vps = back.total_vps();
+            Ok(report)
+        }
+
+        _ => unreachable!("run_replicated only handles replicated scenarios"),
+    }
+}
+
+/// Shared tail for the scenarios that end with the follower still a
+/// follower: count its resyncs, sync and close both cells, then reopen
+/// the *replica's* store cold and hold it to oracle equivalence — the
+/// shipped log must recover like a local one.
+#[allow(clippy::too_many_arguments)]
+fn finish_replica(
+    follower: Follower,
+    primary: Primary,
+    proxy: Option<ChaosProxy>,
+    fdir: &Path,
+    oracle: &ViewMapServer,
+    accepted: &[Vec<usize>],
+    minutes: usize,
+    vmcfg: ViewmapConfig,
+    store_cfg: StoreConfig,
+    report: &mut RunReport,
+) -> Result<RunReport, String> {
+    use std::sync::atomic::Ordering;
+
+    report.retries += follower.stats().resyncs.load(Ordering::Relaxed) as usize;
+    follower
+        .server()
+        .sync_wal()
+        .map_err(|e| format!("follower sync: {e}"))?;
+    drop(follower); // joins the applier, releases the replica dir lock
+    drop(primary);
+    drop(proxy);
+
+    let mut final_rng = StdRng::seed_from_u64(report.seed ^ 0x000f_17a1);
+    let (back, rep) = ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, fdir, store_cfg)
+        .map_err(|e| format!("follower reopen: {e}"))?;
+    let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
+    ensure!(
+        rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,
+        "follower reopen: {} records ({} torn, {}B truncated), expected {want_records} clean",
+        rep.records,
+        rep.torn_segments,
+        rep.truncated_bytes
+    );
+    ensure!(
+        !rep.fresh_signing_key,
+        "follower reopen minted a fresh key over the group keyfile"
+    );
+    check_equivalence(&back, oracle, minutes, "follower recovered")?;
+    report.final_vps = back.total_vps();
+    Ok(report.clone())
 }

@@ -20,6 +20,14 @@
 //! * **timing faults**: server-side idle-session reaping raced against
 //!   seeded client naps, recovered via
 //!   [`vm_service::VmClient::reconnect_with_backoff`].
+//! * **replication faults** (the `replica`, `failover`, and
+//!   `lagging-follower` scenarios): a `vm-repl` primary→follower pair
+//!   with the chaos proxy on the *replication* link — corrupted and
+//!   cut shipping streams recovered by catch-up, a partition valve
+//!   that refuses redials until the driver heals it, and an abrupt
+//!   primary crash followed by [`vm_repl::Follower::promote`], checked
+//!   for zero acked-write loss and a reward round whose cash survives
+//!   the promotion.
 //!
 //! After every injected crash the store is reopened through real
 //! recovery and the surviving system is asserted **state-equivalent**

@@ -72,6 +72,7 @@ impl Default for WireFaults {
 pub struct ChaosProxy {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    refusing: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -88,12 +89,14 @@ impl ChaosProxy {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let refusing = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let forwarders: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let refusing = Arc::clone(&refusing);
             let conns = Arc::clone(&conns);
             let forwarders = Arc::clone(&forwarders);
             std::thread::spawn(move || {
@@ -103,6 +106,14 @@ impl ChaosProxy {
                         break;
                     }
                     let Ok(client) = incoming else { break };
+                    if refusing.load(Ordering::SeqCst) {
+                        // Partition valve closed: the port answers but
+                        // every connection dies before reaching the
+                        // upstream — the dialer sees an immediate EOF
+                        // and must keep backing off and redialing.
+                        drop(client);
+                        continue;
+                    }
                     let Ok(server) = TcpStream::connect(upstream) else {
                         // Upstream gone (e.g. a crashed generation):
                         // drop the client, whose next read sees EOF.
@@ -142,6 +153,7 @@ impl ChaosProxy {
         Ok(ChaosProxy {
             addr,
             shutdown,
+            refusing,
             conns,
             threads: vec![accept],
         })
@@ -150,6 +162,16 @@ impl ChaosProxy {
     /// The address clients should connect to instead of the upstream.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Open or close the partition valve: while refusing, newly
+    /// accepted connections are dropped on the floor instead of relayed
+    /// (the port stays bound, so dialers get EOF, not
+    /// connection-refused). Combine with [`Self::sever_all`] to
+    /// partition a peer *and keep it partitioned* across its redials —
+    /// the lagging-follower fault.
+    pub fn set_refusing(&self, refusing: bool) {
+        self.refusing.store(refusing, Ordering::SeqCst);
     }
 
     /// Sever every proxied connection (without stopping the listener) —

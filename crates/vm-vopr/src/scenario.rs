@@ -35,11 +35,32 @@ pub enum Scenario {
     /// server must rebuild maintained state from scratch, never trust
     /// it stale), and after an evicted minute is fully resubmitted.
     Churn,
+    /// Replication under wire chaos: a primary ships its WAL to one
+    /// follower through a chaotic proxy (delays, trickle, corruption,
+    /// cuts on the *replication* link). The follower must converge to
+    /// oracle equivalence anyway — every lost byte recovered by
+    /// catch-up — and its front-end must fence mutations with
+    /// `NotPrimary` while serving reads.
+    Replica,
+    /// Failover torture: synchronous-ack replication, a reward round,
+    /// then the primary dies abruptly and the follower is promoted.
+    /// Zero acked-write loss (every op the primary acked is in the
+    /// promoted buckets, in order), byte-level oracle equivalence,
+    /// pre-failover cash redeems exactly once on the new primary, and
+    /// the rest of the schedule lands over the wire in epoch 2.
+    Failover,
+    /// A follower partitioned away mid-stream (connections severed
+    /// *and* redials refused) while the primary keeps accepting: the
+    /// replica must hold at its stale prefix — never invent state —
+    /// then catch all the way up to oracle equivalence once the
+    /// partition heals, and mirror a retention sweep over the healed
+    /// link.
+    LaggingFollower,
 }
 
 impl Scenario {
     /// Every scenario, in catalog order.
-    pub fn all() -> [Scenario; 6] {
+    pub fn all() -> [Scenario; 9] {
         [
             Scenario::Baseline,
             Scenario::WireChaos,
@@ -47,6 +68,9 @@ impl Scenario {
             Scenario::CrashLoop,
             Scenario::Gray,
             Scenario::Churn,
+            Scenario::Replica,
+            Scenario::Failover,
+            Scenario::LaggingFollower,
         ]
     }
 
@@ -59,6 +83,9 @@ impl Scenario {
             Scenario::CrashLoop => "crash-loop",
             Scenario::Gray => "gray",
             Scenario::Churn => "churn",
+            Scenario::Replica => "replica",
+            Scenario::Failover => "failover",
+            Scenario::LaggingFollower => "lagging-follower",
         }
     }
 
@@ -68,10 +95,18 @@ impl Scenario {
     }
 
     /// The wire fault mix, if this scenario routes traffic through a
-    /// [`crate::proxy::ChaosProxy`] (`None` = direct connection).
+    /// [`crate::proxy::ChaosProxy`] (`None` = direct connection). For
+    /// the single-cell scenarios the proxy sits on the client↔service
+    /// link; for the replicated ones it sits on the primary↔follower
+    /// *replication* link.
     pub(crate) fn wire_faults(self) -> Option<WireFaults> {
         match self {
-            Scenario::Baseline | Scenario::TornTail | Scenario::CrashLoop => None,
+            Scenario::Baseline
+            | Scenario::TornTail
+            | Scenario::CrashLoop
+            // Failover promotes on a clean link: the torture is the
+            // crash itself, and sync acks must mean what they say.
+            | Scenario::Failover => None,
             Scenario::WireChaos => Some(WireFaults {
                 delay_us: (0, 300),
                 max_chunk: 256,
@@ -95,17 +130,45 @@ impl Scenario {
                 cut_prob: 0.003,
                 ..WireFaults::default()
             }),
+            // The replication stream is high-volume (whole segment
+            // frames), so per-chunk rates stay low: corruption kills
+            // the session at the envelope checksum and every cut
+            // forces a catch-up resync — the paths under test.
+            Scenario::Replica => Some(WireFaults {
+                delay_us: (0, 200),
+                max_chunk: 512,
+                corrupt_prob: 0.001,
+                cut_prob: 0.002,
+                ..WireFaults::default()
+            }),
+            // A transparent valve: no byte faults, just a listener the
+            // driver can sever and slam shut (`set_refusing`) to hold
+            // the follower partitioned across its redials.
+            Scenario::LaggingFollower => Some(WireFaults::default()),
         }
     }
 
     /// Crash/recover generations a run drives (1 = no injected crash).
+    /// Replicated scenarios don't use the crash-loop flow — their
+    /// lifecycle (partition, crash-and-promote) lives in the
+    /// replication driver.
     pub(crate) fn generations(self, seed_rng: &mut impl rand::Rng) -> usize {
         match self {
             Scenario::Baseline | Scenario::WireChaos | Scenario::Gray => 1,
             Scenario::TornTail => 2,
             Scenario::CrashLoop => seed_rng.gen_range(3..=5),
             Scenario::Churn => seed_rng.gen_range(2..=3),
+            Scenario::Replica | Scenario::Failover | Scenario::LaggingFollower => 1,
         }
+    }
+
+    /// Whether this scenario drives a replicated pair (primary +
+    /// follower) instead of a single cell.
+    pub(crate) fn replicated(self) -> bool {
+        matches!(
+            self,
+            Scenario::Replica | Scenario::Failover | Scenario::LaggingFollower
+        )
     }
 
     /// Whether crashes injure the WAL tail mid-frame (vs clean

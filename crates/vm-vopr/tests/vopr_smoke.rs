@@ -43,6 +43,21 @@ fn churn_smoke() {
     sweep(Scenario::Churn);
 }
 
+#[test]
+fn replica_smoke() {
+    sweep(Scenario::Replica);
+}
+
+#[test]
+fn failover_smoke() {
+    sweep(Scenario::Failover);
+}
+
+#[test]
+fn lagging_follower_smoke() {
+    sweep(Scenario::LaggingFollower);
+}
+
 /// Direct-connection scenarios have no wire nondeterminism at all: the
 /// same seed must produce the same report, counter for counter.
 #[test]

@@ -5,8 +5,9 @@
 //! investigator session end to end over the wire: pipelined VP
 //! submission, investigation, video solicitation + upload, and the
 //! untraceable reward round (claim → blind-sign → unblind → redeem).
-//! Finally it restarts the server from its log to show recovery — and
-//! the fresh-signing-key warning the report raises.
+//! Finally it restarts the server from its log to show recovery — the
+//! signing key persists with the store, so cash minted before the
+//! restart still redeems after it.
 //!
 //! Run with: `cargo run --release --example service_session`
 
@@ -117,18 +118,16 @@ fn main() {
         .expect("blind signatures");
     let minted = wallet.accept_signed(&pk, pending, &signed);
     println!("minted {minted} unit(s) of untraceable cash");
-    for cash in &wallet.cash {
-        client.redeem(cash).expect("cash redeems");
-    }
+    client.redeem(&wallet.cash[0]).expect("cash redeems");
     println!(
-        "redeemed {} unit(s); double-spend now rejected: {}",
+        "redeemed 1 of {} unit(s); double-spend now rejected: {}",
         wallet.balance(),
         client.redeem(&wallet.cash[0]).is_err()
     );
 
-    // ── 6. Restart from the log: state recovers, and the report warns
-    //    that pre-restart cash needs the operator to re-supply the old
-    //    signing key (keys are deliberately not persisted). ───────────
+    // ── 6. Restart from the log: state recovers, and because the
+    //    signing key persists with the store (`signing.key`), the
+    //    units still in the wallet redeem under the recovered server. ─
     drop(client);
     drop(handle);
     let total_before = server.total_vps();
@@ -149,6 +148,10 @@ fn main() {
     for warning in report.warnings() {
         println!("warning: {warning}");
     }
+    server
+        .redeem(&wallet.cash[1])
+        .expect("pre-restart cash redeems under the persisted key");
+    println!("pre-restart cash unit redeemed after recovery ✔");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

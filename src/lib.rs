@@ -25,7 +25,9 @@
 //! * [`store`] — the durable append-log VP store with crash
 //!   recovery (`ViewMapServer::open`).
 //! * [`service`] — the concurrent TCP front-end (wire
-//!   protocol, worker-pool server, pipelining client).
+//!   protocol, worker-pool server, pipelining client, role fencing).
+//! * [`repl`] — primary→follower replication: WAL log
+//!   shipping, acked commit watermark, catch-up, promotion.
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@ pub use vm_crypto as crypto;
 pub use vm_geo as geo;
 pub use vm_mobility as mobility;
 pub use vm_radio as radio;
+pub use vm_repl as repl;
 pub use vm_service as service;
 pub use vm_sim as sim;
 pub use vm_store as store;
