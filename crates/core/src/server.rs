@@ -66,6 +66,7 @@ use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vm_crypto::{BlindedMessage, RsaKeyPair, RsaPublicKey, Signature};
+use vm_obs::{Counter, Histogram, Registry};
 
 /// Number of lock stripes in the VP database (and in the id index).
 /// Power of two so stripe selection is a mask.
@@ -160,6 +161,73 @@ fn id_stripe(id: &VpId) -> usize {
     id.0.as_bytes()[0] as usize & (DB_SHARDS - 1)
 }
 
+/// The engine's instrument set, registered once per server into its
+/// [`Registry`] (naming scheme: `vm_core_*`, latencies in whole
+/// microseconds — see ARCHITECTURE.md §9). Handles are `Arc`s into the
+/// registry, so recording is lock-free and a disabled registry turns
+/// every call into a relaxed load.
+struct CoreMetrics {
+    /// `vm_core_vps_stored_total` — VPs committed to the database
+    /// (submit, trusted, batch, and recovery replay alike).
+    vps_stored: Arc<Counter>,
+    /// `vm_core_vps_rejected_total` — screened-out or duplicate VPs.
+    vps_rejected: Arc<Counter>,
+    /// `vm_core_vps_evicted_total` / `vm_core_eviction_sweeps_total`.
+    vps_evicted: Arc<Counter>,
+    eviction_sweeps: Arc<Counter>,
+    /// `vm_core_batch_accepted_vps` — accepted VPs per batch-ingest call.
+    batch_accepted: Arc<Histogram>,
+    /// `vm_core_investigate_us` — full investigation pipeline latency
+    /// (cold and maintained paths both record here).
+    investigate_us: Arc<Histogram>,
+    /// `vm_core_trustrank_iterations` — power-method iterations per
+    /// investigation.
+    trustrank_iterations: Arc<Histogram>,
+    /// `vm_core_build_phase_us{phase=...}` — the four viewlink-engine
+    /// phases of every cold build, in catalog order.
+    build_tables_us: Arc<Histogram>,
+    build_candidates_us: Arc<Histogram>,
+    build_keys_us: Arc<Histogram>,
+    build_linkage_us: Arc<Histogram>,
+    /// `vm_core_maintained_create_us` / `vm_core_maintained_extract_us`
+    /// / `vm_core_maintained_splice_us` — the maintained-graph
+    /// lifecycle: one-time creation, per-investigation extraction, and
+    /// the ingest-side splice done under the shard lock.
+    maintained_create_us: Arc<Histogram>,
+    maintained_extract_us: Arc<Histogram>,
+    maintained_splice_us: Arc<Histogram>,
+}
+
+impl CoreMetrics {
+    fn register(obs: &Registry) -> CoreMetrics {
+        let phase = |p: &str| obs.histogram_with("vm_core_build_phase_us", &[("phase", p)]);
+        CoreMetrics {
+            vps_stored: obs.counter("vm_core_vps_stored_total"),
+            vps_rejected: obs.counter("vm_core_vps_rejected_total"),
+            vps_evicted: obs.counter("vm_core_vps_evicted_total"),
+            eviction_sweeps: obs.counter("vm_core_eviction_sweeps_total"),
+            batch_accepted: obs.histogram("vm_core_batch_accepted_vps"),
+            investigate_us: obs.histogram("vm_core_investigate_us"),
+            trustrank_iterations: obs.histogram("vm_core_trustrank_iterations"),
+            build_tables_us: phase("tables"),
+            build_candidates_us: phase("candidates"),
+            build_keys_us: phase("keys"),
+            build_linkage_us: phase("linkage"),
+            maintained_create_us: obs.histogram("vm_core_maintained_create_us"),
+            maintained_extract_us: obs.histogram("vm_core_maintained_extract_us"),
+            maintained_splice_us: obs.histogram("vm_core_maintained_splice_us"),
+        }
+    }
+
+    fn record_build_profile(&self, p: &crate::viewmap::BuildProfile) {
+        self.build_tables_us.record((p.tables_ms * 1e3) as u64);
+        self.build_candidates_us
+            .record((p.candidates_ms * 1e3) as u64);
+        self.build_keys_us.record((p.keys_ms * 1e3) as u64);
+        self.build_linkage_us.record((p.linkage_ms * 1e3) as u64);
+    }
+}
+
 /// The ViewMap public-service system.
 pub struct ViewMapServer {
     /// Minute-keyed VP store, striped by minute hash.
@@ -175,6 +243,12 @@ pub struct ViewMapServer {
     /// Optional durable append log; accepted VPs are mirrored into it
     /// under the committing minute's shard lock (see the module docs).
     wal: Option<Box<dyn VpWal>>,
+    /// The cell's telemetry registry. Created with the server; the
+    /// store, service, and replication layers register their own
+    /// instrument sets into the same registry (via [`Self::obs`]) so
+    /// one snapshot covers the whole stack.
+    obs: Arc<Registry>,
+    metrics: CoreMetrics,
 }
 
 impl ViewMapServer {
@@ -192,6 +266,8 @@ impl ViewMapServer {
     /// recovery path persists the key beside the log and feeds it back
     /// through here on reopen.
     pub fn with_key(key: RsaKeyPair, cfg: ViewmapConfig) -> Self {
+        let obs = Arc::new(Registry::new());
+        let metrics = CoreMetrics::register(&obs);
         ViewMapServer {
             db: (0..DB_SHARDS)
                 .map(|_| RwLock::new(DbShard::default()))
@@ -205,7 +281,17 @@ impl ViewMapServer {
             key,
             cfg,
             wal: None,
+            obs,
+            metrics,
         }
+    }
+
+    /// The cell's telemetry registry: the engine's own instruments plus
+    /// whatever the durability, service, and replication layers
+    /// register. [`vm_obs::Registry::snapshot`] here is the in-process
+    /// form of the `STATS` wire scrape.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The full signing key pair, for persistence (vm-store's keyfile)
@@ -410,6 +496,8 @@ impl ViewMapServer {
                 .expect("WAL eviction failed; disk retention would diverge from memory");
         }
         drop(id_guards);
+        self.metrics.eviction_sweeps.inc();
+        self.metrics.vps_evicted.add(evicted as u64);
         evicted
     }
 
@@ -515,14 +603,29 @@ impl ViewMapServer {
             // half-committed batch or miss an append.
             if bucket.len() > first_new {
                 if let Some(mv) = sh.maintained.get_mut(&minute) {
-                    mv.ingest(&bucket[first_new..]);
+                    self.metrics
+                        .maintained_splice_us
+                        .time(|| mv.ingest(&bucket[first_new..]));
                 }
             }
         }
+        let stored = results.iter().filter(|r| r.is_ok()).count() as u64;
+        self.metrics.vps_stored.add(stored);
+        self.metrics.vps_rejected.add(total as u64 - stored);
+        self.metrics.batch_accepted.record(stored);
         results
     }
 
     fn store(&self, vp: StoredVp) -> Result<(), SubmitError> {
+        let result = self.store_inner(vp);
+        match result {
+            Ok(()) => self.metrics.vps_stored.inc(),
+            Err(_) => self.metrics.vps_rejected.inc(),
+        }
+        result
+    }
+
+    fn store_inner(&self, vp: StoredVp) -> Result<(), SubmitError> {
         screen(&vp)?;
         let id = vp.id;
         let minute = vp.minute();
@@ -548,7 +651,9 @@ impl ViewMapServer {
         // Keep the maintained viewlink graph (if any) mirroring the
         // bucket under the same critical section.
         if let Some(mv) = sh.maintained.get_mut(&minute) {
-            mv.ingest(&bucket[pos as usize..]);
+            self.metrics
+                .maintained_splice_us
+                .time(|| mv.ingest(&bucket[pos as usize..]));
         }
         Ok(())
     }
@@ -627,20 +732,28 @@ impl ViewMapServer {
     /// ingest; viewmap members share the database allocations.
     pub fn build_viewmap(&self, minute: MinuteId, site: Site) -> Viewmap {
         let candidates = self.minute_vps(minute);
-        Viewmap::build(&candidates, site, minute, &self.cfg)
+        // `build` is itself a thin wrapper over the profiled path, so
+        // taking the profile here costs four timestamp reads, not an
+        // alternate code path.
+        let (vm, profile) = Viewmap::build_profiled(&candidates, site, minute, &self.cfg, 0);
+        self.metrics.record_build_profile(&profile);
+        vm
     }
 
     /// Full investigation pipeline for one minute: build the viewmap, run
     /// Algorithm 1, and post the verified VP ids on the solicitation
     /// board. Returns the posted ids.
     pub fn investigate(&self, minute: MinuteId, site: Site) -> Vec<VpId> {
-        let vm = self.build_viewmap(minute, site);
-        let (_, ids) = vm.verify(&site, &self.cfg);
-        let mut board = self.solicited.write();
-        for id in &ids {
-            board.insert(*id);
-        }
-        ids
+        self.metrics.investigate_us.time(|| {
+            let vm = self.build_viewmap(minute, site);
+            let (_, ids, iterations) = vm.verify_counted(&site, &self.cfg);
+            self.metrics.trustrank_iterations.record(iterations as u64);
+            let mut board = self.solicited.write();
+            for id in &ids {
+                board.insert(*id);
+            }
+            ids
+        })
     }
 
     /// As [`build_viewmap`](Self::build_viewmap), served from the
@@ -678,32 +791,37 @@ impl ViewMapServer {
         }
         if !sh.maintained.contains_key(&minute) {
             let members = sh.by_minute.get(&minute).cloned().unwrap_or_default();
-            let mv = crate::maintained::MaintainedViewmap::create(
-                members,
-                minute,
-                &self.cfg,
-                0,
-                &mut crate::viewmap::BuildScratch::new(),
-            );
+            let mv = self.metrics.maintained_create_us.time(|| {
+                crate::maintained::MaintainedViewmap::create(
+                    members,
+                    minute,
+                    &self.cfg,
+                    0,
+                    &mut crate::viewmap::BuildScratch::new(),
+                )
+            });
             sh.maintained.insert(minute, mv);
         }
-        sh.maintained
-            .get(&minute)
-            .expect("just inserted")
-            .extract(site, &self.cfg)
+        let mv = sh.maintained.get(&minute).expect("just inserted");
+        self.metrics
+            .maintained_extract_us
+            .time(|| mv.extract(site, &self.cfg))
     }
 
     /// As [`investigate`](Self::investigate), served from the maintained
     /// viewlink graph: identical verdicts and board postings at
     /// incremental cost once the minute's graph exists.
     pub fn investigate_maintained(&self, minute: MinuteId, site: Site) -> Vec<VpId> {
-        let vm = self.build_viewmap_maintained(minute, site);
-        let (_, ids) = vm.verify(&site, &self.cfg);
-        let mut board = self.solicited.write();
-        for id in &ids {
-            board.insert(*id);
-        }
-        ids
+        self.metrics.investigate_us.time(|| {
+            let vm = self.build_viewmap_maintained(minute, site);
+            let (_, ids, iterations) = vm.verify_counted(&site, &self.cfg);
+            self.metrics.trustrank_iterations.record(iterations as u64);
+            let mut board = self.solicited.write();
+            for id in &ids {
+                board.insert(*id);
+            }
+            ids
+        })
     }
 
     /// Is a maintained viewlink graph currently alive for `minute`?

@@ -354,7 +354,20 @@ pub fn verify_site_csr(
     site: &[usize],
     damping: f64,
 ) -> Verification {
-    let (scores, _) = trust_scores_csr(g, seeds, damping, 1e-10, 1000);
+    verify_site_csr_iter(g, seeds, site, damping).0
+}
+
+/// As [`verify_site_csr`], also returning the TrustRank iteration count
+/// the power method took to converge — the telemetry plane records it
+/// per investigation (a drifting iteration count is the early signal of
+/// a graph whose spectral gap is closing, long before latency moves).
+pub fn verify_site_csr_iter(
+    g: &CsrGraph,
+    seeds: &[usize],
+    site: &[usize],
+    damping: f64,
+) -> (Verification, usize) {
+    let (scores, iterations) = trust_scores_csr(g, seeds, damping, 1e-10, 1000);
     let top = site.iter().copied().max_by(|&a, &b| {
         scores[a]
             .partial_cmp(&scores[b])
@@ -379,11 +392,14 @@ pub fn verify_site_csr(
         }
         legitimate.sort_unstable();
     }
-    Verification {
-        scores,
-        top,
-        legitimate,
-    }
+    (
+        Verification {
+            scores,
+            top,
+            legitimate,
+        },
+        iterations,
+    )
 }
 
 #[cfg(test)]

@@ -342,18 +342,39 @@ impl Viewmap {
     /// Run Algorithm 1 against an investigation site; returns the
     /// verification outcome plus the marked VP identifiers.
     pub fn verify(&self, site: &Site, cfg: &ViewmapConfig) -> (Verification, Vec<VpId>) {
+        let (v, ids, _) = self.verify_counted(site, cfg);
+        (v, ids)
+    }
+
+    /// As [`verify`](Self::verify), also returning the TrustRank
+    /// iteration count (0 when there is no trusted anchor to seed the
+    /// power method). The server's investigation paths record it into
+    /// the telemetry registry.
+    pub fn verify_counted(
+        &self,
+        site: &Site,
+        cfg: &ViewmapConfig,
+    ) -> (Verification, Vec<VpId>, usize) {
         let site_idx = self.site_members(site);
-        let v = if self.trusted.is_empty() {
-            Verification {
-                scores: vec![0.0; self.vps.len()],
-                top: None,
-                legitimate: Vec::new(),
-            }
+        let (v, iterations) = if self.trusted.is_empty() {
+            (
+                Verification {
+                    scores: vec![0.0; self.vps.len()],
+                    top: None,
+                    legitimate: Vec::new(),
+                },
+                0,
+            )
         } else {
-            trustrank::verify_site(&self.adj, &self.trusted, &site_idx, cfg.damping)
+            trustrank::verify_site_csr_iter(
+                &trustrank::CsrGraph::from_adj(&self.adj),
+                &self.trusted,
+                &site_idx,
+                cfg.damping,
+            )
         };
         let ids = v.legitimate.iter().map(|&i| self.vps[i].id).collect();
-        (v, ids)
+        (v, ids, iterations)
     }
 }
 

@@ -106,6 +106,15 @@ const REPL_ACK_LIMIT: f64 = 2.0;
 /// paths' real costs rather than one noisy single shot.
 const INGEST_RUNS: usize = 3;
 
+/// Instrumented ingest must stay within this factor of the same ingest
+/// with the telemetry registry disabled (`Registry::set_enabled(false)`
+/// turns every instrument call into one relaxed load and a branch).
+/// Asserted at the 10k tier on `batch_submit_ms` and `wal_append_ms`,
+/// with the enabled and disabled runs interleaved so host drift hits
+/// both medians alike — the observability layer must be provably
+/// nearly free on the hot path.
+const OBS_OVERHEAD_LIMIT: f64 = 1.05;
+
 /// The tier where the incremental-maintenance speed assertion applies
 /// (the ISSUE's target: warm re-investigation of a 100k minute after a
 /// +1k delta at a small fraction of the cold build).
@@ -133,7 +142,11 @@ struct TierResult {
     edges: usize,
     submit_ms: f64,
     batch_submit_ms: f64,
+    /// `batch_submit_ms` with telemetry disabled (assert tier only).
+    batch_submit_disabled_ms: Option<f64>,
     wal_append_ms: f64,
+    /// `wal_append_ms` with telemetry disabled (assert tier only).
+    wal_append_disabled_ms: Option<f64>,
     repl_ack_ms: f64,
     recover_ms: f64,
     service_rt_ms: f64,
@@ -227,8 +240,31 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
     // ── Submit path B: one batch (stripe locking + Bloom screening +
     //    link-key precompute amortized across the whole minute) ───────
     let mut batch_times = Vec::with_capacity(runs);
+    let mut batch_disabled_times = Vec::with_capacity(runs);
     let mut srv_batch = None;
     for _ in 0..runs {
+        // At the assert tier, interleave a telemetry-disabled run with
+        // each instrumented one: host drift over the measurement window
+        // then lands on both medians alike, so the overhead ratio
+        // compares the two paths rather than two moments in time.
+        if n == WAL_ASSERT_TIER {
+            let server = ViewMapServer::new(&mut rng, 512, cfg);
+            server.obs().set_enabled(false);
+            let trusted = trusted_batch_vp.clone();
+            let body = batch_vps.clone();
+            let genuine_vp = genuine.profile.clone().into_stored();
+            batch_disabled_times.push(time_ms(|| {
+                let r = server.submit_trusted_batch(vec![trusted]);
+                assert!(r.iter().all(|x| x.is_ok()), "trusted batch stored");
+                let subs = body
+                    .into_iter()
+                    .chain(std::iter::once(genuine_vp))
+                    .map(|vp| viewmap_core::upload::AnonymousSubmission { session_id: 0, vp });
+                let results = server.submit_batch_warm(subs);
+                assert!(results.iter().all(|x| x.is_ok()), "batch stored");
+            }));
+            assert_eq!(server.total_vps(), n + 1);
+        }
         let server = ViewMapServer::new(&mut rng, 512, cfg);
         let trusted = trusted_batch_vp.clone();
         let body = batch_vps.clone();
@@ -248,6 +284,15 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
     }
     let srv_batch = srv_batch.expect("at least one batch run");
     let batch_submit_ms = median_ms(&mut batch_times);
+    let batch_submit_disabled_ms = (n == WAL_ASSERT_TIER).then(|| {
+        let disabled = median_ms(&mut batch_disabled_times);
+        assert!(
+            batch_submit_ms <= disabled * OBS_OVERHEAD_LIMIT,
+            "tier {n}: instrumented batch ingest {batch_submit_ms:.1} ms exceeds \
+             {OBS_OVERHEAD_LIMIT}× telemetry-disabled {disabled:.1} ms"
+        );
+        disabled
+    });
 
     // ── Submit path C: the same batch ingest through the durable
     //    append log (vm-store group commit, fsync=never — the cost
@@ -272,8 +317,34 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         fsync: Fsync::Never,
     };
     let mut wal_times = Vec::with_capacity(runs);
+    let mut wal_disabled_times = Vec::with_capacity(runs);
     let mut store_dir = store_base.join("unused");
     for run in 0..runs {
+        // Interleaved telemetry-disabled run (assert tier only) — same
+        // rationale as the in-memory batch pair above.
+        if n == WAL_ASSERT_TIER {
+            let ddir = store_base.join(format!("vm_bench_wal_d_{}_{n}_{run}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&ddir);
+            let trusted = trusted_wal_vp.clone();
+            let body = wal_vps.clone();
+            let genuine_vp = genuine.profile.clone().into_stored();
+            let srv_wal = ViewMapServer::persistent(&mut rng, 512, cfg, &ddir, scfg)
+                .expect("open disabled store");
+            srv_wal.obs().set_enabled(false);
+            wal_disabled_times.push(time_ms(|| {
+                let r = srv_wal.submit_trusted_batch(vec![trusted]);
+                assert!(r.iter().all(|x| x.is_ok()), "trusted wal batch stored");
+                let subs = body
+                    .into_iter()
+                    .chain(std::iter::once(genuine_vp))
+                    .map(|vp| viewmap_core::upload::AnonymousSubmission { session_id: 0, vp });
+                let results = srv_wal.submit_batch_warm(subs);
+                assert!(results.iter().all(|x| x.is_ok()), "wal batch stored");
+            }));
+            assert_eq!(srv_wal.total_vps(), n + 1);
+            drop(srv_wal);
+            let _ = std::fs::remove_dir_all(&ddir);
+        }
         // A fresh directory per run: replaying run r's log into run
         // r+1's server would dedup-reject the whole batch.
         store_dir = store_base.join(format!("vm_bench_wal_{}_{n}_{run}", std::process::id()));
@@ -300,6 +371,15 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         }
     }
     let wal_append_ms = median_ms(&mut wal_times);
+    let wal_append_disabled_ms = (n == WAL_ASSERT_TIER).then(|| {
+        let disabled = median_ms(&mut wal_disabled_times);
+        assert!(
+            wal_append_ms <= disabled * OBS_OVERHEAD_LIMIT,
+            "tier {n}: instrumented WAL ingest {wal_append_ms:.1} ms exceeds \
+             {OBS_OVERHEAD_LIMIT}× telemetry-disabled {disabled:.1} ms"
+        );
+        disabled
+    });
 
     let mut recovered_srv: Option<ViewMapServer> = None;
     let recover_ms = time_ms(|| {
@@ -617,7 +697,9 @@ fn run_tier(n: usize, seed: u64) -> TierResult {
         edges,
         submit_ms,
         batch_submit_ms,
+        batch_submit_disabled_ms,
         wal_append_ms,
+        wal_append_disabled_ms,
         repl_ack_ms,
         recover_ms,
         service_rt_ms,
@@ -670,6 +752,16 @@ fn report_tier(r: &TierResult) {
             .map(|s| format!(" | verify-path speedup {s:.1}×"))
             .unwrap_or_default(),
     );
+    if let (Some(bd), Some(wd)) = (r.batch_submit_disabled_ms, r.wal_append_disabled_ms) {
+        eprintln!(
+            "tier {n}: telemetry overhead — batch {:.1}/{bd:.1} ms ({:.3}×), \
+             wal {:.1}/{wd:.1} ms ({:.3}×)",
+            r.batch_submit_ms,
+            r.batch_submit_ms / bd,
+            r.wal_append_ms,
+            r.wal_append_ms / wd,
+        );
+    }
 }
 
 fn tier_row_json(r: &TierResult) -> String {
@@ -677,7 +769,9 @@ fn tier_row_json(r: &TierResult) -> String {
         concat!(
             "    {{\"n_vps\": {}, \"members\": {}, \"edges\": {}, ",
             "\"submit_ms\": {:.3}, \"batch_submit_ms\": {:.3}, ",
-            "\"wal_append_ms\": {:.3}, \"repl_ack_ms\": {:.3}, \"recover_ms\": {:.3}, ",
+            "\"batch_submit_disabled_ms\": {}, ",
+            "\"wal_append_ms\": {:.3}, \"wal_append_disabled_ms\": {}, ",
+            "\"repl_ack_ms\": {:.3}, \"recover_ms\": {:.3}, ",
             "\"service_rt_ms\": {:.3}, ",
             "\"build_ms\": {:.3}, ",
             "\"phase_ms\": {{\"tables\": {:.3}, \"candidates\": {:.3}, ",
@@ -694,7 +788,9 @@ fn tier_row_json(r: &TierResult) -> String {
         r.edges,
         r.submit_ms,
         r.batch_submit_ms,
+        json_opt(r.batch_submit_disabled_ms),
         r.wal_append_ms,
+        json_opt(r.wal_append_disabled_ms),
         r.repl_ack_ms,
         r.recover_ms,
         r.service_rt_ms,
@@ -770,6 +866,10 @@ fn main() {
          trails safe-to-fail-over after a burst; it must stay within 2x \
          wal_append_ms at the 10k tier; at the 10k \
          assert tier batch_submit_ms, wal_append_ms, and repl_ack_ms are medians of 3 runs; \
+         batch_submit_disabled_ms and wal_append_disabled_ms (assert tier only) repeat \
+         the same ingests with the vm-obs telemetry registry disabled, runs interleaved \
+         with the instrumented ones; the instrumented medians must stay within 1.05x \
+         the disabled ones — the metrics layer is provably nearly free on the hot path; \
          service_rt_ms is the same population ingested through the vm-service TCP \
          front-end — 8 concurrent pipelining VmClient sessions over loopback \
          (server-side coalescing into warm batches) plus one investigation round \

@@ -1,0 +1,258 @@
+//! The log-bucketed histogram.
+//!
+//! Values 0..15 get exact buckets; every value ≥ 16 lands in one of 16
+//! sub-buckets of its power-of-two octave, i.e. the bucket spanning
+//! `[(16+s)·2^(o-4), (16+s+1)·2^(o-4))` for octave `o` and sub-bucket
+//! `s`. Bucket width over bucket floor is at most `1/16`, so reporting
+//! a bucket's midpoint for any value inside it carries a relative error
+//! of at most `1/32` — and because the bucketing function is monotone,
+//! the rank-`r` sample of a recorded population falls in exactly the
+//! bucket where the cumulative count crosses `r`. Together those give
+//! the quantile bound the property suite pins: any
+//! [`Histogram::quantile`] estimate is within `1/16` of the exact
+//! sorted-sample oracle, at every magnitude up to `u64::MAX`.
+//!
+//! Recording is one relaxed-load enabled check plus three relaxed
+//! `fetch_add`s (bucket, count, sum) — no locks, no allocation — so N
+//! threads recording concurrently produce bit-identical totals to the
+//! same values recorded serially (also pinned by the property suite).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exact buckets below this value (and sub-buckets per octave above
+/// it). 16 = 4 sub-bucket bits.
+const LINEAR: u64 = 16;
+const SUB_BITS: u32 = 4;
+
+/// Total bucket count: 16 exact + 16 sub-buckets for each octave
+/// `4..=63`.
+pub const BUCKETS: usize = LINEAR as usize + (64 - SUB_BITS as usize) * LINEAR as usize;
+
+/// The quantiles a [`HistogramSummary`] reports (and the text
+/// exposition emits).
+pub const QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 1.0];
+
+/// Bucket index for a value. Monotone in `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (LINEAR - 1);
+        (octave - SUB_BITS + 1) as usize * LINEAR as usize + sub as usize
+    }
+}
+
+/// `[low, high]` value range of a bucket.
+fn bucket_range(idx: usize) -> (u64, u64) {
+    if idx < LINEAR as usize {
+        (idx as u64, idx as u64)
+    } else {
+        let octave = (idx / LINEAR as usize) as u32 + SUB_BITS - 1;
+        let sub = (idx % LINEAR as usize) as u64;
+        let low = (LINEAR + sub) << (octave - SUB_BITS);
+        let width = 1u64 << (octave - SUB_BITS);
+        (low, low + (width - 1))
+    }
+}
+
+/// The representative value reported for a bucket: its midpoint.
+fn bucket_midpoint(idx: usize) -> u64 {
+    let (lo, hi) = bucket_range(idx);
+    lo + (hi - lo) / 2
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples.
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Histogram {
+        Histogram {
+            enabled,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds.
+    #[inline]
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Time `f` and record the elapsed microseconds. When the registry
+    /// is disabled the clock is never read — `f` just runs — so the
+    /// disabled state pays no `Instant::now` either.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return f();
+        }
+        let start = Instant::now();
+        let r = f();
+        self.record_duration_us(start.elapsed());
+        r
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) of the recorded
+    /// population: the midpoint of the bucket holding the exact
+    /// rank-`ceil(q·count)` sample. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_midpoint(idx);
+            }
+        }
+        // Racing recorders can leave `count` ahead of the bucket scan;
+        // fall back to the highest populated bucket.
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|b| b.load(Ordering::Relaxed) > 0)
+            .unwrap_or(0);
+        bucket_midpoint(last)
+    }
+
+    /// Point-in-time summary (count, sum, the [`QUANTILES`]).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            quantiles: QUANTILES.map(|q| (q, self.quantile(q))),
+        }
+    }
+
+    /// Raw bucket counts (index order). For the equivalence property
+    /// suite.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A histogram's snapshot row: count, sum, and the fixed quantile set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// `(q, estimate)` for each of [`QUANTILES`].
+    pub quantiles: [(f64, u64); 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram::new(Arc::new(AtomicBool::new(true)))
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_exact_below_linear() {
+        for v in 0..LINEAR {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_range(v as usize), (v, v));
+        }
+        let mut prev = 0;
+        for shift in 0..64 {
+            for v in [1u64 << shift, (1u64 << shift) | ((1u64 << shift) - 1)] {
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "bucket order broke at {v}");
+                let (lo, hi) = bucket_range(idx);
+                assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+                prev = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn top_bucket_covers_u64_max() {
+        let idx = bucket_index(u64::MAX);
+        assert!(idx < BUCKETS);
+        let (_, hi) = bucket_range(idx);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Midpoint vs any member of the same bucket: ≤ 1/32 above the
+        // linear region, exact below it.
+        for shift in 4..64 {
+            for v in [1u64 << shift, (1u64 << shift) + ((1u64 << shift) >> 2)] {
+                let mid = bucket_midpoint(bucket_index(v));
+                let err = mid.abs_diff(v) as f64 / v as f64;
+                assert!(err <= 1.0 / 32.0 + 1e-12, "{v}: rel err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_small_exact_population() {
+        let h = hist();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::new(Arc::new(AtomicBool::new(false)));
+        h.record(123);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The structured event journal.
+//!
+//! Metrics answer "how much / how fast"; the journal answers "what
+//! happened": recovery warnings, replication quarantines and redials,
+//! promotions, session reconnects — rare, discrete operational events
+//! that today vanish once the call site that observed them returns.
+//!
+//! The journal is a fixed-capacity ring: recording is a short critical
+//! section on a plain mutex (events are orders of magnitude rarer than
+//! metric updates, so this is nowhere near any hot path), old events
+//! are dropped oldest-first, and a per-kind running total survives ring
+//! eviction so `vm_events_total{kind=...}` lines in the snapshot never
+//! undercount.
+//!
+//! **Determinism.** An [`Event`] carries a monotonic sequence number
+//! and no wall-clock component. Under the vopr harness every event
+//! source is driven by the seeded fault plan (recovery warnings by the
+//! seeded tear, quarantines by the seeded proxy cuts), so replaying a
+//! `--scenario S --seed N` pair reproduces the same events — the
+//! journal adds ordering, not new nondeterminism. Event *interleaving*
+//! across concurrently-failing sessions can vary with scheduling, which
+//! is exactly as reproducible as the underlying failures themselves.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// Ring capacity: enough to hold every operational event of a vopr run
+/// or an operator incident window without growing unbounded.
+pub const JOURNAL_CAPACITY: usize = 256;
+
+/// One journaled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic per-journal sequence number, from 0.
+    pub seq: u64,
+    /// Event class (static, lowercase snake-case: `recovery_warning`,
+    /// `quarantine`, `redial`, `promotion`, ...).
+    pub kind: &'static str,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {}: {}", self.seq, self.kind, self.detail)
+    }
+}
+
+#[derive(Default)]
+struct JournalInner {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+/// A ring-buffered event journal (see the module docs).
+#[derive(Default)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    /// Returns the assigned sequence number.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        *inner.counts.entry(kind).or_insert(0) += 1;
+        if inner.ring.len() == JOURNAL_CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Event {
+            seq,
+            kind,
+            detail: detail.into(),
+        });
+        seq
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Events recorded over the journal's lifetime (not just those
+    /// still in the ring).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Lifetime totals per event kind, kind-sorted.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .counts
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_monotonic_and_counts_survive_eviction() {
+        let j = Journal::new();
+        for i in 0..(JOURNAL_CAPACITY + 10) {
+            let seq = j.record("tick", format!("event {i}"));
+            assert_eq!(seq, i as u64);
+        }
+        j.record("other", "one");
+        assert_eq!(j.total(), JOURNAL_CAPACITY as u64 + 11);
+        let tail = j.tail(5);
+        assert_eq!(tail.len(), 5);
+        assert!(tail.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(tail.last().unwrap().kind, "other");
+        // The ring dropped the oldest ticks, the totals did not.
+        let counts = j.counts();
+        assert_eq!(
+            counts,
+            vec![("other", 1), ("tick", JOURNAL_CAPACITY as u64 + 10)]
+        );
+    }
+
+    #[test]
+    fn tail_handles_short_journals() {
+        let j = Journal::new();
+        j.record("a", "x");
+        assert_eq!(j.tail(10).len(), 1);
+        assert_eq!(j.tail(0).len(), 0);
+    }
+}

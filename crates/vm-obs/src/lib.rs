@@ -1,0 +1,48 @@
+//! `vm-obs` — the zero-dependency telemetry core for the ViewMap
+//! workspace.
+//!
+//! Every serving layer in the workspace (engine, durable store, network
+//! front-end, replication) needs runtime visibility, and the build
+//! environment has no registry access — so this crate hand-rolls the
+//! whole telemetry plane on `std` alone:
+//!
+//! * [`Counter`] / [`Gauge`] — single-atomic instruments whose hot path
+//!   is one relaxed load (the enabled check) plus one atomic add/store.
+//! * [`Histogram`] — a log-bucketed latency/size histogram
+//!   (16 sub-buckets per power of two, so quantile estimates carry a
+//!   provable ≤ 1/32 relative error) with lock-free recording.
+//! * [`Registry`] — a named-instrument registry: registration takes a
+//!   lock once at startup, recording never does. A registry can be
+//!   toggled off ([`Registry::set_enabled`]) and every instrument it
+//!   minted collapses to a relaxed-load-and-branch, which is what makes
+//!   the instrumentation overhead *provable* (the bench compares the
+//!   two states and gates the delta).
+//! * [`Snapshot`] — a point-in-time read of every instrument, rendered
+//!   to a versioned Prometheus-style text exposition
+//!   ([`Snapshot::render_text`]) and parseable back
+//!   ([`parse_text`]) so wire consumers need no other format.
+//! * [`Journal`] — a ring-buffered structured event journal for rare
+//!   operational events (recovery warnings, quarantines, promotions,
+//!   reconnects). Events carry a monotonic sequence number and **no
+//!   wall-clock component**, so a seeded vopr run produces the same
+//!   journal every time; see the module docs for the determinism
+//!   argument.
+//!
+//! The workspace convention: one [`Registry`] per cell, created by
+//! whoever opens the `ViewMapServer`, shared (`Arc`) down into the
+//! store and out to the service/replication layers, so one
+//! [`Registry::snapshot`] — and one `STATS` wire scrape — covers the
+//! whole stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod instruments;
+mod journal;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSummary, BUCKETS, QUANTILES};
+pub use instruments::{Counter, Gauge};
+pub use journal::{Event, Journal, JOURNAL_CAPACITY};
+pub use registry::{parse_text, MetricData, MetricEntry, Registry, Snapshot, SNAPSHOT_VERSION};

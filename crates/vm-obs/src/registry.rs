@@ -1,0 +1,439 @@
+//! The named-instrument registry, its snapshot, and the text
+//! exposition format.
+//!
+//! Registration (startup, rare) takes a mutex; recording (hot path)
+//! touches only the atomics inside the instrument handles the registry
+//! minted — the registry lock is never on the data path. Handles are
+//! `Arc`s, so a subsystem registers its instrument set once, stores the
+//! handles in a plain struct, and records through them lock-free.
+//!
+//! ## Exposition format
+//!
+//! [`Snapshot::render_text`] emits Prometheus-style `name{label="v"} value`
+//! lines, one metric per line, starting with the version pseudo-metric
+//! `vm_obs_snapshot_version`. Counters and gauges are one line each;
+//! a histogram `h` becomes `h_count`, `h_sum`, and one
+//! `h{quantile="q"}` line per estimated quantile (labels, if any, are
+//! merged into the brace set). Journal per-kind lifetime totals are
+//! folded in as `vm_events_total{kind="..."}` counters. The format
+//! round-trips through [`parse_text`].
+
+use crate::histogram::{Histogram, HistogramSummary};
+use crate::instruments::{Counter, Gauge};
+use crate::journal::Journal;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version stamped into every snapshot (and its text exposition, as
+/// the `vm_obs_snapshot_version` line).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registered {
+    base: String,
+    labels: Vec<(String, String)>,
+    slot: Slot,
+}
+
+#[derive(Default)]
+struct Instruments {
+    ordered: Vec<Registered>,
+    by_name: HashMap<String, usize>,
+}
+
+/// One cell's instrument registry plus its event [`Journal`].
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    journal: Journal,
+    instruments: Mutex<Instruments>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn render_name(base: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            journal: Journal::new(),
+            instruments: Mutex::new(Instruments::default()),
+        }
+    }
+
+    /// Turn recording on or off for every instrument this registry
+    /// minted. Off, each instrument call is one relaxed load and a
+    /// branch; snapshots still work (they read whatever was recorded
+    /// while enabled).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether instruments currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The registry's event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    fn register<T>(
+        &self,
+        base: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce(Arc<AtomicBool>) -> Arc<T>,
+        wrap: impl FnOnce(Arc<T>) -> Slot,
+        unwrap: impl FnOnce(&Slot) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let name = render_name(base, &labels);
+        let mut inner = self.instruments.lock().unwrap();
+        if let Some(&idx) = inner.by_name.get(&name) {
+            return unwrap(&inner.ordered[idx].slot).unwrap_or_else(|| {
+                panic!("instrument {name:?} already registered with a different kind")
+            });
+        }
+        let handle = make(Arc::clone(&self.enabled));
+        let idx = inner.ordered.len();
+        inner.ordered.push(Registered {
+            base: base.to_string(),
+            labels,
+            slot: wrap(Arc::clone(&handle)),
+        });
+        inner.by_name.insert(name, idx);
+        handle
+    }
+
+    /// Register (or fetch, idempotently) a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Register (or fetch) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            |e| Arc::new(Counter::new(e)),
+            Slot::Counter,
+            |s| match s {
+                Slot::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Register (or fetch) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            |e| Arc::new(Gauge::new(e)),
+            Slot::Gauge,
+            |s| match s {
+                Slot::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Register (or fetch) a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            |e| Arc::new(Histogram::new(e)),
+            Slot::Histogram,
+            |s| match s {
+                Slot::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time read of every instrument plus the journal's
+    /// per-kind totals.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.instruments.lock().unwrap();
+        let mut entries: Vec<MetricEntry> = inner
+            .ordered
+            .iter()
+            .map(|r| MetricEntry {
+                base: r.base.clone(),
+                labels: r.labels.clone(),
+                data: match &r.slot {
+                    Slot::Counter(c) => MetricData::Counter(c.get()),
+                    Slot::Gauge(g) => MetricData::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricData::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        drop(inner);
+        for (kind, total) in self.journal.counts() {
+            entries.push(MetricEntry {
+                base: "vm_events_total".to_string(),
+                labels: vec![("kind".to_string(), kind.to_string())],
+                data: MetricData::Counter(total),
+            });
+        }
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            entries,
+        }
+    }
+}
+
+/// The value side of one snapshot entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricData {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary (count, sum, quantiles).
+    Histogram(HistogramSummary),
+}
+
+/// One named instrument's snapshot row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name without labels.
+    pub base: String,
+    /// Label pairs, registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value(s).
+    pub data: MetricData,
+}
+
+impl MetricEntry {
+    /// The full `name{label="v"}` identifier.
+    pub fn name(&self) -> String {
+        render_name(&self.base, &self.labels)
+    }
+}
+
+/// A point-in-time read of a whole [`Registry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// All instruments, registration order, then journal totals.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str) -> Option<&MetricEntry> {
+        self.entries.iter().find(|e| e.name() == name)
+    }
+
+    /// Counter value by full name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name)?.data {
+            MetricData::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by full name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.find(name)?.data {
+            MetricData::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by full name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match &self.find(name)?.data {
+            MetricData::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Render the versioned text exposition (see the module docs).
+    pub fn render_text(&self) -> String {
+        let mut out = format!("vm_obs_snapshot_version {}\n", self.version);
+        for e in &self.entries {
+            match &e.data {
+                MetricData::Counter(v) => {
+                    out.push_str(&format!("{} {v}\n", e.name()));
+                }
+                MetricData::Gauge(v) => {
+                    out.push_str(&format!("{} {v}\n", e.name()));
+                }
+                MetricData::Histogram(h) => {
+                    let with = |extra: &[(String, String)]| {
+                        let mut labels = e.labels.clone();
+                        labels.extend_from_slice(extra);
+                        labels
+                    };
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        render_name(&format!("{}_count", e.base), &e.labels),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        render_name(&format!("{}_sum", e.base), &e.labels),
+                        h.sum
+                    ));
+                    for &(q, v) in &h.quantiles {
+                        let labels = with(&[("quantile".to_string(), format!("{q}"))]);
+                        out.push_str(&format!("{} {v}\n", render_name(&e.base, &labels)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parse a text exposition back into `(full_name, value)` pairs, in
+/// line order. Returns `None` if any non-empty line is not a
+/// `name value` pair with a numeric value — the wire consumer's
+/// "parseable snapshot" check.
+pub fn parse_text(text: &str) -> Option<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ')?;
+        let name = name.trim_end();
+        if name.is_empty() {
+            return None;
+        }
+        out.push((name.to_string(), value.parse::<f64>().ok()?));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let r = Registry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same handle behind the same name");
+        let l1 = r.counter_with("reqs", &[("op", "x")]);
+        let l2 = r.counter_with("reqs", &[("op", "y")]);
+        l1.inc();
+        assert_eq!(l2.get(), 0, "distinct label sets are distinct instruments");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collision_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_covers_instruments_and_journal() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(-3);
+        let h = r.histogram_with("lat_us", &[("op", "submit")]);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        r.journal().record("quarantine", "follower x");
+        r.journal().record("quarantine", "follower y");
+
+        let snap = r.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.counter("c"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(-3));
+        let hs = snap.histogram("lat_us{op=\"submit\"}").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 60);
+        assert_eq!(
+            snap.counter("vm_events_total{kind=\"quarantine\"}"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        r.gauge("g").set(-5);
+        r.histogram("h").record(100);
+        r.journal().record("promotion", "epoch 2");
+        let text = r.snapshot().render_text();
+        let parsed = parse_text(&text).expect("parseable");
+        assert_eq!(parsed[0], ("vm_obs_snapshot_version".to_string(), 1.0));
+        let get = |n: &str| {
+            parsed
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        assert_eq!(get("c"), 1.0);
+        assert_eq!(get("g"), -5.0);
+        assert_eq!(get("h_count"), 1.0);
+        assert_eq!(get("h_sum"), 100.0);
+        assert!(get("h{quantile=\"0.5\"}") > 0.0);
+        assert_eq!(get("vm_events_total{kind=\"promotion\"}"), 1.0);
+        assert!(parse_text("not a metric line at all").is_none());
+        assert!(parse_text("name notanumber").is_none());
+    }
+
+    #[test]
+    fn disabling_freezes_every_minted_instrument() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.inc();
+        h.record(5);
+        r.set_enabled(false);
+        c.inc();
+        h.record(5);
+        assert!(!r.enabled());
+        assert_eq!(r.snapshot().counter("c"), Some(1));
+        assert_eq!(r.snapshot().histogram("h").unwrap().count, 1);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(r.snapshot().counter("c"), Some(2));
+    }
+}

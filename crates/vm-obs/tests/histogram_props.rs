@@ -1,0 +1,125 @@
+//! Histogram correctness properties: log-bucket quantile estimates
+//! against an exact sorted-sample oracle, and concurrent-recording
+//! equivalence.
+//!
+//! The quantile bound under test is the one the bucket geometry proves
+//! (see `vm-obs`'s histogram module docs): 16 sub-buckets per octave →
+//! bucket width ≤ 1/16 of the bucket floor → a midpoint estimate is
+//! within **1/16 relative error** of the exact rank statistic, at any
+//! magnitude up to `u64::MAX`, with the sub-16 range exact.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vm_obs::{Registry, QUANTILES};
+
+/// The exact oracle: rank-`ceil(q·n)` element of the sorted samples
+/// (the same rank definition `Histogram::quantile` estimates).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Draw a population mixing magnitudes: small exact-range values,
+/// mid-range, and values up to `u64::MAX`, per a seeded plan.
+fn population(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..10) {
+            0..=2 => rng.gen_range(0u64..16),            // exact linear range
+            3..=5 => rng.gen_range(16u64..100_000),      // typical latencies
+            6..=8 => rng.gen_range(100_000u64..1 << 40), // large magnitudes
+            _ => rng.gen_range(1 << 40..=u64::MAX),      // edge of the domain
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every reported quantile of an arbitrary mixed-magnitude
+    /// population is within 1/16 relative error of the exact
+    /// sorted-sample oracle (absolute error ≤ 1 in the tiny range,
+    /// where integer midpoints quantize).
+    #[test]
+    fn quantiles_track_the_exact_oracle(seed in any::<u64>(), len in 1usize..800) {
+        let samples = population(seed, len);
+        let reg = Registry::new();
+        let h = reg.histogram("t_us");
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let err = est.abs_diff(exact);
+            prop_assert!(
+                err as f64 <= (exact as f64 / 16.0).max(1.0),
+                "q={q}: estimate {est} vs exact {exact} (err {err}, n={})",
+                sorted.len()
+            );
+        }
+    }
+
+    /// u64 edge values: populations pinned to the extremes of the
+    /// domain still estimate within the bound (no overflow in bucket
+    /// math, `u64::MAX` lands in a bucket whose range ends exactly at
+    /// `u64::MAX`).
+    #[test]
+    fn edge_values_stay_in_bounds(reps in 1usize..50) {
+        let reg = Registry::new();
+        let h = reg.histogram("edges");
+        let edges = [0u64, 1, 15, 16, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for _ in 0..reps {
+            for &v in &edges {
+                h.record(v);
+            }
+        }
+        prop_assert_eq!(h.count(), (reps * edges.len()) as u64);
+        prop_assert_eq!(h.quantile(0.01), 0, "min bucket is exact");
+        let top = h.quantile(1.0);
+        prop_assert!(
+            top.abs_diff(u64::MAX) as f64 <= u64::MAX as f64 / 16.0,
+            "max estimate {top} strayed from u64::MAX"
+        );
+    }
+
+    /// Concurrent-recording equivalence: N threads each recording a
+    /// disjoint slice of a population leave the histogram bit-identical
+    /// (count, sum, every bucket) to one thread recording the whole
+    /// population serially.
+    #[test]
+    fn concurrent_recording_equals_merged_serial(
+        seed in any::<u64>(),
+        threads in 2usize..8,
+        per_thread in 1usize..400,
+    ) {
+        let samples = population(seed, threads * per_thread);
+
+        let serial_reg = Registry::new();
+        let serial = serial_reg.histogram("h");
+        for &v in &samples {
+            serial.record(v);
+        }
+
+        let conc_reg = Registry::new();
+        let conc = conc_reg.histogram("h");
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(per_thread) {
+                let h = Arc::clone(&conc);
+                scope.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(conc.count(), serial.count());
+        prop_assert_eq!(conc.sum(), serial.sum());
+        prop_assert_eq!(conc.bucket_counts(), serial.bucket_counts());
+        prop_assert_eq!(conc.summary(), serial.summary());
+    }
+}

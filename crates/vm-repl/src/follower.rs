@@ -55,6 +55,7 @@ use viewmap_core::server::ViewMapServer;
 use viewmap_core::types::MinuteId;
 use viewmap_core::viewmap::ViewmapConfig;
 use vm_crypto::RsaKeyPair;
+use vm_obs::{Counter, Registry};
 use vm_service::{Role, RoleCell};
 use vm_store::{PersistentServer, RecoveryReport, StoreConfig};
 
@@ -99,9 +100,35 @@ pub struct FollowerStats {
     pub connects: AtomicU64,
 }
 
+/// Registry mirrors of [`FollowerStats`], plus the journal handle —
+/// registered on the replica server's registry so its `STATS` snapshot
+/// (served even while fenced) carries the applier's progress.
+struct FollowerObs {
+    registry: Arc<Registry>,
+    applied_ops: Arc<Counter>,
+    applied_records: Arc<Counter>,
+    wire_injuries: Arc<Counter>,
+    resyncs: Arc<Counter>,
+    connects: Arc<Counter>,
+}
+
+impl FollowerObs {
+    fn register(obs: &Arc<Registry>) -> FollowerObs {
+        FollowerObs {
+            registry: Arc::clone(obs),
+            applied_ops: obs.counter("vm_repl_applied_ops_total"),
+            applied_records: obs.counter("vm_repl_applied_records_total"),
+            wire_injuries: obs.counter("vm_repl_wire_injuries_total"),
+            resyncs: obs.counter("vm_repl_resyncs_total"),
+            connects: obs.counter("vm_repl_connects_total"),
+        }
+    }
+}
+
 struct ApplierShared {
     server: Arc<ViewMapServer>,
     stats: Arc<FollowerStats>,
+    obs: FollowerObs,
     stop: AtomicBool,
     /// Current socket, kept so `stop` can shut the blocking read down.
     conn: Mutex<Option<TcpStream>>,
@@ -132,9 +159,12 @@ impl Follower {
         cfg: FollowerConfig,
     ) -> std::io::Result<(Follower, RecoveryReport)> {
         let (server, report) = ViewMapServer::open_with_key(key, vmcfg, dir, store_cfg)?;
+        let server = Arc::new(server);
+        let obs = FollowerObs::register(server.obs());
         let shared = Arc::new(ApplierShared {
-            server: Arc::new(server),
+            server,
             stats: Arc::new(FollowerStats::default()),
+            obs,
             stop: AtomicBool::new(false),
             conn: Mutex::new(None),
         });
@@ -182,6 +212,10 @@ impl Follower {
         self.stop_applier();
         self.shared.server.sync_wal()?;
         let epoch = self.role.promote();
+        self.shared.obs.registry.journal().record(
+            "promotion",
+            format!("follower promoted to serving primary at epoch {epoch}"),
+        );
         Ok((Arc::clone(&self.shared.server), epoch))
     }
 
@@ -225,6 +259,7 @@ fn applier_loop(shared: Arc<ApplierShared>, primary_addr: SocketAddr, cfg: Follo
             Err(_) => {}
         }
         shared.stats.resyncs.fetch_add(1, Ordering::Relaxed);
+        shared.obs.resyncs.inc();
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
@@ -232,6 +267,13 @@ fn applier_loop(shared: Arc<ApplierShared>, primary_addr: SocketAddr, cfg: Follo
         // [0.5, 1.5] × the deterministic step, then double the step.
         let per_mille: u32 = rng.gen_range(500..=1500);
         let jittered = backoff.saturating_mul(per_mille) / 1000;
+        shared.obs.registry.journal().record(
+            "repl_redial",
+            format!(
+                "session to {primary_addr} ended; redial in {:?}",
+                jittered.min(cfg.backoff_cap)
+            ),
+        );
         std::thread::sleep(jittered.min(cfg.backoff_cap));
         backoff = backoff.saturating_mul(2).min(cfg.backoff_cap);
     }
@@ -280,6 +322,12 @@ fn run_session(
         _ => return Err(std::io::Error::other("no HELLO_OK")),
     }
     shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+    shared.obs.connects.inc();
+    shared
+        .obs
+        .registry
+        .journal()
+        .record("repl_reconnect", format!("stream from {primary_addr} open"));
 
     // Decouple reading from applying: the reader thread drains the
     // socket (envelope checksum and parse) while the applier coalesces
@@ -377,19 +425,27 @@ fn apply_stream(
                     .stats
                     .applied_records
                     .fetch_add(accepted, Ordering::Relaxed);
+                shared.obs.applied_records.add(accepted);
                 if let Some(e) = injury {
                     shared.stats.wire_injuries.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.wire_injuries.inc();
+                    shared.obs.registry.journal().record(
+                        "repl_injury",
+                        format!("injured frame in op {last_op}: {e}; dropping stream"),
+                    );
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("injured frame in op {last_op}: {e}"),
                     ));
                 }
                 shared.stats.applied_ops.fetch_add(ops, Ordering::Relaxed);
+                shared.obs.applied_ops.add(ops);
                 ReplMsg::Ack { op: last_op }.write_to(writer)?;
             } else if let ReplMsg::Evict { op, cutoff } = &queue[i] {
                 let (op, cutoff) = (*op, *cutoff);
                 shared.server.evict_minutes_before(MinuteId(cutoff));
                 shared.stats.applied_ops.fetch_add(1, Ordering::Relaxed);
+                shared.obs.applied_ops.inc();
                 ReplMsg::Ack { op }.write_to(writer)?;
                 i += 1;
             } else {

@@ -38,11 +38,12 @@
 
 use crate::wire::{ReplMsg, MAX_FRAMES_MSG_BYTES};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::Duration;
 use viewmap_core::server::ViewMapServer;
@@ -51,6 +52,7 @@ use viewmap_core::viewmap::ViewmapConfig;
 use viewmap_core::vp::StoredVp;
 use viewmap_core::wal::VpWal;
 use vm_crypto::RsaKeyPair;
+use vm_obs::{Counter, Gauge, Histogram, Registry};
 use vm_store::segment::{parse_segment_file_name, segment_path};
 use vm_store::{tail_frames, RecoveryReport, StoreConfig, VpStore};
 
@@ -94,6 +96,65 @@ struct FollowerSession {
     stream: TcpStream,
     ack: Arc<AckCell>,
     alive: Arc<AtomicBool>,
+    /// Per-session telemetry (`None` on an unbound hub).
+    obs: Option<Arc<SessionObs>>,
+}
+
+/// Bound on the per-session `(op, cumulative bytes)` ledger; a follower
+/// more than this many ops behind simply stops advancing its byte-lag
+/// gauge until it catches back up into the window.
+const SESSION_LEDGER_CAP: usize = 8192;
+
+/// One follower session's lag instruments, shared with its ACK reader.
+struct SessionObs {
+    /// `(op, cumulative bytes shipped to this session as of that op)`
+    /// for ops not yet acked. Per-session cumulative, so another
+    /// follower's catch-up traffic never inflates this one's byte lag.
+    ledger: Mutex<VecDeque<(u64, u64)>>,
+    /// Cumulative payload bytes shipped to this session.
+    shipped_bytes: AtomicU64,
+    /// The hub's high-water op gauge (shared), read for op lag.
+    hub_next_op: Arc<Gauge>,
+    /// `next_op - acked_op` — ops shipped but not yet acked by this
+    /// follower.
+    lag_ops: Arc<Gauge>,
+    /// Shipped-but-unacked payload bytes for this follower.
+    lag_bytes: Arc<Gauge>,
+}
+
+/// The hub's instrument set, registered on the primary's registry by
+/// [`ReplHub::bind_obs`] so one `STATS` snapshot covers the shipping
+/// side too.
+struct HubMetrics {
+    registry: Arc<Registry>,
+    /// Socket-write time of one broadcast op across all followers.
+    ship_us: Arc<Histogram>,
+    /// `sync_ack` wait per op (absent from async-shipping profiles).
+    ack_wait_us: Arc<Histogram>,
+    shipped_ops: Arc<Counter>,
+    /// High-water op number (catch-up chunks included).
+    next_op: Arc<Gauge>,
+    /// Cumulative payload bytes assigned to ops.
+    shipped_bytes: Arc<Gauge>,
+    catchup_bytes: Arc<Counter>,
+    follower_connects: Arc<Counter>,
+    follower_detaches: Arc<Counter>,
+}
+
+impl HubMetrics {
+    fn register(obs: &Arc<Registry>) -> HubMetrics {
+        HubMetrics {
+            registry: Arc::clone(obs),
+            ship_us: obs.histogram("vm_repl_ship_us"),
+            ack_wait_us: obs.histogram("vm_repl_ack_wait_us"),
+            shipped_ops: obs.counter("vm_repl_shipped_ops_total"),
+            next_op: obs.gauge("vm_repl_next_op"),
+            shipped_bytes: obs.gauge("vm_repl_shipped_bytes"),
+            catchup_bytes: obs.counter("vm_repl_catchup_bytes_total"),
+            follower_connects: obs.counter("vm_repl_follower_connects_total"),
+            follower_detaches: obs.counter("vm_repl_follower_detaches_total"),
+        }
+    }
 }
 
 /// Everything serialized by the stream mutex.
@@ -111,6 +172,10 @@ pub struct ReplHub {
     stream: Mutex<StreamState>,
     shutdown: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Telemetry, bound once (idempotently) by [`ReplHub::bind_obs`].
+    obs: OnceLock<HubMetrics>,
+    /// Label source for per-follower lag gauges.
+    next_follower_id: AtomicU64,
 }
 
 impl ReplHub {
@@ -133,6 +198,8 @@ impl ReplHub {
             }),
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
+            obs: OnceLock::new(),
+            next_follower_id: AtomicU64::new(1),
         });
         let accept_hub = Arc::clone(&hub);
         let accept = std::thread::spawn(move || {
@@ -156,10 +223,61 @@ impl ReplHub {
         self.addr
     }
 
+    /// Bind the hub's telemetry to `obs` (normally the primary server's
+    /// registry — [`Primary::open`] does this). Idempotent; later calls
+    /// are ignored. Sessions admitted before the bind ship unmetered.
+    pub fn bind_obs(&self, obs: &Arc<Registry>) {
+        let _ = self.obs.set(HubMetrics::register(obs));
+    }
+
+    /// Drop dead sessions, counting and journaling the detaches.
+    fn prune_dead(&self, state: &mut StreamState) {
+        let before = state.sessions.len();
+        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        let dropped = before - state.sessions.len();
+        if dropped > 0 {
+            if let Some(h) = self.obs.get() {
+                h.follower_detaches.add(dropped as u64);
+                h.registry.journal().record(
+                    "follower_detached",
+                    format!("{dropped} follower session(s) detached"),
+                );
+            }
+        }
+    }
+
+    /// Account one shipped op: `bytes` of payload assigned to
+    /// `state.next_op`, ledgered for `target` (a catch-up session not
+    /// yet registered) or for every registered session.
+    fn note_ship(&self, state: &StreamState, bytes: u64, target: Option<&SessionObs>) {
+        let Some(h) = self.obs.get() else { return };
+        h.shipped_ops.inc();
+        h.next_op.set(state.next_op as i64);
+        h.shipped_bytes.add(bytes as i64);
+        let push = |so: &SessionObs| {
+            let cum = so.shipped_bytes.fetch_add(bytes, Ordering::AcqRel) + bytes;
+            let mut ledger = so.ledger.lock();
+            ledger.push_back((state.next_op, cum));
+            if ledger.len() > SESSION_LEDGER_CAP {
+                ledger.pop_front();
+            }
+        };
+        match target {
+            Some(so) => push(so),
+            None => {
+                for s in &state.sessions {
+                    if let Some(so) = &s.obs {
+                        push(so);
+                    }
+                }
+            }
+        }
+    }
+
     /// Live follower sessions right now.
     pub fn follower_count(&self) -> usize {
         let mut stream = self.stream.lock();
-        stream.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        self.prune_dead(&mut stream);
         stream.sessions.len()
     }
 
@@ -168,7 +286,7 @@ impl ReplHub {
     /// committed).
     pub fn watermark(&self) -> u64 {
         let mut stream = self.stream.lock();
-        stream.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        self.prune_dead(&mut stream);
         stream
             .sessions
             .iter()
@@ -233,7 +351,29 @@ impl ReplHub {
         // then register for live shipping. Holding the lock across
         // both is what closes the catch-up/live gap (see module docs).
         let mut state = self.stream.lock();
-        self.catch_up(&mut state, &mut writer, &cursors)?;
+        let sobs = self.obs.get().map(|h| {
+            let id = self
+                .next_follower_id
+                .fetch_add(1, Ordering::Relaxed)
+                .to_string();
+            h.follower_connects.inc();
+            h.registry.journal().record(
+                "follower_connected",
+                format!("follower {id} admitted at op {}", state.next_op),
+            );
+            Arc::new(SessionObs {
+                ledger: Mutex::new(VecDeque::new()),
+                shipped_bytes: AtomicU64::new(0),
+                hub_next_op: Arc::clone(&h.next_op),
+                lag_ops: h
+                    .registry
+                    .gauge_with("vm_repl_watermark_lag_ops", &[("follower", id.as_str())]),
+                lag_bytes: h
+                    .registry
+                    .gauge_with("vm_repl_watermark_lag_bytes", &[("follower", id.as_str())]),
+            })
+        });
+        self.catch_up(&mut state, &mut writer, &cursors, sobs.as_deref())?;
         let ack = Arc::new(AckCell {
             acked: StdMutex::new(0),
             advanced: Condvar::new(),
@@ -243,11 +383,15 @@ impl ReplHub {
             stream,
             ack: Arc::clone(&ack),
             alive: Arc::clone(&alive),
+            obs: sobs.clone(),
         };
         state.sessions.push(session);
         drop(state);
 
         let reader_thread = std::thread::spawn(move || {
+            // Cumulative session bytes at the highest acked op, carried
+            // across acks (a capped ledger may skip entries).
+            let mut acked_cum: u64 = 0;
             // Anything that isn't an ACK — EOF, garbage, an unexpected
             // opcode — falls out of the `while let` and ends the session.
             while let Ok(Some(ReplMsg::Ack { op })) = ReplMsg::read_from(&mut reader) {
@@ -257,6 +401,26 @@ impl ReplHub {
                 }
                 drop(acked);
                 ack.advanced.notify_all();
+                // Lag gauges come last: nothing below touches the ack
+                // cell or the stream mutex, so a blocked sync_ack waiter
+                // is already unblocked by the notify above.
+                if let Some(so) = &sobs {
+                    let next = so.hub_next_op.get().max(0) as u64;
+                    so.lag_ops.set(next.saturating_sub(op) as i64);
+                    let mut ledger = so.ledger.lock();
+                    while ledger.front().is_some_and(|(o, _)| *o <= op) {
+                        acked_cum = ledger.pop_front().expect("front checked").1;
+                    }
+                    drop(ledger);
+                    let shipped = so.shipped_bytes.load(Ordering::Acquire);
+                    so.lag_bytes.set(shipped.saturating_sub(acked_cum) as i64);
+                }
+            }
+            // Zero the lag gauges so a detached follower doesn't pin a
+            // stale lag in every later snapshot.
+            if let Some(so) = &sobs {
+                so.lag_ops.set(0);
+                so.lag_bytes.set(0);
             }
             alive.store(false, Ordering::Release);
             ack.advanced.notify_all();
@@ -273,6 +437,7 @@ impl ReplHub {
         state: &mut StreamState,
         writer: &mut TcpStream,
         cursors: &[(u64, u64)],
+        sobs: Option<&SessionObs>,
     ) -> std::io::Result<()> {
         let mut minutes: Vec<MinuteId> = std::fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok())
@@ -295,14 +460,14 @@ impl ReplHub {
             let mut chunk_bytes = 0usize;
             for frame in frames {
                 if chunk_bytes + frame.len() > MAX_FRAMES_MSG_BYTES && !chunk.is_empty() {
-                    self.ship_chunk(state, writer, minute, std::mem::take(&mut chunk))?;
+                    self.ship_chunk(state, writer, minute, std::mem::take(&mut chunk), sobs)?;
                     chunk_bytes = 0;
                 }
                 chunk_bytes += frame.len();
                 chunk.push(frame);
             }
             if !chunk.is_empty() {
-                self.ship_chunk(state, writer, minute, chunk)?;
+                self.ship_chunk(state, writer, minute, chunk, sobs)?;
             }
         }
         Ok(())
@@ -314,8 +479,14 @@ impl ReplHub {
         writer: &mut TcpStream,
         minute: MinuteId,
         frames: Vec<Vec<u8>>,
+        sobs: Option<&SessionObs>,
     ) -> std::io::Result<()> {
         state.next_op += 1;
+        let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        if let Some(h) = self.obs.get() {
+            h.catchup_bytes.add(bytes);
+        }
+        self.note_ship(state, bytes, sobs);
         ReplMsg::Frames {
             op: state.next_op,
             minute: minute.0,
@@ -341,14 +512,14 @@ impl ReplHub {
         {
             // Don't pay the encode with nobody listening.
             let mut state = self.stream.lock();
-            state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+            self.prune_dead(&mut state);
             if state.sessions.is_empty() {
                 return;
             }
         }
         let frames = vm_store::frame_records(vps);
         let mut state = self.stream.lock();
-        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        self.prune_dead(&mut state);
         if state.sessions.is_empty() {
             return;
         }
@@ -357,6 +528,7 @@ impl ReplHub {
         for frame in frames {
             if chunk_bytes + frame.len() > MAX_FRAMES_MSG_BYTES && !chunk.is_empty() {
                 state.next_op += 1;
+                self.note_ship(&state, chunk_bytes as u64, None);
                 let msg = ReplMsg::Frames {
                     op: state.next_op,
                     minute: minute.0,
@@ -370,6 +542,7 @@ impl ReplHub {
         }
         if !chunk.is_empty() {
             state.next_op += 1;
+            self.note_ship(&state, chunk_bytes as u64, None);
             let msg = ReplMsg::Frames {
                 op: state.next_op,
                 minute: minute.0,
@@ -382,11 +555,12 @@ impl ReplHub {
     /// Mirror a retention sweep.
     fn ship_evict(&self, cutoff: MinuteId) {
         let mut state = self.stream.lock();
-        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        self.prune_dead(&mut state);
         if state.sessions.is_empty() {
             return;
         }
         state.next_op += 1;
+        self.note_ship(&state, 0, None);
         let msg = ReplMsg::Evict {
             op: state.next_op,
             cutoff: cutoff.0,
@@ -399,44 +573,57 @@ impl ReplHub {
     /// session — replication never fails the primary's local commit.
     fn broadcast(&self, state: &mut StreamState, msg: &ReplMsg) {
         let op = state.next_op;
-        for s in &mut state.sessions {
-            let mut writer = &s.stream;
-            if msg.write_to(&mut writer).is_err() {
-                s.alive.store(false, Ordering::Release);
-                let _ = s.stream.shutdown(std::net::Shutdown::Both);
+        let obs = self.obs.get();
+        let write_all = |sessions: &mut Vec<FollowerSession>| {
+            for s in sessions.iter_mut() {
+                let mut writer = &s.stream;
+                if msg.write_to(&mut writer).is_err() {
+                    s.alive.store(false, Ordering::Release);
+                    let _ = s.stream.shutdown(std::net::Shutdown::Both);
+                }
             }
+        };
+        match obs {
+            Some(h) => h.ship_us.time(|| write_all(&mut state.sessions)),
+            None => write_all(&mut state.sessions),
         }
         if self.cfg.sync_ack {
-            for s in &state.sessions {
-                if !s.alive.load(Ordering::Acquire) {
-                    continue;
-                }
-                let deadline = std::time::Instant::now() + self.cfg.ack_timeout;
-                let mut acked = s.ack.acked.lock().expect("ack cell poisoned");
-                while *acked < op && s.alive.load(Ordering::Acquire) {
-                    let now = std::time::Instant::now();
-                    if now >= deadline {
-                        // Too slow for synchronous replication: detach
-                        // rather than stall every future commit.
-                        s.alive.store(false, Ordering::Release);
-                        let _ = s.stream.shutdown(std::net::Shutdown::Both);
-                        break;
+            let wait_all = |sessions: &[FollowerSession]| {
+                for s in sessions {
+                    if !s.alive.load(Ordering::Acquire) {
+                        continue;
                     }
-                    let (guard, timeout) = s
-                        .ack
-                        .advanced
-                        .wait_timeout(acked, deadline - now)
-                        .expect("ack cell poisoned");
-                    acked = guard;
-                    if timeout.timed_out() && *acked < op {
-                        s.alive.store(false, Ordering::Release);
-                        let _ = s.stream.shutdown(std::net::Shutdown::Both);
-                        break;
+                    let deadline = std::time::Instant::now() + self.cfg.ack_timeout;
+                    let mut acked = s.ack.acked.lock().expect("ack cell poisoned");
+                    while *acked < op && s.alive.load(Ordering::Acquire) {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            // Too slow for synchronous replication: detach
+                            // rather than stall every future commit.
+                            s.alive.store(false, Ordering::Release);
+                            let _ = s.stream.shutdown(std::net::Shutdown::Both);
+                            break;
+                        }
+                        let (guard, timeout) = s
+                            .ack
+                            .advanced
+                            .wait_timeout(acked, deadline - now)
+                            .expect("ack cell poisoned");
+                        acked = guard;
+                        if timeout.timed_out() && *acked < op {
+                            s.alive.store(false, Ordering::Release);
+                            let _ = s.stream.shutdown(std::net::Shutdown::Both);
+                            break;
+                        }
                     }
                 }
+            };
+            match obs {
+                Some(h) => h.ack_wait_us.time(|| wait_all(&state.sessions)),
+                None => wait_all(&state.sessions),
             }
         }
-        state.sessions.retain(|s| s.alive.load(Ordering::Acquire));
+        self.prune_dead(state);
     }
 }
 
@@ -542,7 +729,12 @@ impl Primary {
         let mut srv = ViewMapServer::with_key(key, vmcfg);
         let results = srv.submit_replay_batch(vps);
         report.rejected = results.iter().filter(|r| r.is_err()).count();
+        // Bind store and hub telemetry into the server's registry so a
+        // single STATS snapshot covers the whole replicated cell. The
+        // store must bind before it moves into the ReplicatedWal.
+        store.bind_obs(srv.obs(), &report);
         let hub = ReplHub::spawn(&dir, listen_addr, repl_cfg)?;
+        hub.bind_obs(srv.obs());
         srv.attach_wal(Box::new(ReplicatedWal::new(
             Box::new(store),
             Arc::clone(&hub),

@@ -420,4 +420,17 @@ impl VmClient {
             ))),
         }
     }
+
+    /// Scrape the node's telemetry snapshot: the versioned `vm_obs`
+    /// text exposition (`name{label="v"} value` lines, parseable with
+    /// [`vm_obs::parse_text`]). Served by primaries and fenced
+    /// followers alike.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(text) => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats text, got {other:?}"
+            ))),
+        }
+    }
 }

@@ -37,6 +37,7 @@
 //! | `0x08` | `REDEEM` | 32 B cash message, `u32 len`, big-endian signature |
 //! | `0x09` | `PUBLIC_KEY` | empty |
 //! | `0x0A` | `TOTAL_VPS` | empty |
+//! | `0x0B` | `STATS` | empty |
 //!
 //! | op | reply | payload |
 //! |---|---|---|
@@ -104,6 +105,10 @@ pub const OP_REDEEM: u8 = 0x08;
 pub const OP_PUBLIC_KEY: u8 = 0x09;
 /// Total VPs stored (liveness / smoke probe).
 pub const OP_TOTAL_VPS: u8 = 0x0A;
+/// Fetch the node's telemetry snapshot as versioned text exposition
+/// (`vm_obs` format: `name{label="v"} value` lines). Read-only — served
+/// by followers too, so an operator can scrape a fenced node.
+pub const OP_STATS: u8 = 0x0B;
 
 // ── reply opcodes ──────────────────────────────────────────────────────
 
@@ -396,6 +401,8 @@ pub enum Request {
     PublicKey,
     /// Total stored VPs.
     TotalVps,
+    /// Fetch the telemetry snapshot (text exposition).
+    Stats,
 }
 
 impl Request {
@@ -412,6 +419,7 @@ impl Request {
             Request::Redeem(_) => OP_REDEEM,
             Request::PublicKey => OP_PUBLIC_KEY,
             Request::TotalVps => OP_TOTAL_VPS,
+            Request::Stats => OP_STATS,
         }
     }
 
@@ -465,7 +473,7 @@ impl Request {
                 out.extend_from_slice(&cash.message);
                 put_bytes(&mut out, &cash.signature.0.to_bytes_be());
             }
-            Request::PublicKey | Request::TotalVps => {}
+            Request::PublicKey | Request::TotalVps | Request::Stats => {}
         }
         out
     }
@@ -553,6 +561,10 @@ impl Request {
                 expect_empty(buf)?;
                 Request::TotalVps
             }
+            OP_STATS => {
+                expect_empty(buf)?;
+                Request::Stats
+            }
             _ => return Err(ErrorCode::UnknownOpcode),
         };
         Ok(req)
@@ -584,6 +596,8 @@ pub enum Reply {
     },
     /// A counter (total VPs).
     Count(u64),
+    /// The telemetry snapshot's text exposition.
+    Stats(String),
     /// Typed failure.
     Err(ErrorCode, String),
 }
@@ -627,6 +641,7 @@ impl Reply {
                 put_bytes(&mut out, e);
             }
             Reply::Count(c) => out.extend_from_slice(&c.to_le_bytes()),
+            Reply::Stats(text) => put_bytes(&mut out, text.as_bytes()),
             Reply::Err(code, detail) => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
                 put_bytes(&mut out, detail.as_bytes());
@@ -688,6 +703,7 @@ impl Reply {
                 Reply::PublicKey { n, e }
             }
             OP_TOTAL_VPS => Reply::Count(get_u64(&mut buf).ok()?),
+            OP_STATS => Reply::Stats(String::from_utf8(get_bytes(&mut buf).ok()?).ok()?),
             _ => return None,
         };
         expect_empty(buf).ok()?;

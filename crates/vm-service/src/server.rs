@@ -37,7 +37,7 @@
 //! In-flight frames finish or fail their read; no new connections are
 //! admitted.
 
-use crate::proto::{ErrorCode, Frame, Reply, Request, OP_SUBMIT};
+use crate::proto::{ErrorCode, Frame, Reply, Request, OP_STATS, OP_SUBMIT};
 use crate::role::{Role, RoleCell};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use viewmap_core::server::ViewMapServer;
 use viewmap_core::upload::AnonymousSubmission;
+use vm_obs::{Counter, Gauge, Histogram};
 
 // The service shares one `ViewMapServer` across every worker thread;
 // this is the compile-time audit that the server (incl. its boxed WAL)
@@ -91,8 +92,60 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Human-readable `op` label for each request opcode, indexed by
+/// `opcode - 1` (opcodes are assigned densely from `0x01`).
+const OPCODE_LABELS: [&str; OP_STATS as usize] = [
+    "submit",
+    "submit_batch",
+    "investigate",
+    "solicit",
+    "upload_video",
+    "claim_reward",
+    "blind_sign",
+    "redeem",
+    "public_key",
+    "total_vps",
+    "stats",
+];
+
+/// The front-end's instrument set, registered on the served cell's
+/// registry so one `STATS` snapshot covers engine, store, and service.
+struct ServiceMetrics {
+    sessions_active: Arc<Gauge>,
+    sessions_total: Arc<Counter>,
+    sessions_reaped: Arc<Counter>,
+    coalesce_run: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    accept_sheds: Arc<Counter>,
+    /// Per-opcode server-side request latency (decode + engine work;
+    /// socket I/O excluded), indexed by `opcode - 1`.
+    request_us: Vec<Arc<Histogram>>,
+}
+
+impl ServiceMetrics {
+    fn register(obs: &vm_obs::Registry) -> ServiceMetrics {
+        ServiceMetrics {
+            sessions_active: obs.gauge("vm_service_sessions_active"),
+            sessions_total: obs.counter("vm_service_sessions_total"),
+            sessions_reaped: obs.counter("vm_service_sessions_reaped_total"),
+            coalesce_run: obs.histogram("vm_service_coalesce_run_frames"),
+            queue_depth: obs.gauge("vm_service_accept_queue_depth"),
+            accept_sheds: obs.counter("vm_service_accept_sheds_total"),
+            request_us: OPCODE_LABELS
+                .iter()
+                .map(|op| obs.histogram_with("vm_service_request_us", &[("op", op)]))
+                .collect(),
+        }
+    }
+
+    fn request_hist(&self, opcode: u8) -> Option<&Arc<Histogram>> {
+        self.request_us.get((opcode as usize).checked_sub(1)?)
+    }
+}
+
 struct Shared {
     server: Arc<ViewMapServer>,
+    metrics: ServiceMetrics,
     cfg: ServiceConfig,
     /// Replication role gate; `None` (a standalone cell) serves
     /// everything. Shared with the failover machinery so a promotion
@@ -150,6 +203,7 @@ impl VmService {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
+            metrics: ServiceMetrics::register(server.obs()),
             server,
             cfg,
             role,
@@ -238,9 +292,11 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         let mut queue = shared.queue.lock().expect("queue lock");
         if queue.len() >= shared.cfg.max_backlog {
             drop(conn); // shed load: close instead of growing without bound
+            shared.metrics.accept_sheds.inc();
             continue;
         }
         queue.push_back(conn);
+        shared.metrics.queue_depth.set(queue.len() as i64);
         drop(queue);
         shared.queue_cv.notify_one();
     }
@@ -252,6 +308,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(conn) = queue.pop_front() {
+                    shared.metrics.queue_depth.set(queue.len() as i64);
                     break conn;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -278,7 +335,10 @@ fn worker_loop(shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
+        shared.metrics.sessions_total.inc();
+        shared.metrics.sessions_active.add(1);
         let _ = serve_session(shared, token, conn);
+        shared.metrics.sessions_active.add(-1);
         {
             let mut live = shared.live.lock().expect("live lock");
             if let Some(i) = live.iter().position(|(t, _)| *t == token) {
@@ -323,6 +383,7 @@ fn serve_session(shared: &Shared, session_id: u64, conn: TcpStream) -> std::io::
                     // partial bytes are dropped with the connection —
                     // the peer sees a close, exactly like a transport
                     // failure, and no partial frame is ever dispatched.)
+                    shared.metrics.sessions_reaped.inc();
                     let _ = writer.flush();
                     return Ok(());
                 }
@@ -346,7 +407,11 @@ fn serve_session(shared: &Shared, session_id: u64, conn: TcpStream) -> std::io::
             }
             handle_submit_run(shared, session_id, &run, &mut writer)?;
         } else {
-            let reply = dispatch(shared, session_id, &frame);
+            let reply = match shared.metrics.request_hist(frame.opcode) {
+                Some(h) => h.time(|| dispatch(shared, session_id, &frame)),
+                None => dispatch(shared, session_id, &frame),
+            };
+            note_reply(shared, &reply);
             write_reply(&mut writer, frame.request_id, &reply)?;
         }
         if reader.buffer().is_empty() {
@@ -382,16 +447,32 @@ fn follower_reject(shared: &Shared) -> Option<Reply> {
     }
 }
 
+/// Count error replies by typed code, so `STATS` exposes the error mix
+/// (`vm_service_errors_total{code="..."}`). Error path only — accepted
+/// requests never touch the registry lock.
+fn note_reply(shared: &Shared, reply: &Reply) {
+    if let Reply::Err(code, _) = reply {
+        let label = code.to_string();
+        shared
+            .server
+            .obs()
+            .counter_with("vm_service_errors_total", &[("code", label.as_str())])
+            .inc();
+    }
+}
+
 fn handle_submit_run(
     shared: &Shared,
     session_id: u64,
     run: &[Frame],
     writer: &mut BufWriter<TcpStream>,
 ) -> std::io::Result<()> {
+    shared.metrics.coalesce_run.record(run.len() as u64);
     // A follower never lets a submit touch the server — the replicated
     // log's head is the primary, and writes entering anywhere else
     // would fork it. Each frame still gets its own (error) reply.
     if let Some(reply) = follower_reject(shared) {
+        note_reply(shared, &reply);
         for f in run {
             write_reply(writer, f.request_id, &reply)?;
         }
@@ -411,7 +492,13 @@ fn handle_submit_run(
             Err(code) => decode_err.push(Some(code)),
         }
     }
-    let mut results = shared.server.submit_batch_warm(batch).into_iter();
+    let submit_us = shared
+        .metrics
+        .request_hist(OP_SUBMIT)
+        .expect("submit opcode is registered");
+    let mut results = submit_us
+        .time(|| shared.server.submit_batch_warm(batch))
+        .into_iter();
     for (f, d) in run.iter().zip(&decode_err) {
         let reply = match d {
             Some(code) => Reply::Err(*code, "undecodable VP record".into()),
@@ -420,6 +507,7 @@ fn handle_submit_run(
                 Err(e) => Reply::Err(e.into(), String::new()),
             },
         };
+        note_reply(shared, &reply);
         write_reply(writer, f.request_id, &reply)?;
     }
     Ok(())
@@ -445,10 +533,12 @@ fn dispatch(shared: &Shared, session_id: u64, frame: &Frame) -> Reply {
         Err(code) => return Reply::Err(code, format!("opcode {:#04x}", frame.opcode)),
     };
     // Followers serve reads only; every mutating opcode bounces with
-    // the node's epoch so the client can redial the primary.
+    // the node's epoch so the client can redial the primary. `STATS` is
+    // deliberately in the read set: a fenced follower's telemetry is
+    // exactly what an operator needs while deciding whether to promote.
     let mutating = !matches!(
         req,
-        Request::Investigate { .. } | Request::PublicKey | Request::TotalVps
+        Request::Investigate { .. } | Request::PublicKey | Request::TotalVps | Request::Stats
     );
     if mutating {
         if let Some(reply) = follower_reject(shared) {
@@ -511,6 +601,7 @@ fn dispatch(shared: &Shared, session_id: u64, frame: &Frame) -> Reply {
             }
         }
         Request::TotalVps => Reply::Count(srv.total_vps() as u64),
+        Request::Stats => Reply::Stats(srv.obs().snapshot().render_text()),
     }
 }
 

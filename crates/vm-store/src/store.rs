@@ -7,12 +7,14 @@ use crate::segment::{self, parse_segment_file_name, recover_segment, segment_pat
 use parking_lot::Mutex;
 use rand::Rng;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use viewmap_core::server::ViewMapServer;
 use viewmap_core::types::MinuteId;
 use viewmap_core::viewmap::ViewmapConfig;
 use viewmap_core::vp::StoredVp;
 use viewmap_core::wal::VpWal;
 use vm_crypto::RsaKeyPair;
+use vm_obs::{Counter, Histogram, Registry};
 
 /// How hard a group commit pushes toward stable media.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -384,8 +386,35 @@ pub struct VpStore {
     /// Encode scratch: group commits borrow one buffer instead of
     /// allocating a fresh multi-KB Vec per batch.
     scratch: Mutex<Vec<u8>>,
+    /// Telemetry, bound once by [`VpStore::bind_obs`] (the durable
+    /// constructors bind the owning server's registry). Unbound stores
+    /// — unit tests, bare `VpStore::open` callers — pay one
+    /// `OnceLock::get` per append and record nothing.
+    obs: OnceLock<StoreMetrics>,
     /// Held for the store's lifetime; released (deleted) on drop.
     _lock: DirLock,
+}
+
+/// The store's instrument set, registered on the owning server's
+/// [`Registry`].
+struct StoreMetrics {
+    append_us: Arc<Histogram>,
+    fsync_us: Arc<Histogram>,
+    batch_records: Arc<Histogram>,
+    appended_records: Arc<Counter>,
+    segments_evicted: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn register(obs: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            append_us: obs.histogram("vm_store_append_us"),
+            fsync_us: obs.histogram("vm_store_fsync_us"),
+            batch_records: obs.histogram("vm_store_batch_records"),
+            appended_records: obs.counter("vm_store_appended_records_total"),
+            segments_evicted: obs.counter("vm_store_segments_evicted_total"),
+        }
+    }
 }
 
 impl VpStore {
@@ -443,6 +472,7 @@ impl VpStore {
                 fsync: cfg.fsync,
                 writers: Mutex::new(WriterCache { open: Vec::new() }),
                 scratch: Mutex::new(Vec::new()),
+                obs: OnceLock::new(),
                 _lock: lock,
             },
             vps,
@@ -453,6 +483,58 @@ impl VpStore {
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Bind this store's telemetry to `obs` (normally the owning
+    /// server's registry, so one snapshot covers core and store
+    /// together) and publish what recovery found: the report's counts
+    /// become one-shot counters, and every
+    /// [`RecoveryReport::warnings`] entry plus each quarantined
+    /// segment lands in the event journal — observable after the fact
+    /// through `STATS` long after the boot-time log line scrolled
+    /// away. Idempotent per store (later calls are ignored); the
+    /// durable constructors call it before attaching the WAL.
+    pub fn bind_obs(&self, obs: &Registry, report: &RecoveryReport) {
+        if self.obs.get().is_some() {
+            return;
+        }
+        let metrics = StoreMetrics::register(obs);
+        obs.counter("vm_store_recoveries_total").inc();
+        obs.counter("vm_store_recovered_segments_total")
+            .add(report.segments as u64);
+        obs.counter("vm_store_recovered_records_total")
+            .add(report.records as u64);
+        obs.counter("vm_store_torn_segments_total")
+            .add(report.torn_segments as u64);
+        obs.counter("vm_store_truncated_bytes_total")
+            .add(report.truncated_bytes);
+        obs.counter("vm_store_replay_rejected_total")
+            .add(report.rejected as u64);
+        obs.counter("vm_store_quarantined_segments_total")
+            .add(report.quarantined as u64);
+        for warning in report.warnings() {
+            obs.journal()
+                .record("recovery_warning", warning.to_string());
+        }
+        if report.quarantined > 0 {
+            obs.journal().record(
+                "segment_quarantined",
+                format!(
+                    "{} foreign segment file(s) moved aside as *.vmseg.mismatch during recovery",
+                    report.quarantined
+                ),
+            );
+        }
+        if report.torn_segments > 0 {
+            obs.journal().record(
+                "torn_tail_truncated",
+                format!(
+                    "{} segment(s) lost a torn tail ({} bytes truncated)",
+                    report.torn_segments, report.truncated_bytes
+                ),
+            );
+        }
+        let _ = self.obs.set(metrics);
     }
 
     /// Run `f` on the minute's segment writer. The cache mutex is held
@@ -519,33 +601,52 @@ impl VpWal for VpStore {
             let mut scratch = self.scratch.lock();
             std::mem::take(&mut *scratch)
         };
-        let result = self.with_writer(minute, |w| {
-            let mut lo = 0usize;
-            while lo < vps.len() {
-                let hi = chunk_end(vps, lo, COMMIT_CHUNK_BYTES * threads);
-                if threads <= 1 {
-                    frames.clear();
-                    frame_batch_into(&vps[lo..hi], &mut frames);
-                    w.append(&frames)?;
-                } else {
-                    let cuts = viewmap_core::par::even_cuts(hi - lo, threads);
-                    let chunks = viewmap_core::par::map_ranges(&cuts, |_t, a, b| {
-                        frame_batch(&vps[lo + a..lo + b])
-                    });
-                    for chunk in &chunks {
-                        w.append(chunk)?;
+        let metrics = self.obs.get();
+        let commit = |frames: &mut Vec<u8>| {
+            self.with_writer(minute, |w| {
+                let mut lo = 0usize;
+                while lo < vps.len() {
+                    let hi = chunk_end(vps, lo, COMMIT_CHUNK_BYTES * threads);
+                    if threads <= 1 {
+                        frames.clear();
+                        frame_batch_into(&vps[lo..hi], frames);
+                        w.append(frames)?;
+                    } else {
+                        let cuts = viewmap_core::par::even_cuts(hi - lo, threads);
+                        let chunks = viewmap_core::par::map_ranges(&cuts, |_t, a, b| {
+                            frame_batch(&vps[lo + a..lo + b])
+                        });
+                        for chunk in &chunks {
+                            w.append(chunk)?;
+                        }
+                    }
+                    lo = hi;
+                }
+                if self.fsync == Fsync::Always {
+                    match metrics {
+                        Some(m) => m.fsync_us.time(|| w.sync())?,
+                        None => w.sync()?,
                     }
                 }
-                lo = hi;
-            }
-            if self.fsync == Fsync::Always {
-                w.sync()?;
-            }
-            Ok(())
-        });
+                Ok(())
+            })
+        };
+        // `Histogram::time` skips the clock entirely when telemetry is
+        // disabled, so the unbound/disabled path is the pre-telemetry
+        // code shape plus one `OnceLock::get`.
+        let result = match metrics {
+            Some(m) => m.append_us.time(|| commit(&mut frames)),
+            None => commit(&mut frames),
+        };
         let mut scratch = self.scratch.lock();
         if scratch.capacity() < frames.capacity() {
             *scratch = frames;
+        }
+        if let Some(m) = metrics {
+            if result.is_ok() {
+                m.batch_records.record(vps.len() as u64);
+                m.appended_records.add(vps.len() as u64);
+            }
         }
         result
     }
@@ -563,6 +664,9 @@ impl VpWal for VpStore {
                 std::fs::remove_file(entry.path())?;
                 removed += 1;
             }
+        }
+        if let Some(m) = self.obs.get() {
+            m.segments_evicted.add(removed as u64);
         }
         Ok(removed)
     }
@@ -645,6 +749,10 @@ fn finish_open(
     // on disk, and an attached WAL would double-log them.
     let results = srv.submit_replay_batch(vps);
     report.rejected = results.iter().filter(|r| r.is_err()).count();
+    // Bind the store's telemetry to the server's registry (one
+    // snapshot covers the whole stack) and publish the recovery
+    // outcome — counters plus journal events for every warning.
+    store.bind_obs(srv.obs(), &report);
     srv.attach_wal(Box::new(store));
     (srv, report)
 }

@@ -19,6 +19,7 @@ use crate::proxy::ChaosProxy;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -30,6 +31,7 @@ use viewmap_core::viewmap::{Site, ViewmapConfig};
 use viewmap_core::vp::StoredVp;
 use vm_bench::worlds::{linked_minute, viewmap_checksum};
 use vm_crypto::RsaKeyPair;
+use vm_obs::Registry;
 use vm_repl::{Follower, FollowerConfig, Primary, ReplicationConfig};
 use vm_service::proto::ErrorCode;
 use vm_service::{ClientConfig, ClientError, ServiceConfig, VmClient, VmService};
@@ -59,6 +61,45 @@ macro_rules! ensure {
             return Err(format!($($arg)*));
         }
     };
+}
+
+thread_local! {
+    /// The most recently opened server's telemetry registry. A registry
+    /// outlives its server (it is `Arc`'d), so a failing run can dump
+    /// the final metrics snapshot and journal tail beside the repro
+    /// line even after the server under test has been torn down.
+    static LAST_OBS: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// Remember `obs` as the registry a failure report should dump.
+fn track_obs(obs: &Arc<Registry>) {
+    LAST_OBS.with(|cell| *cell.borrow_mut() = Some(Arc::clone(obs)));
+}
+
+/// How many journal events a failure report carries.
+const FAILURE_JOURNAL_TAIL: usize = 16;
+
+/// The telemetry appendix for a failed run: the tracked registry's
+/// full text snapshot plus the last few journal events. Empty when no
+/// server ever opened (the failure predates any telemetry).
+fn failure_telemetry() -> String {
+    LAST_OBS.with(|cell| {
+        let borrow = cell.borrow();
+        let Some(obs) = borrow.as_ref() else {
+            return String::new();
+        };
+        let mut out = String::from("\n--- metrics snapshot at failure ---\n");
+        out.push_str(&obs.snapshot().render_text());
+        out.push_str("--- journal tail ---\n");
+        let tail = obs.journal().tail(FAILURE_JOURNAL_TAIL);
+        if tail.is_empty() {
+            out.push_str("(no events)\n");
+        }
+        for event in tail {
+            out.push_str(&format!("{event}\n"));
+        }
+        out
+    })
 }
 
 /// What one seeded run did — counters for reporting, not assertions
@@ -255,6 +296,30 @@ fn check_equivalence(
         srv.solicitation_board() == oracle.solicitation_board(),
         "{label}: solicitation boards diverged"
     );
+    // Telemetry must agree with the state it describes: stored minus
+    // evicted VPs equals what is resident — on both sides, and both
+    // sides equal. Registries are recreated at every reopen and replay
+    // re-counts through the same ingest path, so this invariant holds
+    // across crash/recovery too.
+    let mut counted = [0i64; 2];
+    for (slot, (who, side)) in [("server", srv), ("oracle", oracle)].iter().enumerate() {
+        let snap = side.obs().snapshot();
+        let stored = snap.counter("vm_core_vps_stored_total").unwrap_or(0) as i64;
+        let evicted = snap.counter("vm_core_vps_evicted_total").unwrap_or(0) as i64;
+        counted[slot] = stored - evicted;
+        ensure!(
+            stored - evicted == side.total_vps() as i64,
+            "{label}: {who} counters say {stored} stored - {evicted} evicted, \
+             but {} VPs are resident",
+            side.total_vps()
+        );
+    }
+    ensure!(
+        counted[0] == counted[1],
+        "{label}: counter-derived VP totals diverged: server {} vs oracle {}",
+        counted[0],
+        counted[1]
+    );
     Ok(())
 }
 
@@ -313,9 +378,10 @@ pub fn run_seed(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
     inner.map_err(|e| {
         format!(
             "[scenario={} seed={seed}] {e} — reproduce: \
-             cargo run -p vm-vopr -- --scenario {} --seed {seed}",
+             cargo run -p vm-vopr -- --scenario {} --seed {seed}{}",
             scenario.name(),
-            scenario.name()
+            scenario.name(),
+            failure_telemetry()
         )
     })
 }
@@ -364,6 +430,7 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
         let mut srv_rng = StdRng::seed_from_u64(seed ^ 0x5eed ^ ((gen as u64) << 32));
         let (srv, recovery) = ViewMapServer::open(&mut srv_rng, KEY_BITS, vmcfg, &tmp.0, store_cfg)
             .map_err(|e| format!("open generation {gen}: {e}"))?;
+        track_obs(srv.obs());
 
         // ── Recovery must report exactly the injury. ─────────────────
         let want_records: usize = if gen == 0 {
@@ -644,6 +711,7 @@ fn run_inner(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
         let mut final_rng = StdRng::seed_from_u64(seed ^ 0xf17a1);
         let (back, rep) = ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, &tmp.0, store_cfg)
             .map_err(|e| format!("final reopen: {e}"))?;
+        track_obs(back.obs());
         let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
         ensure!(
             rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,
@@ -772,6 +840,7 @@ fn run_replicated(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
         "127.0.0.1:0",
     )
     .map_err(|e| format!("open primary: {e}"))?;
+    track_obs(primary.server().obs());
     ensure!(
         prep.records == 0,
         "primary store not fresh: {} records",
@@ -806,6 +875,7 @@ fn run_replicated(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
         },
     )
     .map_err(|e| format!("open follower: {e}"))?;
+    track_obs(follower.server().obs());
     ensure!(
         frep.records == 0,
         "follower store not fresh: {} records",
@@ -1134,6 +1204,7 @@ fn run_replicated(scenario: Scenario, seed: u64) -> Result<RunReport, String> {
             let (back, rep) =
                 ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, &fdir, store_cfg)
                     .map_err(|e| format!("promoted reopen: {e}"))?;
+            track_obs(back.obs());
             let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
             ensure!(
                 rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,
@@ -1186,6 +1257,7 @@ fn finish_replica(
     let mut final_rng = StdRng::seed_from_u64(report.seed ^ 0x000f_17a1);
     let (back, rep) = ViewMapServer::open(&mut final_rng, KEY_BITS, vmcfg, fdir, store_cfg)
         .map_err(|e| format!("follower reopen: {e}"))?;
+    track_obs(back.obs());
     let want_records: usize = accepted.iter().map(|a| 1 + a.len()).sum();
     ensure!(
         rep.records == want_records && rep.torn_segments == 0 && rep.truncated_bytes == 0,

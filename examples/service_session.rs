@@ -153,5 +153,33 @@ fn main() {
         .expect("pre-restart cash redeems under the persisted key");
     println!("pre-restart cash unit redeemed after recovery ✔");
 
+    // ── 7. Operator's view: scrape the telemetry snapshot over the
+    //    same wire the clients use (`STATS`, opcode 0x0B). The full
+    //    text covers every layer; here we show the request-latency
+    //    histograms and the recovery accounting from the restart. ─────
+    let server = Arc::new(server);
+    let handle = VmService::spawn(Arc::clone(&server), "127.0.0.1:0", ServiceConfig::default())
+        .expect("respawn service");
+    let mut client = VmClient::connect(handle.addr()).expect("reconnect");
+    client
+        .investigate(MinuteId(0), site)
+        .expect("warm the recovered cell");
+    let stats = client.stats().expect("STATS scrape");
+    println!(
+        "\nSTATS scrape ({} metric lines); non-zero highlights:",
+        stats.lines().count()
+    );
+    for line in stats.lines().filter(|l| {
+        (l.starts_with("vm_service_request_us")
+            || l.starts_with("vm_store_recover")
+            || l.starts_with("vm_store_recoveries_total")
+            || l.starts_with("vm_core_vps_stored_total"))
+            && !l.ends_with(" 0")
+    }) {
+        println!("  {line}");
+    }
+
+    drop(client);
+    drop(handle);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -28,6 +28,9 @@
 //!   protocol, worker-pool server, pipelining client, role fencing).
 //! * [`repl`] — primary→follower replication: WAL log
 //!   shipping, acked commit watermark, catch-up, promotion.
+//! * [`obs`] — the zero-dependency telemetry core: counters,
+//!   gauges, log-bucketed latency histograms, registry snapshots
+//!   (the `STATS` wire exposition), and the structured event journal.
 //!
 //! ## Example
 //!
@@ -55,6 +58,7 @@ pub use viewmap_core as core;
 pub use vm_crypto as crypto;
 pub use vm_geo as geo;
 pub use vm_mobility as mobility;
+pub use vm_obs as obs;
 pub use vm_radio as radio;
 pub use vm_repl as repl;
 pub use vm_service as service;
