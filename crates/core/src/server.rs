@@ -161,6 +161,17 @@ fn id_stripe(id: &VpId) -> usize {
     id.0.as_bytes()[0] as usize & (DB_SHARDS - 1)
 }
 
+/// Stripe count for the double-spending ledger. Redemption is a pure
+/// set-insert keyed by a hash, so stripes shard perfectly: concurrent
+/// redeem sessions only contend when their cash lands on the same
+/// stripe, instead of serializing on one global set.
+const LEDGER_STRIPES: usize = 16;
+
+fn ledger_stripe(key: &[u8; 32]) -> usize {
+    // The key is sha256 output: any byte is uniform.
+    key[0] as usize & (LEDGER_STRIPES - 1)
+}
+
 /// The engine's instrument set, registered once per server into its
 /// [`Registry`] (naming scheme: `vm_core_*`, latencies in whole
 /// microseconds — see ARCHITECTURE.md §9). Handles are `Arc`s into the
@@ -196,6 +207,13 @@ struct CoreMetrics {
     maintained_create_us: Arc<Histogram>,
     maintained_extract_us: Arc<Histogram>,
     maintained_splice_us: Arc<Histogram>,
+    /// `vm_core_cash_redeemed_total` / `vm_core_cash_double_spend_total`
+    /// / `vm_core_blind_signatures_total` — the reward path: units of
+    /// cash accepted into the ledger, redeem attempts bounced as double
+    /// spends, and blind signatures issued against the reward board.
+    cash_redeemed: Arc<Counter>,
+    cash_double_spend: Arc<Counter>,
+    blind_signatures: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -216,6 +234,9 @@ impl CoreMetrics {
             maintained_create_us: obs.histogram("vm_core_maintained_create_us"),
             maintained_extract_us: obs.histogram("vm_core_maintained_extract_us"),
             maintained_splice_us: obs.histogram("vm_core_maintained_splice_us"),
+            cash_redeemed: obs.counter("vm_core_cash_redeemed_total"),
+            cash_double_spend: obs.counter("vm_core_cash_double_spend_total"),
+            blind_signatures: obs.counter("vm_core_blind_signatures_total"),
         }
     }
 
@@ -237,7 +258,9 @@ pub struct ViewMapServer {
     solicited: RwLock<HashSet<VpId>>,
     /// VP id → award amount in cash units, set after human review.
     reward_board: RwLock<HashMap<VpId, usize>>,
-    ledger: RwLock<HashSet<[u8; 32]>>,
+    /// Double-spend ledger, striped by ledger-key byte so concurrent
+    /// redeem sessions do not serialize on one global lock.
+    ledger: Vec<RwLock<HashSet<[u8; 32]>>>,
     key: RsaKeyPair,
     cfg: ViewmapConfig,
     /// Optional durable append log; accepted VPs are mirrored into it
@@ -277,7 +300,9 @@ impl ViewMapServer {
                 .collect(),
             solicited: RwLock::new(HashSet::new()),
             reward_board: RwLock::new(HashMap::new()),
-            ledger: RwLock::new(HashSet::new()),
+            ledger: (0..LEDGER_STRIPES)
+                .map(|_| RwLock::new(HashSet::new()))
+                .collect(),
             key,
             cfg,
             wal: None,
@@ -903,29 +928,51 @@ impl ViewMapServer {
     /// Step (iii): sign the blinded messages — the server learns nothing
     /// about the cash it is creating. Consumes the board entry so a
     /// reward is only issued once.
+    ///
+    /// Safe under concurrent sessions: the board entry is *claimed*
+    /// (removed) atomically before any signature is produced, so two
+    /// racing claimants for the same VP get exactly one set of
+    /// signatures — the loser sees `NotOnBoard`. The expensive RSA
+    /// signing happens outside every lock.
     pub fn issue_blind_signatures(
         &self,
         vp_id: VpId,
         secret: &[u8; 8],
         blinded: &[BlindedMessage],
     ) -> Result<Vec<Signature>, RewardError> {
-        let units = self.claim_reward(vp_id, secret)?;
+        // Validate first (read lock only) so the error priority matches
+        // claim_reward: NotOnBoard before BadOwnershipProof.
+        self.claim_reward(vp_id, secret)?;
+        // Atomically consume the entry; a race loser finds it gone.
+        let units = match self.reward_board.write().remove(&vp_id) {
+            Some(units) => units,
+            None => return Err(RewardError::NotOnBoard),
+        };
         let take = blinded.len().min(units);
         let sigs = crate::reward::sign_blinded_batch(&self.key, &blinded[..take]);
-        self.reward_board.write().remove(&vp_id);
+        self.metrics.blind_signatures.add(sigs.len() as u64);
         Ok(sigs)
     }
 
     /// Redeem one unit of cash: verify the signature, check and update the
-    /// double-spending ledger.
+    /// double-spending ledger. The ledger is striped by key byte, so
+    /// concurrent redeem sessions only contend within a stripe.
     pub fn redeem(&self, cash: &Cash) -> Result<(), RedeemError> {
         if !cash.verify(self.key.public()) {
             return Err(RedeemError::BadSignature);
         }
-        if !self.ledger.write().insert(cash.ledger_key()) {
+        let key = cash.ledger_key();
+        if !self.ledger[ledger_stripe(&key)].write().insert(key) {
+            self.metrics.cash_double_spend.inc();
             return Err(RedeemError::DoubleSpend);
         }
+        self.metrics.cash_redeemed.inc();
         Ok(())
+    }
+
+    /// Total units of cash accepted into the double-spending ledger.
+    pub fn spent_cash(&self) -> usize {
+        self.ledger.iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -1089,6 +1136,90 @@ mod tests {
             assert_eq!(srv.redeem(c), Ok(()));
         }
         assert_eq!(srv.redeem(&wallet.cash[0]), Err(RedeemError::DoubleSpend));
+    }
+
+    #[test]
+    fn concurrent_reward_sessions_do_not_double_issue_or_double_spend() {
+        use std::sync::{Arc, Barrier};
+
+        let srv = Arc::new(server(50));
+        let (fin, _chunks) = record(51, 0.0);
+        let vp_id = fin.profile.id();
+        let secret = fin.secret;
+        srv.store(fin.profile.into_stored()).unwrap();
+        srv.post_reward(vp_id, 2);
+
+        // Race T sessions claiming the same board entry: exactly one
+        // wins the signatures, the rest see NotOnBoard.
+        const T: usize = 8;
+        let barrier = Arc::new(Barrier::new(T));
+        let handles: Vec<_> = (0..T)
+            .map(|i| {
+                let srv = Arc::clone(&srv);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                    let mut wallet = Wallet::new();
+                    let (pending, blinded) = wallet.prepare(&mut rng, srv.public_key(), 2);
+                    barrier.wait();
+                    match srv.issue_blind_signatures(vp_id, &secret, &blinded) {
+                        Ok(signed) => {
+                            assert_eq!(wallet.accept_signed(srv.public_key(), pending, &signed), 2);
+                            Some(wallet)
+                        }
+                        Err(RewardError::NotOnBoard) => None,
+                        Err(e) => panic!("unexpected error in race: {e:?}"),
+                    }
+                })
+            })
+            .collect();
+        let winners: Vec<Wallet> = handles
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(winners.len(), 1, "exactly one session may claim a reward");
+        let wallet = Arc::new(winners.into_iter().next().unwrap());
+
+        // Race T sessions redeeming the same unit: exactly one insert
+        // wins; the rest are caught as double spends. The other unit
+        // redeems concurrently without interference.
+        let barrier = Arc::new(Barrier::new(T + 1));
+        let spenders: Vec<_> = (0..T)
+            .map(|_| {
+                let srv = Arc::clone(&srv);
+                let wallet = Arc::clone(&wallet);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    srv.redeem(&wallet.cash[0]).is_ok()
+                })
+            })
+            .collect();
+        let other = {
+            let srv = Arc::clone(&srv);
+            let wallet = Arc::clone(&wallet);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                srv.redeem(&wallet.cash[1])
+            })
+        };
+        let oks = spenders
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count();
+        assert_eq!(oks, 1, "exactly one redeem of the same cash may succeed");
+        assert_eq!(other.join().unwrap(), Ok(()));
+        assert_eq!(srv.spent_cash(), 2);
+
+        let snap = srv.obs().snapshot();
+        assert_eq!(snap.counter("vm_core_cash_redeemed_total"), Some(2));
+        assert_eq!(
+            snap.counter("vm_core_cash_double_spend_total"),
+            Some((T - 1) as u64)
+        );
+        assert_eq!(snap.counter("vm_core_blind_signatures_total"), Some(2));
     }
 
     #[test]

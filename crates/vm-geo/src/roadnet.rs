@@ -61,6 +61,19 @@ impl CityParams {
         }
     }
 
+    /// A rural grid: long country blocks, many missing links, no
+    /// diagonals — the sparse-linkage counterpoint to `seoul_like`.
+    pub fn rural() -> Self {
+        CityParams {
+            width_m: 6_000.0,
+            height_m: 6_000.0,
+            block_m: 500.0,
+            jitter: 0.30,
+            keep_link_prob: 0.82,
+            diagonals: 0,
+        }
+    }
+
     /// The 8×8 km² Seoul-like area of the paper's Section 8 experiments.
     pub fn seoul_like() -> Self {
         CityParams {

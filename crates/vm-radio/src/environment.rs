@@ -50,6 +50,16 @@ impl Environment {
         }
     }
 
+    /// Rural road: near-open terrain with occasional farm structures
+    /// and almost no traffic obstruction.
+    pub fn rural() -> Self {
+        Environment {
+            name: "rural",
+            buildings: BuildingParams::highway(),
+            traffic_blockage: 0.02,
+        }
+    }
+
     /// Residential area (Fig. 15).
     pub fn residential() -> Self {
         Environment {

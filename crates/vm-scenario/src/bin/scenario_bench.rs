@@ -1,0 +1,114 @@
+//! Times one full run of every scenario and splices the results into
+//! `BENCH_investigate.json` as a top-level `"scenarios"` object with
+//! one `scenario_<name>_ms` column per catalog entry, e.g.
+//! `scenario_rush_hour_ms`. The CI python gate requires every column
+//! to be present and > 0.
+//!
+//! The workspace has no JSON library (offline build), so the merge is
+//! textual: any existing `"scenarios"` object is cut out, then the new
+//! one is inserted before the file's closing brace. If the bench file
+//! does not exist yet (scenario job running before the bench job), a
+//! minimal document is created.
+//!
+//! * `VM_BENCH_OUT` — file to merge into (default `BENCH_investigate.json`).
+//! * `VM_SCENARIO_BENCH_SEED` — seed to time (default 42).
+
+use std::time::Instant;
+use vm_scenario::{run_seed, Scenario};
+
+fn main() {
+    let path = std::env::var("VM_BENCH_OUT").unwrap_or_else(|_| "BENCH_investigate.json".into());
+    let seed: u64 = std::env::var("VM_SCENARIO_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let mut columns = Vec::new();
+    for scenario in Scenario::all() {
+        let start = Instant::now();
+        match run_seed(scenario, seed) {
+            Ok(report) => {
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                println!(
+                    "scenario {:<18} seed={seed} {ms:.1} ms ({} ops, {} vps)",
+                    scenario.name(),
+                    report.ops,
+                    report.final_vps
+                );
+                columns.push((column_name(scenario), ms));
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let scenarios_json = render(&columns, seed);
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) => splice(&existing, &scenarios_json),
+        Err(_) => format!("{{\n  \"bench\": \"investigate\",\n{scenarios_json}\n}}\n"),
+    };
+    std::fs::write(&path, merged).expect("write bench file");
+    println!("wrote scenario columns to {path}");
+}
+
+/// `rush-hour` → `scenario_rush_hour_ms`.
+fn column_name(scenario: Scenario) -> String {
+    format!("scenario_{}_ms", scenario.name().replace('-', "_"))
+}
+
+fn render(columns: &[(String, f64)], seed: u64) -> String {
+    let mut out = String::from("  \"scenarios\": {\n");
+    out.push_str(&format!("    \"seed\": {seed},\n"));
+    for (i, (name, ms)) in columns.iter().enumerate() {
+        let comma = if i + 1 == columns.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {ms:.3}{comma}\n"));
+    }
+    out.push_str("  }");
+    out
+}
+
+/// Insert (or replace) the `"scenarios"` object in an existing
+/// document, keeping everything else byte-identical.
+fn splice(existing: &str, scenarios_json: &str) -> String {
+    let body = strip_scenarios(existing);
+    let close = body.rfind('}').expect("bench file has no closing brace");
+    let head = body[..close].trim_end();
+    format!("{head},\n{scenarios_json}\n}}\n")
+}
+
+/// Remove a previous top-level `"scenarios": { ... }` entry (and the
+/// comma that attached it) so repeated runs do not accumulate copies.
+fn strip_scenarios(doc: &str) -> String {
+    let Some(key) = doc.find("\"scenarios\"") else {
+        return doc.to_string();
+    };
+    // Walk from the key's opening brace to its matching close.
+    let open = doc[key..].find('{').expect("scenarios key without object") + key;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, c) in doc[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Swallow the separator comma: the one before the key if present,
+    // else a trailing one after the object.
+    let mut start = key;
+    let before = doc[..key].trim_end();
+    if before.ends_with(',') {
+        start = before.len() - 1;
+    } else if doc[end..].trim_start().starts_with(',') {
+        end += doc[end..].find(',').unwrap() + 1;
+    }
+    format!("{}{}", &doc[..start], &doc[end..])
+}

@@ -60,6 +60,44 @@ impl SimConfig {
         }
     }
 
+    /// Rush hour: a dense platoon crawling through downtown. Many
+    /// vehicles in a small area at low fixed speed maximizes mutual
+    /// witnessing and therefore viewmap edge count.
+    pub fn rush_hour(vehicles: usize, minutes: u64) -> Self {
+        SimConfig {
+            vehicles,
+            minutes,
+            speed: SpeedScenario::Fixed(25.0),
+            alpha: 0.1,
+            environment: Environment::downtown(),
+            city: CityParams {
+                width_m: 1_600.0,
+                height_m: 1_600.0,
+                block_m: 200.0,
+                jitter: 0.15,
+                keep_link_prob: 0.95,
+                diagonals: 1,
+            },
+            keep_vps: true,
+            chunk_bytes: 32,
+        }
+    }
+
+    /// Rural sparse: few vehicles scattered over long country blocks —
+    /// linkage starvation, so guard VPs carry most of the anonymity set.
+    pub fn rural_sparse(vehicles: usize, minutes: u64) -> Self {
+        SimConfig {
+            vehicles,
+            minutes,
+            speed: SpeedScenario::Fixed(70.0),
+            alpha: 0.1,
+            environment: Environment::rural(),
+            city: CityParams::rural(),
+            keep_vps: true,
+            chunk_bytes: 32,
+        }
+    }
+
     /// Section 8 large-scale setting: 1000 vehicles in 8×8 km².
     pub fn large(speed: SpeedScenario, minutes: u64) -> Self {
         SimConfig {

@@ -64,6 +64,22 @@ impl Default for WireFaults {
     }
 }
 
+impl WireFaults {
+    /// A long thin pipe: jittered latency, small fragments, brief
+    /// stalls — degraded but loss-free, so every request eventually
+    /// completes without retries. Models a rural cellular uplink.
+    pub fn rural_link() -> Self {
+        WireFaults {
+            delay_us: (50, 400),
+            max_chunk: 256,
+            stall_prob: 0.02,
+            stall_ms: (1, 5),
+            corrupt_prob: 0.0,
+            cut_prob: 0.0,
+        }
+    }
+}
+
 /// A loopback TCP proxy that forwards every accepted connection to one
 /// upstream address through a pair of fault-injecting relay threads.
 ///
